@@ -1,0 +1,214 @@
+// Command nvmexplorer is the CLI front end of NVMExplorer-Go, mirroring
+// the artifact's `python run.py config/<name>.json` workflow.
+//
+// Usage:
+//
+//	nvmexplorer run <config.json> [-out dir]   run a JSON design sweep, write per-technology CSVs
+//	nvmexplorer exp <id> [-out dir]            regenerate a paper experiment (fig1..fig14, table1..table3)
+//	nvmexplorer list                           list available experiments
+//	nvmexplorer cells                          print the canonical tentpole cell database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/exp"
+	"repro/internal/nvsim"
+	"repro/internal/sweep"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nvmexplorer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "run":
+		return runSweep(args[1:])
+	case "exp":
+		return runExperiment(args[1:])
+	case "list":
+		return listExperiments()
+	case "cells":
+		return printCells()
+	case "validate":
+		return validateTentpoles()
+	case "-h", "--help", "help":
+		_ = usageError()
+		return nil
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	fmt.Fprintln(os.Stderr, `usage:
+  nvmexplorer run <config.json> [-out dir]   run a JSON design sweep
+  nvmexplorer exp <id> [-out dir]            regenerate a paper experiment
+  nvmexplorer list                           list experiments
+  nvmexplorer cells                          print the cell database
+  nvmexplorer validate                       tentpole-vs-published-array validation`)
+	return fmt.Errorf("see usage above")
+}
+
+// parseMixed parses flags that may appear before or after one positional
+// argument (so both `run -out d cfg.json` and `run cfg.json -out d` work).
+func parseMixed(fs *flag.FlagSet, args []string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return "", fmt.Errorf("missing argument")
+	}
+	pos := rest[0]
+	if len(rest) > 1 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return "", err
+		}
+		if fs.NArg() != 0 {
+			return "", fmt.Errorf("unexpected extra arguments %v", fs.Args())
+		}
+	}
+	return pos, nil
+}
+
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	out := fs.String("out", "output/results", "directory for per-technology CSV results")
+	cfgPath, err := parseMixed(fs, args)
+	if err != nil {
+		return fmt.Errorf("run needs exactly one config file: %w", err)
+	}
+	res, err := sweep.RunFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	paths, err := sweep.WriteCSVs(res, *out)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.ArrayTable().String())
+	fmt.Println(res.MetricsTable().String())
+	for _, s := range res.Skipped {
+		fmt.Println("skipped:", s)
+	}
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	return nil
+}
+
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	out := fs.String("out", "", "optional directory for CSV output")
+	id, err := parseMixed(fs, args)
+	if err != nil {
+		return fmt.Errorf("exp needs exactly one experiment id (try `nvmexplorer list`): %w", err)
+	}
+	e, err := exp.Get(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\n\n", e.ID, e.Title)
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		fmt.Println(t.String())
+	}
+	for _, s := range res.Scatters {
+		fmt.Println(s.Render(72, 18))
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		for i, t := range res.Tables {
+			name := fmt.Sprintf("%s_%d.csv", e.ID, i)
+			if err := writeCSV(t, filepath.Join(*out, name)); err != nil {
+				return err
+			}
+			fmt.Println("wrote", filepath.Join(*out, name))
+		}
+	}
+	return nil
+}
+
+func writeCSV(t *viz.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func listExperiments() error {
+	for _, e := range exp.All() {
+		fmt.Printf("%-8s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+// validateTentpoles runs the Section III-C exercise for every published
+// array datapoint in the database: optimistic/pessimistic tentpole arrays
+// at the macro's node and capacity must bracket (or closely track) it.
+func validateTentpoles() error {
+	t := viz.NewTable("Tentpole validation vs published macros",
+		"Macro", "Design", "ReadNS", "ReadE[pJ]", "AreaMM2", "Bracketed")
+	for _, target := range cell.ValidationTargets() {
+		var lat [2]float64
+		for i, f := range []cell.Flavor{cell.Optimistic, cell.Pessimistic} {
+			d, err := cell.Tentpole(target.Tech, f)
+			if err != nil {
+				return err
+			}
+			d = cell.Normalize(d, target.NodeNM)
+			r, err := nvsim.Characterize(nvsim.Config{
+				Cell: d, CapacityBytes: target.CapacityBytes, Target: nvsim.OptReadEDP})
+			if err != nil {
+				return err
+			}
+			lat[i] = r.ReadLatencyNS
+			t.MustAddRow(target.ID, d.Name, r.ReadLatencyNS, r.ReadEnergyPJ, r.AreaMM2, "")
+		}
+		verdict := "yes"
+		if !(lat[0] < target.ReadLatencyNS && target.ReadLatencyNS < lat[1]) {
+			verdict = "NO"
+		}
+		t.MustAddRow(target.ID, "published macro", target.ReadLatencyNS,
+			target.ReadEnergyPJ, target.AreaMM2, verdict)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func printCells() error {
+	t := viz.NewTable("Canonical cell definitions",
+		"Name", "Tech", "Flavor", "AreaF2", "Node[nm]", "Read[ns]", "Write[ns]",
+		"ReadE[pJ/b]", "WriteE[pJ/b]", "Endurance", "Retention[s]", "Sense")
+	for _, d := range cell.Canon() {
+		t.MustAddRow(d.Name, d.Tech.String(), d.Flavor.String(), d.AreaF2, d.NodeNM,
+			d.ReadLatencyNS, d.WriteLatencyNS, d.ReadEnergyPJ, d.WriteEnergyPJ,
+			d.EnduranceCycles, d.RetentionS, d.Sense.String())
+	}
+	fmt.Println(strings.TrimRight(t.String(), "\n"))
+	return nil
+}

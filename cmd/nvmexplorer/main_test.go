@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments should yield a usage error")
+	}
+	if err := run([]string{"bogus-command"}); err == nil {
+		t.Error("unknown command should yield a usage error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help should succeed: %v", err)
+	}
+}
+
+func TestListAndCells(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run([]string{"cells"}); err != nil {
+		t.Errorf("cells: %v", err)
+	}
+}
+
+func TestValidateCommand(t *testing.T) {
+	if err := run([]string{"validate"}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestExpCommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"exp", "fig4", "-out", dir}); err != nil {
+		t.Fatalf("exp fig4: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Error("exp -out wrote no CSVs")
+	}
+	if err := run([]string{"exp", "not-an-experiment"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"exp"}); err == nil {
+		t.Error("missing experiment id should error")
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "study.json")
+	err := os.WriteFile(cfg, []byte(`{
+	  "name": "cli_test",
+	  "cells": [{"technology": "STT", "flavor": "Opt"}],
+	  "capacities_bytes": [1048576],
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6}]}
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "results")
+	if err := run([]string{"run", cfg, "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("run wrote no CSVs: %v", err)
+	}
+	// Flags-before-positional spelling must also work.
+	if err := run([]string{"run", "-out", out, cfg}); err != nil {
+		t.Errorf("run with leading flags: %v", err)
+	}
+	if err := run([]string{"run", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing config should error")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Error("missing config argument should error")
+	}
+}

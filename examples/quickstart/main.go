@@ -1,0 +1,45 @@
+// Quickstart: characterize a few eNVM arrays and evaluate them under a
+// simple traffic pattern — the "hello world" of NVMExplorer-Go.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nvmexplorer "repro"
+)
+
+func main() {
+	// 1. Configure: pick cells, a capacity, an optimization target, and
+	//    application traffic (here: a small generic sweep).
+	study := nvmexplorer.NewStudy("quickstart").
+		AddTentpole(nvmexplorer.SRAM, nvmexplorer.Reference).
+		AddTentpole(nvmexplorer.STT, nvmexplorer.Optimistic).
+		AddTentpole(nvmexplorer.RRAM, nvmexplorer.Optimistic).
+		AddTentpole(nvmexplorer.FeFET, nvmexplorer.Optimistic).
+		AddCapacity(2 << 20). // 2 MiB
+		AddTarget(nvmexplorer.OptReadEDP).
+		AddPattern(nvmexplorer.GenericSweep(1, 10, 0.001, 0.1, 3)...)
+
+	// 2. Evaluate.
+	results, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Explore: array-level characterization, application-level metrics,
+	//    and a terminal scatter plot.
+	fmt.Println(results.ArrayTable().String())
+
+	best, ok := results.BestBy(
+		func(m nvmexplorer.Metrics) float64 { return m.TotalPowerMW },
+		func(m nvmexplorer.Metrics) bool { return m.MeetsTaskRate })
+	if ok {
+		fmt.Printf("lowest-power feasible point: %s on %s (%.3f mW)\n\n",
+			best.Array.Cell.Name, best.Pattern.Name, best.TotalPowerMW)
+	}
+
+	fmt.Println(results.PowerScatter().Render(72, 16))
+}

@@ -1,0 +1,178 @@
+// Package cache is NVMExplorer-Go's last-level-cache substrate
+// (Section IV-C). It provides a set-associative write-back LLC simulator,
+// synthetic SPEC CPU2017-class workload generators standing in for the
+// paper's Sniper characterization, and the write-buffer model behind the
+// Section V-D co-design study.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/traffic"
+)
+
+// Access is one reference arriving at the LLC from the level above: a read
+// lookup (L2 miss) or an incoming dirty writeback (L2 eviction).
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Stats tallies LLC behaviour and, crucially for NVMExplorer, the traffic
+// into the LLC's data *array* — the accesses an eNVM replacement would
+// absorb.
+type Stats struct {
+	Lookups   int64
+	Hits      int64
+	Misses    int64
+	Fills     int64 // array writes caused by miss fills
+	WriteHits int64 // array writes caused by incoming writebacks
+	Evictions int64
+	DirtyWB   int64 // dirty lines written back toward DRAM
+
+	ArrayReads  int64 // data-array reads (hits serve data; misses still probe tags)
+	ArrayWrites int64 // data-array writes (fills + write hits)
+}
+
+// HitRate returns hits over lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// LLC is a set-associative, write-back, write-allocate cache with LRU
+// replacement, modeling the shared L3 of the study's Skylake-class system.
+type LLC struct {
+	lineBytes int
+	ways      int
+	sets      int
+	tags      []uint64 // sets*ways
+	valid     []bool
+	dirty     []bool
+	lruTick   []uint64
+	tick      uint64
+	stats     Stats
+}
+
+// NewLLC builds a cache of the given capacity. Capacity must be divisible
+// by lineBytes*ways.
+func NewLLC(capacityBytes int64, ways, lineBytes int) (*LLC, error) {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry")
+	}
+	lines := capacityBytes / int64(lineBytes)
+	if lines%int64(ways) != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, ways)
+	}
+	sets := int(lines) / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	n := sets * ways
+	return &LLC{
+		lineBytes: lineBytes, ways: ways, sets: sets,
+		tags: make([]uint64, n), valid: make([]bool, n),
+		dirty: make([]bool, n), lruTick: make([]uint64, n),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+// Stats returns the accumulated counters.
+func (c *LLC) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *LLC) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.lruTick[i] = 0
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
+// Touch processes one access.
+func (c *LLC) Touch(a Access) {
+	c.tick++
+	c.stats.Lookups++
+	line := a.Addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+
+	// Probe.
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.stats.Hits++
+			c.lruTick[i] = c.tick
+			if a.Write {
+				c.dirty[i] = true
+				c.stats.WriteHits++
+				c.stats.ArrayWrites++
+			} else {
+				c.stats.ArrayReads++
+			}
+			return
+		}
+	}
+
+	// Miss: choose a victim (invalid first, else LRU).
+	c.stats.Misses++
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lruTick[i] < c.lruTick[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		c.stats.Evictions++
+		if c.dirty[victim] {
+			c.stats.DirtyWB++
+			c.stats.ArrayReads++ // victim data read out for writeback
+		}
+	}
+	// Fill (write-allocate).
+	c.valid[victim] = true
+	c.tags[victim] = line
+	c.lruTick[victim] = c.tick
+	c.dirty[victim] = a.Write
+	c.stats.Fills++
+	c.stats.ArrayWrites++
+	if !a.Write {
+		c.stats.ArrayReads++ // the demand read is served from the filled line
+	}
+}
+
+// Run processes a whole access stream.
+func (c *LLC) Run(stream []Access) Stats {
+	for _, a := range stream {
+		c.Touch(a)
+	}
+	return c.stats
+}
+
+// TrafficPattern converts simulated array traffic into a steady-state
+// pattern, given the wall-clock the stream represents.
+func (c *LLC) TrafficPattern(name string, durationS float64, capacityBytes int64) (traffic.Pattern, error) {
+	if durationS <= 0 {
+		return traffic.Pattern{}, fmt.Errorf("cache: non-positive duration")
+	}
+	s := c.stats
+	return traffic.Pattern{
+		Name:           name,
+		ReadsPerSec:    float64(s.ArrayReads) / durationS,
+		WritesPerSec:   float64(s.ArrayWrites) / durationS,
+		ReadsPerTask:   float64(s.ArrayReads),
+		WritesPerTask:  float64(s.ArrayWrites),
+		FootprintBytes: capacityBytes,
+	}, nil
+}

@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustLLC(t *testing.T, capBytes int64, ways int) *LLC {
+	t.Helper()
+	c, err := NewLLC(capBytes, ways, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewLLCGeometry(t *testing.T) {
+	c := mustLLC(t, 16<<20, 16)
+	if c.Sets() != 16<<20/64/16 {
+		t.Errorf("sets = %d", c.Sets())
+	}
+	if _, err := NewLLC(0, 16, 64); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := NewLLC(64*48, 16, 64); err == nil {
+		t.Error("non-pow2 sets should error")
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := mustLLC(t, 64*64*4, 4) // 4 ways, 64 sets
+	c.Touch(Access{Addr: 0})
+	c.Touch(Access{Addr: 0})
+	s := c.Stats()
+	if s.Lookups != 2 || s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Fills != 1 || s.ArrayWrites != 1 {
+		t.Errorf("fill accounting wrong: %+v", s)
+	}
+	// Reads hit the data array on both the fill-serve and the hit.
+	if s.ArrayReads != 2 {
+		t.Errorf("array reads = %d, want 2", s.ArrayReads)
+	}
+}
+
+func TestWritebackPath(t *testing.T) {
+	c := mustLLC(t, 64*64*2, 2) // 2 ways, 64 sets
+	// Three distinct lines mapping to set 0, the first written dirty.
+	set0 := func(i uint64) uint64 { return i * 64 * 64 }
+	c.Touch(Access{Addr: set0(0), Write: true})
+	c.Touch(Access{Addr: set0(1)})
+	c.Touch(Access{Addr: set0(2)}) // evicts the dirty line
+	s := c.Stats()
+	if s.Evictions != 1 || s.DirtyWB != 1 {
+		t.Fatalf("expected one dirty writeback, got %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := mustLLC(t, 64*64*2, 2)
+	set0 := func(i uint64) uint64 { return i * 64 * 64 }
+	c.Touch(Access{Addr: set0(0)})
+	c.Touch(Access{Addr: set0(1)})
+	c.Touch(Access{Addr: set0(0)}) // refresh line 0
+	c.Touch(Access{Addr: set0(2)}) // must evict line 1
+	c.Touch(Access{Addr: set0(0)}) // still resident
+	s := c.Stats()
+	if s.Hits != 2 {
+		t.Errorf("hits = %d, want 2 (LRU kept the refreshed line)", s.Hits)
+	}
+}
+
+func TestCapacityBehaviour(t *testing.T) {
+	c := mustLLC(t, 1<<20, 16)
+	// A working set half the capacity re-referenced: second pass all hits.
+	lines := (1 << 19) / 64
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Touch(Access{Addr: uint64(i) * 64})
+		}
+	}
+	s := c.Stats()
+	if s.Misses != int64(lines) {
+		t.Errorf("misses = %d, want %d (cold only)", s.Misses, lines)
+	}
+	// A working set 4x the capacity thrashes.
+	c.Reset()
+	lines = (4 << 20) / 64
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Touch(Access{Addr: uint64(i) * 64})
+		}
+	}
+	if hr := c.Stats().HitRate(); hr > 0.05 {
+		t.Errorf("thrash hit rate = %.3f, want ~0", hr)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := mustLLC(t, 1<<18, 4)
+	c.Touch(Access{Addr: 4096})
+	c.Reset()
+	if c.Stats().Lookups != 0 {
+		t.Error("reset should clear counters")
+	}
+	c.Touch(Access{Addr: 4096})
+	if c.Stats().Misses != 1 {
+		t.Error("reset should clear contents")
+	}
+}
+
+func TestTrafficPatternConversion(t *testing.T) {
+	c := mustLLC(t, 1<<20, 16)
+	for i := 0; i < 1000; i++ {
+		c.Touch(Access{Addr: uint64(i) * 64, Write: i%4 == 0})
+	}
+	p, err := c.TrafficPattern("bench", 0.001, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if p.ReadsPerSec != float64(s.ArrayReads)/0.001 {
+		t.Error("read rate conversion wrong")
+	}
+	if _, err := c.TrafficPattern("x", 0, 1); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestProfilesCoverSuite(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 16 {
+		t.Fatalf("only %d benchmark profiles; want the SPECrate 2017 suite", len(ps))
+	}
+	names := map[string]bool{}
+	fpCount := 0
+	for _, p := range ps {
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.FP {
+			fpCount++
+		}
+		if p.InstRate <= 0 || p.APKI <= 0 || p.WriteFr < 0 || p.WriteFr > 1 {
+			t.Errorf("%s: implausible profile %+v", p.Name, p)
+		}
+	}
+	for _, want := range []string{"mcf", "lbm", "gcc", "leela", "bwaves"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+	if fpCount < 6 {
+		t.Error("need both integer and floating-point suite members")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p := Profiles()[0]
+	a := p.Stream(1000, 5)
+	b := p.Stream(1000, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("streams differ for identical seeds")
+		}
+	}
+}
+
+func TestSPECTraffic(t *testing.T) {
+	pats := SPECTraffic()
+	if len(pats) != len(Profiles()) {
+		t.Fatalf("%d patterns for %d profiles", len(pats), len(Profiles()))
+	}
+	rates := map[string]float64{}
+	for _, p := range pats {
+		if p.ReadsPerSec <= 0 || p.WritesPerSec <= 0 {
+			t.Errorf("%s: non-positive traffic", p.Name)
+		}
+		if p.FootprintBytes != StudyLLCBytes {
+			t.Errorf("%s: footprint %d, want the 16MB LLC", p.Name, p.FootprintBytes)
+		}
+		rates[p.Name] = p.ReadsPerSec
+	}
+	// Memory-bound benchmarks stress the LLC far harder than cache-resident
+	// ones — the spread Figure 9's x-axis depends on.
+	if rates["SPEC mcf"] < 10*rates["SPEC leela"] {
+		t.Errorf("mcf (%.3g/s) should far exceed leela (%.3g/s)",
+			rates["SPEC mcf"], rates["SPEC leela"])
+	}
+	// Determinism/caching.
+	again := SPECTraffic()
+	for i := range pats {
+		if pats[i].ReadsPerSec != again[i].ReadsPerSec {
+			t.Fatal("SPEC characterization should be deterministic")
+		}
+	}
+}
+
+func TestWriteBuffer(t *testing.T) {
+	b, err := NewWriteBuffer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated writes to one line coalesce.
+	for i := 0; i < 10; i++ {
+		b.Write(42)
+	}
+	if b.Absorbed != 9 || b.Forwarded != 0 {
+		t.Errorf("absorbed=%d forwarded=%d, want 9/0", b.Absorbed, b.Forwarded)
+	}
+	// Filling past capacity evicts LRU entries.
+	for i := uint64(0); i < 8; i++ {
+		b.Write(100 + i)
+	}
+	if b.Forwarded == 0 {
+		t.Error("capacity pressure should forward writes")
+	}
+	b.Flush()
+	total := b.Absorbed + b.Forwarded
+	if total != 18 {
+		t.Errorf("conservation violated: %d writes accounted, want 18", total)
+	}
+	if _, err := NewWriteBuffer(0); err == nil {
+		t.Error("zero-capacity buffer should error")
+	}
+}
+
+func TestMeasureReduction(t *testing.T) {
+	// A reuse-heavy profile should show meaningful coalescing with a
+	// reasonable buffer, and more buffer must not reduce coalescing.
+	var p Profile
+	for _, cand := range Profiles() {
+		if cand.Name == "exchange2" { // cache-resident: 95% hot-set accesses
+			p = cand
+		}
+	}
+	small, err := MeasureReduction(p, 1024, 400_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureReduction(p, 16384, 400_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small < 0 || small > 1 || big < 0 || big > 1 {
+		t.Fatalf("reductions out of range: %g %g", small, big)
+	}
+	if big < small {
+		t.Errorf("larger buffer coalesced less: %g vs %g", big, small)
+	}
+	if big < 0.2 {
+		t.Errorf("16k-line buffer covering half the hot set should absorb >20%%, got %.2f", big)
+	}
+}
+
+// Property: write-buffer conservation — every write is either absorbed or
+// forwarded once flushed.
+func TestWriteBufferConservationProperty(t *testing.T) {
+	f := func(addrs []uint16, capSel uint8) bool {
+		b, err := NewWriteBuffer(int(capSel%64) + 1)
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			b.Write(uint64(a % 256))
+		}
+		b.Flush()
+		return b.Absorbed+b.Forwarded == int64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cache conservation — hits + misses = lookups, fills = misses.
+func TestCacheConservationProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c, err := NewLLC(1<<16, 4, 64)
+		if err != nil {
+			return false
+		}
+		for i, a := range addrs {
+			c.Touch(Access{Addr: uint64(a), Write: i%3 == 0})
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Lookups && s.Fills == s.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

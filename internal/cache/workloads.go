@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/traffic"
+)
+
+// Synthetic SPECrate CPU2017 workload generators. The paper extracts LLC
+// traffic by running SPEC2017 under the Sniper simulator on a Skylake-class
+// 8-core (16MB shared L3, 64B lines, 16 ways); we cannot ship SPEC, so each
+// benchmark is modeled as a parameterized address-stream generator —
+// streaming sweeps, hot working sets, and pointer-chase-like random
+// references — whose per-benchmark mixture is calibrated to the published
+// qualitative behaviour (mcf/lbm memory-bound with heavy writes,
+// leela/exchange2 cache-resident, etc). The LLC simulator then turns each
+// stream into data-array read/write rates, which is all the study consumes.
+
+// Profile parameterizes one benchmark's LLC reference stream.
+type Profile struct {
+	Name        string
+	FP          bool    // floating-point suite member
+	InstRate    float64 // aggregate instructions/s across the 8-core rate run
+	APKI        float64 // LLC accesses per kilo-instruction
+	WriteFr     float64 // fraction of LLC accesses that are incoming writebacks
+	HotBytes    int64   // hot working-set size (reuse component)
+	HotFrac     float64 // fraction of accesses landing in the hot set
+	StreamBytes int64   // streamed region size (capacity-thrashing component)
+}
+
+// Profiles returns the SPECrate 2017 benchmark models (8 cores at 2.5GHz,
+// IPC folded into InstRate).
+func Profiles() []Profile {
+	const giga = 1e9
+	return []Profile{
+		{Name: "perlbench", InstRate: 22 * giga, APKI: 1.2, WriteFr: 0.30, HotBytes: 8 << 20, HotFrac: 0.85, StreamBytes: 64 << 20},
+		{Name: "gcc", InstRate: 18 * giga, APKI: 4.5, WriteFr: 0.35, HotBytes: 12 << 20, HotFrac: 0.70, StreamBytes: 128 << 20},
+		{Name: "mcf", InstRate: 9 * giga, APKI: 28, WriteFr: 0.30, HotBytes: 48 << 20, HotFrac: 0.55, StreamBytes: 512 << 20},
+		{Name: "omnetpp", InstRate: 10 * giga, APKI: 18, WriteFr: 0.35, HotBytes: 40 << 20, HotFrac: 0.60, StreamBytes: 256 << 20},
+		{Name: "xalancbmk", InstRate: 14 * giga, APKI: 9, WriteFr: 0.25, HotBytes: 24 << 20, HotFrac: 0.65, StreamBytes: 128 << 20},
+		{Name: "x264", InstRate: 26 * giga, APKI: 1.6, WriteFr: 0.40, HotBytes: 10 << 20, HotFrac: 0.80, StreamBytes: 96 << 20},
+		{Name: "deepsjeng", InstRate: 20 * giga, APKI: 2.2, WriteFr: 0.30, HotBytes: 14 << 20, HotFrac: 0.75, StreamBytes: 64 << 20},
+		{Name: "leela", InstRate: 21 * giga, APKI: 0.8, WriteFr: 0.25, HotBytes: 6 << 20, HotFrac: 0.90, StreamBytes: 32 << 20},
+		{Name: "exchange2", InstRate: 24 * giga, APKI: 0.3, WriteFr: 0.20, HotBytes: 2 << 20, HotFrac: 0.95, StreamBytes: 16 << 20},
+		{Name: "xz", InstRate: 15 * giga, APKI: 7, WriteFr: 0.45, HotBytes: 32 << 20, HotFrac: 0.60, StreamBytes: 256 << 20},
+		{Name: "bwaves", FP: true, InstRate: 17 * giga, APKI: 14, WriteFr: 0.30, HotBytes: 28 << 20, HotFrac: 0.50, StreamBytes: 512 << 20},
+		{Name: "cactuBSSN", FP: true, InstRate: 16 * giga, APKI: 10, WriteFr: 0.35, HotBytes: 20 << 20, HotFrac: 0.55, StreamBytes: 384 << 20},
+		{Name: "lbm", FP: true, InstRate: 8 * giga, APKI: 24, WriteFr: 0.50, HotBytes: 40 << 20, HotFrac: 0.45, StreamBytes: 768 << 20},
+		{Name: "wrf", FP: true, InstRate: 18 * giga, APKI: 6, WriteFr: 0.35, HotBytes: 18 << 20, HotFrac: 0.65, StreamBytes: 192 << 20},
+		{Name: "cam4", FP: true, InstRate: 17 * giga, APKI: 5, WriteFr: 0.35, HotBytes: 16 << 20, HotFrac: 0.65, StreamBytes: 192 << 20},
+		{Name: "imagick", FP: true, InstRate: 25 * giga, APKI: 0.9, WriteFr: 0.35, HotBytes: 6 << 20, HotFrac: 0.90, StreamBytes: 48 << 20},
+		{Name: "nab", FP: true, InstRate: 22 * giga, APKI: 1.4, WriteFr: 0.25, HotBytes: 8 << 20, HotFrac: 0.85, StreamBytes: 64 << 20},
+		{Name: "fotonik3d", FP: true, InstRate: 14 * giga, APKI: 16, WriteFr: 0.40, HotBytes: 36 << 20, HotFrac: 0.50, StreamBytes: 512 << 20},
+		{Name: "roms", FP: true, InstRate: 15 * giga, APKI: 12, WriteFr: 0.40, HotBytes: 30 << 20, HotFrac: 0.55, StreamBytes: 384 << 20},
+	}
+}
+
+// Stream generates the benchmark's LLC reference stream: n accesses drawn
+// from the hot-set/streaming mixture. Deterministic for a given seed.
+func (p Profile) Stream(n int, seed int64) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Access, n)
+	const line = 64
+	hotLines := p.HotBytes / line
+	if hotLines < 1 {
+		hotLines = 1
+	}
+	streamLines := p.StreamBytes / line
+	if streamLines < 1 {
+		streamLines = 1
+	}
+	var streamPos uint64
+	const hotBase = uint64(1) << 40 // keep regions disjoint
+	for i := range out {
+		var addr uint64
+		if rng.Float64() < p.HotFrac {
+			addr = hotBase + uint64(rng.Int63n(hotLines))*line
+		} else {
+			// Streaming with a touch of spatial irregularity.
+			streamPos = (streamPos + 1 + uint64(rng.Intn(4))) % uint64(streamLines)
+			addr = streamPos * line
+		}
+		out[i] = Access{Addr: addr, Write: rng.Float64() < p.WriteFr}
+	}
+	return out
+}
+
+// StudyLLCBytes is the shared L3 capacity of the paper's LLC study.
+const StudyLLCBytes = 16 << 20
+
+// StudyWays is the associativity of the studied L3.
+const StudyWays = 16
+
+// simRefs is how many LLC references each benchmark simulation replays.
+// ~400k references keeps full-suite characterization under a second while
+// exercising working sets far beyond the 16MB capacity.
+const simRefs = 400_000
+
+// SPECTraffic characterizes every benchmark: it simulates each reference
+// stream through the study LLC and converts array traffic into patterns.
+// Results are deterministic and cached after the first call.
+func SPECTraffic() []traffic.Pattern {
+	specOnce.Do(func() { specPatterns = computeSPECTraffic() })
+	out := make([]traffic.Pattern, len(specPatterns))
+	copy(out, specPatterns)
+	return out
+}
+
+var (
+	specOnce     sync.Once
+	specPatterns []traffic.Pattern
+)
+
+func computeSPECTraffic() []traffic.Pattern {
+	var out []traffic.Pattern
+	for i, p := range Profiles() {
+		llc, err := NewLLC(StudyLLCBytes, StudyWays, 64)
+		if err != nil {
+			panic(fmt.Sprintf("cache: study LLC: %v", err))
+		}
+		llc.Run(p.Stream(simRefs, int64(1000+i)))
+		// The stream spans simRefs / (APKI/1000) instructions; at the
+		// benchmark's instruction rate that is the simulated wall-clock.
+		instructions := float64(simRefs) / (p.APKI / 1000)
+		durationS := instructions / p.InstRate
+		pat, err := llc.TrafficPattern("SPEC "+p.Name, durationS, StudyLLCBytes)
+		if err != nil {
+			panic(fmt.Sprintf("cache: %s: %v", p.Name, err))
+		}
+		out = append(out, pat)
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package cell
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTechnologyStrings(t *testing.T) {
+	for _, tech := range Technologies() {
+		s := tech.String()
+		if s == "" || strings.HasPrefix(s, "Technology(") {
+			t.Errorf("technology %d has no name", int(tech))
+		}
+		back, err := ParseTechnology(s)
+		if err != nil || back != tech {
+			t.Errorf("ParseTechnology(%q) = %v, %v; want %v", s, back, err, tech)
+		}
+	}
+	if _, err := ParseTechnology("bogus"); err == nil {
+		t.Error("ParseTechnology should reject unknown names")
+	}
+}
+
+func TestVolatility(t *testing.T) {
+	if !SRAM.Volatile() || !EDRAM.Volatile() {
+		t.Error("SRAM and eDRAM are volatile")
+	}
+	for _, tech := range ENVMs() {
+		if tech.Volatile() {
+			t.Errorf("%v should be non-volatile", tech)
+		}
+		if tech == SRAM || tech == EDRAM {
+			t.Errorf("ENVMs() should exclude %v", tech)
+		}
+	}
+}
+
+func TestCanonValidates(t *testing.T) {
+	for _, d := range Canon() {
+		d := d
+		if err := d.Validate(); err != nil {
+			t.Errorf("canonical cell %s fails validation: %v", d.Name, err)
+		}
+	}
+}
+
+func TestCanonCoversStudyTechnologies(t *testing.T) {
+	for _, tech := range []Technology{PCM, STT, RRAM, FeFET} {
+		for _, f := range []Flavor{Optimistic, Pessimistic} {
+			if _, err := Tentpole(tech, f); err != nil {
+				t.Errorf("missing canonical %v %v: %v", f, tech, err)
+			}
+		}
+	}
+	for _, tech := range []Technology{SRAM, EDRAM, BGFeFET} {
+		if _, err := Tentpole(tech, Reference); err != nil {
+			t.Errorf("missing canonical reference %v: %v", tech, err)
+		}
+	}
+	if _, err := Tentpole(SRAM, Pessimistic); err == nil {
+		t.Error("there is no pessimistic SRAM in the canon")
+	}
+}
+
+func TestMustTentpolePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTentpole should panic for undefined combinations")
+		}
+	}()
+	MustTentpole(SRAM, Optimistic)
+}
+
+func TestDensityOrdering(t *testing.T) {
+	// Optimistic FeFET is the density champion; optimistic STT is ~10x
+	// denser than SRAM at cell level (14F² vs 146F²) — the raw material for
+	// Fig 5's array-level 6x.
+	fefet := MustTentpole(FeFET, Optimistic)
+	stt := MustTentpole(STT, Optimistic)
+	sram := MustTentpole(SRAM, Reference)
+	if !(fefet.DensityMbPerF2() > stt.DensityMbPerF2()) {
+		t.Error("optimistic FeFET should be denser than optimistic STT")
+	}
+	ratio := stt.DensityMbPerF2() / sram.DensityMbPerF2()
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("STT/SRAM cell density ratio = %.1f, want ~10.4 (146/14)", ratio)
+	}
+}
+
+func TestEffectiveAreaMLC(t *testing.T) {
+	d := MustTentpole(RRAM, Optimistic)
+	slc := d.EffectiveAreaF2PerBit()
+	d2 := MustToMLC(d, 2)
+	if got := d2.EffectiveAreaF2PerBit(); math.Abs(got-slc/2) > 1e-12 {
+		t.Errorf("2bpc effective area = %v, want %v", got, slc/2)
+	}
+	if d2.LevelsPerCell() != 4 {
+		t.Errorf("2bpc should have 4 levels, got %d", d2.LevelsPerCell())
+	}
+}
+
+func TestCellDimensions(t *testing.T) {
+	d := MustTentpole(STT, Optimistic) // 14F² at 22nm
+	w := d.CellWidthNM()
+	want := math.Sqrt(14) * 22
+	if math.Abs(w-want) > 1e-9 {
+		t.Errorf("cell width = %v nm, want %v", w, want)
+	}
+	if d.CellHeightNM() != w {
+		t.Error("square cell assumption violated")
+	}
+}
+
+func TestValidateRejectsBadDefinitions(t *testing.T) {
+	base := MustTentpole(STT, Optimistic)
+	cases := []struct {
+		name   string
+		mutate func(*Definition)
+	}{
+		{"no name", func(d *Definition) { d.Name = "" }},
+		{"zero area", func(d *Definition) { d.AreaF2 = 0 }},
+		{"absurd node", func(d *Definition) { d.NodeNM = 2 }},
+		{"zero bits", func(d *Definition) { d.BitsPerCell = 0 }},
+		{"too many bits", func(d *Definition) { d.BitsPerCell = 9 }},
+		{"negative read latency", func(d *Definition) { d.ReadLatencyNS = -1 }},
+		{"negative write energy", func(d *Definition) { d.WriteEnergyPJ = -1 }},
+		{"zero endurance", func(d *Definition) { d.EnduranceCycles = 0 }},
+		{"NVM without retention", func(d *Definition) { d.RetentionS = 0 }},
+		{"inverted resistances", func(d *Definition) { d.ResOffOhm = d.ResOnOhm / 2 }},
+		{"negative variation", func(d *Definition) { d.DtoDSigma = -0.1 }},
+	}
+	for _, c := range cases {
+		d := base
+		c.mutate(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid definition", c.name)
+		}
+	}
+}
+
+func TestSRAMValidatesWithoutRetention(t *testing.T) {
+	d := MustTentpole(SRAM, Reference)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("SRAM should validate with zero retention: %v", err)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	d := MustTentpole(PCM, Optimistic)
+	s := d.String()
+	for _, want := range []string{"PCM", "Opt", "25", "22nm"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	if SenseScheme(99).String() == "" || Flavor(99).String() == "" {
+		t.Error("out-of-range enum strings should not be empty")
+	}
+}
+
+func TestCaseStudyCells(t *testing.T) {
+	cs := CaseStudyCells()
+	if len(cs) != 10 {
+		t.Fatalf("case-study set has %d cells, want 10 (SRAM + 4 techs x 2 + ref RRAM)", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, d := range cs {
+		if seen[d.Name] {
+			t.Errorf("duplicate cell %q", d.Name)
+		}
+		seen[d.Name] = true
+		d := d
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestFeFETReadEnergyAsymmetry(t *testing.T) {
+	// Cell-level FeFET read energy is tiny (Table I: ~1e-3 pJ); the expensive
+	// part is FET-sensing periphery. The canon must preserve that split so
+	// the array model can produce Fig 5's two read-energy tiers.
+	fefet := MustTentpole(FeFET, Optimistic)
+	stt := MustTentpole(STT, Optimistic)
+	if fefet.ReadEnergyPJ >= stt.ReadEnergyPJ {
+		t.Error("FeFET cell-level read energy should be below STT's")
+	}
+	if fefet.Sense != FETSense || stt.Sense != CurrentSense {
+		t.Error("sense schemes mis-assigned")
+	}
+}
+
+func TestWriteAsymmetries(t *testing.T) {
+	// Write characteristics drive the graph/LLC studies: STT writes in ns,
+	// FeFET in 100ns-µs, pessimistic PCM >10µs, CTT in tens of ms.
+	if w := MustTentpole(STT, Optimistic).WriteLatencyNS; w > 5 {
+		t.Errorf("optimistic STT write = %v ns, want ns-class", w)
+	}
+	if w := MustTentpole(FeFET, Optimistic).WriteLatencyNS; w < 50 || w > 1000 {
+		t.Errorf("optimistic FeFET write = %v ns, want 100ns-class", w)
+	}
+	if w := MustTentpole(PCM, Pessimistic).WriteLatencyNS; w <= 10000 {
+		t.Errorf("pessimistic PCM write = %v ns, want >10µs", w)
+	}
+	if w := MustTentpole(CTT, Optimistic).WriteLatencyNS; w < 1e7 {
+		t.Errorf("CTT write = %v ns, want tens of ms", w)
+	}
+}
+
+func TestBackGatedFeFETImprovements(t *testing.T) {
+	// Section V-A: BG-FeFET has ~10ns writes, ~1e12 endurance, slightly
+	// higher read energy and slightly lower density than optimistic FeFET.
+	bg := MustTentpole(BGFeFET, Reference)
+	opt := MustTentpole(FeFET, Optimistic)
+	if bg.WriteLatencyNS > 20 {
+		t.Errorf("BG-FeFET write = %v ns, want ~10ns", bg.WriteLatencyNS)
+	}
+	if bg.EnduranceCycles < 1e12 {
+		t.Errorf("BG-FeFET endurance = %g, want >= 1e12", bg.EnduranceCycles)
+	}
+	if !(bg.ReadEnergyPJ > opt.ReadEnergyPJ) {
+		t.Error("BG-FeFET should have slightly higher cell read energy")
+	}
+	if !(bg.AreaF2 > opt.AreaF2) {
+		t.Error("BG-FeFET should be slightly less dense")
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 8 {
+		t.Fatalf("Table I has %d technology columns, want 8", len(rows))
+	}
+	byTech := map[Technology]TableIRow{}
+	for _, r := range rows {
+		byTech[r.Tech] = r
+	}
+	if r := byTech[SRAM]; r.MLC {
+		t.Error("Table I: SRAM has no MLC mode")
+	}
+	for _, tech := range []Technology{PCM, STT, SOT, RRAM, CTT, FeRAM, FeFET} {
+		if !byTech[tech].MLC {
+			t.Errorf("Table I: %v should support MLC", tech)
+		}
+	}
+	if r := byTech[STT]; r.EndurHi != 1e15 {
+		t.Errorf("Table I: STT endurance upper bound = %g, want 1e15", r.EndurHi)
+	}
+	if r := byTech[RRAM]; r.AreaF2Lo != 4 || r.AreaF2Hi != 53 {
+		t.Errorf("Table I: RRAM area range = [%g,%g], want [4,53]", r.AreaF2Lo, r.AreaF2Hi)
+	}
+	if r := byTech[FeFET]; r.AreaF2Lo != 4 || r.AreaF2Hi != 103 {
+		t.Errorf("Table I: FeFET area range = [%g,%g], want [4,103]", r.AreaF2Lo, r.AreaF2Hi)
+	}
+}

@@ -1,0 +1,85 @@
+package cell
+
+import "fmt"
+
+// Multi-level-cell (MLC) derivation, Section V-C.
+//
+// Programming b bits per cell multiplies density by b but packs 2^b levels
+// into the same physical state window. The paper's SPICE-derived fault
+// characterization (Section II-B2) shows this costs programming time (finer
+// pulses with verify steps), sensing time and energy (smaller margins need
+// longer integration / multiple references), and reliability (device-to-
+// device variation now spans narrower level gaps).
+//
+// ToMLC applies those derations analytically so any SLC definition in the
+// database can be explored as an MLC candidate, exactly as the framework's
+// users do when probing density-vs-reliability trade-offs (Fig 13).
+
+// MLC derating constants. Values follow the multi-level eNVM modeling the
+// paper builds on (MaxNVM [112] and the FeFET study [120]): per extra bit,
+// writes use iterative program-and-verify (≈4× pulses), reads need an extra
+// sensing reference pass (≈1.8× latency, ≈2× energy), and endurance drops
+// roughly an order of magnitude due to tighter margins.
+const (
+	mlcWriteLatencyFactor = 4.0
+	mlcWriteEnergyFactor  = 3.0
+	mlcReadLatencyFactor  = 1.8
+	mlcReadEnergyFactor   = 2.0
+	mlcEnduranceFactor    = 0.1
+	mlcRetentionFactor    = 0.5
+)
+
+// ToMLC returns a copy of d programmed at bitsPerCell bits per cell with the
+// analytical derations applied relative to d's current bits-per-cell. It
+// returns an error if the target is not in [1,4] or the technology is
+// volatile (SRAM/eDRAM have no MLC mode, Table I).
+func ToMLC(d Definition, bitsPerCell int) (Definition, error) {
+	if bitsPerCell < 1 || bitsPerCell > 4 {
+		return Definition{}, fmt.Errorf("cell: bits per cell %d out of range [1,4]", bitsPerCell)
+	}
+	if d.Volatile() && bitsPerCell > 1 {
+		return Definition{}, fmt.Errorf("cell: %v does not support multi-level programming", d.Tech)
+	}
+	out := d
+	steps := bitsPerCell - d.BitsPerCell
+	if steps == 0 {
+		return out, nil
+	}
+	mul := func(v float64, f float64, n int) float64 {
+		for i := 0; i < n; i++ {
+			v *= f
+		}
+		return v
+	}
+	if steps < 0 {
+		// Relaxing toward SLC: invert the derations.
+		n := -steps
+		out.WriteLatencyNS = mul(out.WriteLatencyNS, 1/mlcWriteLatencyFactor, n)
+		out.WriteEnergyPJ = mul(out.WriteEnergyPJ, 1/mlcWriteEnergyFactor, n)
+		out.ReadLatencyNS = mul(out.ReadLatencyNS, 1/mlcReadLatencyFactor, n)
+		out.ReadEnergyPJ = mul(out.ReadEnergyPJ, 1/mlcReadEnergyFactor, n)
+		out.EnduranceCycles = mul(out.EnduranceCycles, 1/mlcEnduranceFactor, n)
+		out.RetentionS = mul(out.RetentionS, 1/mlcRetentionFactor, n)
+	} else {
+		out.WriteLatencyNS = mul(out.WriteLatencyNS, mlcWriteLatencyFactor, steps)
+		out.WriteEnergyPJ = mul(out.WriteEnergyPJ, mlcWriteEnergyFactor, steps)
+		out.ReadLatencyNS = mul(out.ReadLatencyNS, mlcReadLatencyFactor, steps)
+		out.ReadEnergyPJ = mul(out.ReadEnergyPJ, mlcReadEnergyFactor, steps)
+		out.EnduranceCycles = mul(out.EnduranceCycles, mlcEnduranceFactor, steps)
+		out.RetentionS = mul(out.RetentionS, mlcRetentionFactor, steps)
+	}
+	out.BitsPerCell = bitsPerCell
+	if bitsPerCell > 1 {
+		out.Name = fmt.Sprintf("%s %dbpc", d.Name, bitsPerCell)
+	}
+	return out, nil
+}
+
+// MustToMLC is ToMLC that panics on error; for experiment tables and tests.
+func MustToMLC(d Definition, bitsPerCell int) Definition {
+	out, err := ToMLC(d, bitsPerCell)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package cell
+
+// The survey database (Section III-A).
+//
+// The paper compiles cell- and array-level data from 122 ISSCC, IEDM, and
+// VLSI publications (2016-2020); Figure 1 plots the per-technology counts
+// and Table I the resulting parameter ranges. We cannot redistribute the
+// underlying papers, so this file carries a synthetic database with one
+// entry per surveyed publication class, populated so that
+//
+//   - the per-technology, per-year publication counts reproduce Figure 1,
+//   - the per-technology parameter extrema reproduce Table I, and
+//   - the tentpole deriver (tentpole.go) recovers the canonical optimistic
+//     and pessimistic cells of techs.go from the database alone.
+//
+// Unreported parameters are zero, mirroring the sparsity of real
+// publications (most device papers report a handful of metrics); the
+// tentpole methodology exists precisely to cope with that sparsity.
+
+// Venue identifies the publication venue of a survey entry.
+type Venue string
+
+// The three venues the paper surveys.
+const (
+	ISSCC Venue = "ISSCC"
+	IEDM  Venue = "IEDM"
+	VLSI  Venue = "VLSI"
+)
+
+// Publication is one surveyed cell-technology result. Zero-valued numeric
+// fields mean "not reported"; the tentpole deriver fills them from the rest
+// of the per-technology corpus (Section III-B1).
+type Publication struct {
+	ID    string
+	Year  int
+	Venue Venue
+	Tech  Technology
+
+	AreaF2     float64 // cell footprint
+	NodeNM     float64 // process node
+	ReadNS     float64 // read latency
+	WriteNS    float64 // write pulse
+	ReadPJ     float64 // per-bit read energy
+	WritePJ    float64 // per-bit write energy
+	Endurance  float64 // write cycles
+	RetentionS float64 // retention, seconds
+	MLC        bool    // demonstrates multi-level operation
+	ArrayLevel bool    // reports a full array/macro (usable for validation)
+}
+
+func pub(id string, year int, venue Venue, tech Technology,
+	area, node, rdNS, wrNS, rdPJ, wrPJ, endur, reten float64, mlc, arr bool) Publication {
+	return Publication{
+		ID: id, Year: year, Venue: venue, Tech: tech,
+		AreaF2: area, NodeNM: node, ReadNS: rdNS, WriteNS: wrNS,
+		ReadPJ: rdPJ, WritePJ: wrPJ, Endurance: endur, RetentionS: reten,
+		MLC: mlc, ArrayLevel: arr,
+	}
+}
+
+// Survey returns the full publication database (freshly allocated).
+func Survey() []Publication {
+	return []Publication{
+		// ------------------------------- RRAM: 42 entries (9/9/8/8/8) ----
+		pub("IEDM16-RRAM-01", 2016, IEDM, RRAM, 12, 28, 25, 100, 0, 0, 1e6, 1e8, false, false),
+		pub("IEDM16-RRAM-02", 2016, IEDM, RRAM, 0, 65, 0, 500, 0, 0, 1e5, 1e7, false, false),
+		pub("IEDM16-RRAM-03", 2016, IEDM, RRAM, 20, 40, 50, 200, 0, 0, 1e6, 1e8, false, true),
+		pub("ISSCC16-RRAM-04", 2016, ISSCC, RRAM, 0, 40, 10, 0, 0, 0, 1e5, 1e8, false, true),
+		pub("ISSCC16-RRAM-05", 2016, ISSCC, RRAM, 28, 65, 120, 1000, 0, 0, 1e4, 1e6, false, true),
+		pub("VLSI16-RRAM-06", 2016, VLSI, RRAM, 8, 22, 0, 50, 0, 0, 1e7, 1e8, false, false),
+		pub("IEDM16-RRAM-07", 2016, IEDM, RRAM, 45, 130, 800, 1e4, 0, 0, 1e4, 1e6, false, false),
+		pub("VLSI16-RRAM-08", 2016, VLSI, RRAM, 6, 22, 0, 20, 0, 0, 1e6, 1e7, true, false),
+		pub("IEDM16-RRAM-09", 2016, IEDM, RRAM, 0, 90, 300, 2000, 0, 0, 1e5, 1e7, false, false),
+		pub("IEDM17-RRAM-10", 2017, IEDM, RRAM, 4, 22, 3.3, 5, 0.15, 0, 1e8, 1e8, false, false),
+		pub("IEDM17-RRAM-11", 2017, IEDM, RRAM, 9, 28, 8, 30, 0, 0, 1e7, 1e8, false, false),
+		pub("VLSI17-RRAM-12", 2017, VLSI, RRAM, 15, 25, 15, 100, 0, 0, 1e6, 1e8, false, true),
+		pub("IEDM17-RRAM-13", 2017, IEDM, RRAM, 0, 28, 0, 60, 0, 0, 1e6, 1e8, false, false),
+		pub("IEDM17-RRAM-14", 2017, IEDM, RRAM, 24, 40, 40, 300, 0, 0, 1e5, 1e7, false, false),
+		pub("IEDM17-RRAM-15", 2017, IEDM, RRAM, 53, 130, 2000, 1e5, 0, 2.5, 1e3, 1e3, false, false),
+		pub("VLSI17-RRAM-16", 2017, VLSI, RRAM, 10, 25, 12, 80, 0, 0, 1e6, 1e8, false, true),
+		pub("IEDM17-RRAM-17", 2017, IEDM, RRAM, 0, 40, 0, 150, 0, 0, 1e5, 1e8, true, false),
+		pub("ISSCC17-RRAM-18", 2017, ISSCC, RRAM, 18, 28, 20, 120, 0, 0, 1e6, 1e8, false, true),
+		pub("ISSCC18-RRAM-19", 2018, ISSCC, RRAM, 30, 40, 9, 100, 0.25, 1.1, 1e6, 1e8, false, true),
+		pub("IEDM18-RRAM-20", 2018, IEDM, RRAM, 6, 22, 5, 25, 0, 0, 1e7, 1e8, false, false),
+		pub("IEDM18-RRAM-21", 2018, IEDM, RRAM, 0, 28, 0, 40, 0, 0, 1e6, 1e8, false, false),
+		pub("VLSI18-RRAM-22", 2018, VLSI, RRAM, 12, 28, 18, 90, 0, 0, 1e6, 1e7, false, true),
+		pub("IEDM18-RRAM-23", 2018, IEDM, RRAM, 36, 65, 200, 5000, 0, 0, 1e4, 1e6, false, false),
+		pub("IEDM18-RRAM-24", 2018, IEDM, RRAM, 0, 28, 0, 0, 0, 0, 1e5, 1e8, true, false),
+		pub("ISSCC18-RRAM-25", 2018, ISSCC, RRAM, 16, 28, 14, 70, 0, 0, 1e6, 1e8, false, true),
+		pub("VLSI18-RRAM-26", 2018, VLSI, RRAM, 8, 22, 6, 35, 0, 0, 1e7, 1e8, false, false),
+		pub("ISSCC19-RRAM-27", 2019, ISSCC, RRAM, 10, 22, 5, 30, 0, 0.68, 1e6, 1e8, false, true),
+		pub("VLSI19-RRAM-28", 2019, VLSI, RRAM, 5, 16, 4, 15, 0, 0, 1e7, 1e8, false, false),
+		pub("IEDM19-RRAM-29", 2019, IEDM, RRAM, 0, 22, 0, 20, 0, 0, 1e7, 1e8, false, false),
+		pub("IEDM19-RRAM-30", 2019, IEDM, RRAM, 40, 90, 400, 8000, 0, 0, 1e4, 1e5, false, false),
+		pub("VLSI19-RRAM-31", 2019, VLSI, RRAM, 14, 28, 10, 60, 0, 0, 1e6, 1e8, true, true),
+		pub("ISSCC19-RRAM-32", 2019, ISSCC, RRAM, 20, 40, 25, 150, 0, 0, 1e5, 1e8, false, true),
+		pub("IEDM19-RRAM-33", 2019, IEDM, RRAM, 0, 28, 0, 45, 0, 0, 1e6, 1e8, false, false),
+		pub("VLSI19-RRAM-34", 2019, VLSI, RRAM, 7, 22, 5.5, 28, 0, 0, 1e7, 1e8, false, false),
+		pub("ISSCC20-RRAM-35", 2020, ISSCC, RRAM, 11, 22, 7, 40, 0, 0, 1e6, 1e8, false, true),
+		pub("VLSI20-RRAM-36", 2020, VLSI, RRAM, 9, 28, 8, 55, 0, 0, 1e6, 1e8, false, true),
+		pub("IEDM20-RRAM-37", 2020, IEDM, RRAM, 0, 16, 0, 5, 0, 0, 1e7, 1e8, false, false),
+		pub("VLSI20-RRAM-38", 2020, VLSI, RRAM, 26, 40, 35, 250, 0, 0, 1e5, 1e7, true, true),
+		pub("ISSCC20-RRAM-39", 2020, ISSCC, RRAM, 13, 28, 11, 65, 0, 0, 1e6, 1e8, false, true),
+		pub("IEDM20-RRAM-40", 2020, IEDM, RRAM, 0, 22, 0, 18, 0, 0, 1e7, 1e8, false, false),
+		pub("VLSI20-RRAM-41", 2020, VLSI, RRAM, 22, 28, 30, 180, 0, 0, 1e5, 1e8, false, false),
+		pub("IEDM20-RRAM-42", 2020, IEDM, RRAM, 50, 65, 600, 2e4, 0, 0, 1e4, 1e5, false, false),
+		// ------------------------------- STT: 40 entries (8/7/8/8/9) -----
+		pub("IEDM16-STT-01", 2016, IEDM, STT, 30, 40, 5, 20, 0, 0, 1e9, 1e8, false, true),
+		pub("IEDM16-STT-02", 2016, IEDM, STT, 0, 28, 0, 3, 0, 0, 1e12, 1e8, false, false),
+		pub("ISSCC16-STT-03", 2016, ISSCC, STT, 45, 90, 10, 35, 0.6, 2.0, 1e8, 1e8, false, true),
+		pub("VLSI16-STT-04", 2016, VLSI, STT, 0, 22, 0, 2.5, 0, 0, 1e10, 1e8, false, false),
+		pub("IEDM16-STT-05", 2016, IEDM, STT, 75, 90, 19, 200, 1.2, 4.5, 1e5, 1e8, false, false),
+		pub("VLSI16-STT-06", 2016, VLSI, STT, 25, 28, 4, 10, 0, 0, 1e11, 1e8, false, true),
+		pub("IEDM16-STT-07", 2016, IEDM, STT, 0, 40, 8, 30, 0, 0, 1e9, 1e8, false, false),
+		pub("VLSI16-STT-08", 2016, VLSI, STT, 40, 55, 0, 14, 0, 0, 1e10, 1e8, false, false),
+		pub("IEDM17-STT-09", 2017, IEDM, STT, 14, 22, 1.3, 2, 0.21, 0.6, 1e15, 1e8, false, false),
+		pub("IEDM17-STT-10", 2017, IEDM, STT, 0, 28, 0, 5, 0, 0, 1e12, 1e8, false, false),
+		pub("VLSI17-STT-11", 2017, VLSI, STT, 35, 28, 6, 25, 0, 0, 1e10, 1e8, false, true),
+		pub("IEDM17-STT-12", 2017, IEDM, STT, 0, 40, 0, 50, 0, 0, 1e8, 1e8, false, false),
+		pub("ISSCC17-STT-13", 2017, ISSCC, STT, 50, 55, 12, 80, 0.8, 3.0, 1e7, 1e8, false, true),
+		pub("VLSI17-STT-14", 2017, VLSI, STT, 20, 22, 3, 8, 0, 0, 1e12, 1e8, false, false),
+		pub("IEDM17-STT-15", 2017, IEDM, STT, 60, 90, 16, 150, 1.0, 4.0, 1e6, 1e8, false, false),
+		pub("ISSCC18-STT-16", 2018, ISSCC, STT, 40, 28, 2.8, 10, 0.20, 1.8, 1e12, 1e8, false, true),
+		pub("IEDM18-STT-17", 2018, IEDM, STT, 0, 28, 0, 14, 0, 0, 1e10, 1e8, false, true),
+		pub("VLSI18-STT-18", 2018, VLSI, STT, 28, 28, 5, 12, 0, 0, 1e11, 1e8, false, true),
+		pub("IEDM18-STT-19", 2018, IEDM, STT, 0, 28, 0, 4, 0, 0, 1e13, 1e8, false, false),
+		pub("ISSCC18-STT-20", 2018, ISSCC, STT, 55, 40, 17.5, 100, 0.9, 3.5, 1e7, 1e8, false, true),
+		pub("VLSI18-STT-21", 2018, VLSI, STT, 24, 28, 3.5, 9, 0, 0, 1e11, 1e8, false, true),
+		pub("IEDM18-STT-22", 2018, IEDM, STT, 0, 22, 0, 2.2, 0, 0, 1e14, 1e8, false, false),
+		pub("IEDM18-STT-23", 2018, IEDM, STT, 32, 28, 14, 40, 0, 0, 1e10, 1e8, false, true),
+		pub("IEDM19-STT-24", 2019, IEDM, STT, 22, 28, 4, 10, 0.3, 1.2, 1e11, 1e8, false, true),
+		pub("ISSCC19-STT-25", 2019, ISSCC, STT, 30, 22, 4, 12, 0.35, 1.5, 1e11, 1e8, false, true),
+		pub("IEDM19-STT-26", 2019, IEDM, STT, 0, 28, 0, 6, 0, 0, 1e12, 1e8, false, true),
+		pub("VLSI19-STT-27", 2019, VLSI, STT, 26, 28, 4.5, 11, 0, 0, 1e11, 1e8, false, false),
+		pub("IEDM19-STT-28", 2019, IEDM, STT, 0, 22, 0, 3, 0, 0, 1e13, 1e8, false, false),
+		pub("ISSCC19-STT-29", 2019, ISSCC, STT, 38, 22, 4, 15, 0.4, 1.6, 1e10, 1e8, false, true),
+		pub("VLSI19-STT-30", 2019, VLSI, STT, 0, 28, 0, 7, 0, 0, 1e12, 1e8, false, false),
+		pub("IEDM19-STT-31", 2019, IEDM, STT, 65, 55, 15, 120, 0, 0, 1e6, 1e8, false, false),
+		pub("ISSCC20-STT-32", 2020, ISSCC, STT, 18, 22, 2, 6, 0.25, 0.9, 1e12, 1e8, false, true),
+		pub("VLSI20-STT-33", 2020, VLSI, STT, 0, 22, 0, 2.8, 0, 0, 1e13, 1e8, false, false),
+		pub("ISSCC20-STT-34", 2020, ISSCC, STT, 34, 28, 10, 30, 0.5, 2.0, 1e10, 1e8, false, true),
+		pub("VLSI20-STT-35", 2020, VLSI, STT, 0, 28, 0, 10, 0, 0, 1e11, 1e8, false, true),
+		pub("VLSI20-STT-36", 2020, VLSI, STT, 21, 22, 3, 8, 0, 0, 1e12, 1e8, false, false),
+		pub("IEDM20-STT-37", 2020, IEDM, STT, 0, 22, 0, 5, 0, 0, 1e12, 1e8, false, false),
+		pub("ISSCC20-STT-38", 2020, ISSCC, STT, 42, 28, 13, 45, 0.7, 2.4, 1e9, 1e8, false, true),
+		pub("VLSI20-STT-39", 2020, VLSI, STT, 16, 22, 1.8, 4, 0, 0, 1e13, 1e8, false, false),
+		pub("IEDM20-STT-40", 2020, IEDM, STT, 0, 28, 0, 20, 0, 0, 1e10, 1e8, false, false),
+		// ------------------------------- PCM: 14 entries (3/3/4/2/2) -----
+		pub("IEDM16-PCM-01", 2016, IEDM, PCM, 30, 40, 20, 500, 0, 5, 1e8, 1e9, false, true),
+		pub("IEDM16-PCM-02", 2016, IEDM, PCM, 0, 90, 60, 5000, 0, 20, 1e6, 1e8, true, false),
+		pub("VLSI16-PCM-03", 2016, VLSI, PCM, 35, 90, 80, 1e4, 0, 25, 1e5, 1e8, false, false),
+		pub("IEDM17-PCM-04", 2017, IEDM, PCM, 25, 28, 1, 10, 0, 1.1, 1e11, 1e10, false, false),
+		pub("IEDM17-PCM-05", 2017, IEDM, PCM, 0, 40, 30, 800, 0, 8, 1e7, 1e9, false, false),
+		pub("VLSI17-PCM-06", 2017, VLSI, PCM, 32, 65, 50, 2000, 0, 12, 1e6, 1e8, false, false),
+		pub("IEDM18-PCM-07", 2018, IEDM, PCM, 28, 28, 10, 100, 0, 3, 1e9, 1e9, false, true),
+		pub("IEDM18-PCM-08", 2018, IEDM, PCM, 0, 28, 15, 300, 0, 6, 1e8, 1e9, false, true),
+		pub("IEDM18-PCM-09", 2018, IEDM, PCM, 40, 120, 100, 3e4, 0, 33, 1e5, 1e8, false, false),
+		pub("VLSI18-PCM-10", 2018, VLSI, PCM, 0, 40, 40, 1500, 0, 10, 1e7, 1e9, true, false),
+		pub("IEDM19-PCM-11", 2019, IEDM, PCM, 27, 28, 8, 80, 0, 2.5, 1e9, 1e10, false, true),
+		pub("VLSI19-PCM-12", 2019, VLSI, PCM, 0, 40, 25, 600, 0, 7, 1e7, 1e9, false, false),
+		pub("VLSI20-PCM-13", 2020, VLSI, PCM, 26, 28, 5, 60, 0, 2, 1e10, 1e10, true, false),
+		pub("IEDM20-PCM-14", 2020, IEDM, PCM, 0, 40, 35, 900, 0, 9, 1e6, 1e9, false, false),
+		// ------------------------------- FeFET: 16 entries (3/3/2/4/4) ---
+		pub("IEDM16-FEFET-01", 2016, IEDM, FeFET, 40, 28, 0, 500, 0, 0, 1e8, 1e7, false, false),
+		pub("VLSI16-FEFET-02", 2016, VLSI, FeFET, 0, 28, 0, 1000, 0, 0, 1e7, 1e6, false, false),
+		pub("IEDM16-FEFET-03", 2016, IEDM, FeFET, 60, 45, 0, 800, 0, 0, 1e7, 1e5, false, false),
+		pub("IEDM17-FEFET-04", 2017, IEDM, FeFET, 12, 28, 0, 100, 0, 0, 1e9, 1e8, false, true),
+		pub("VLSI17-FEFET-05", 2017, VLSI, FeFET, 0, 28, 0, 300, 0, 0, 1e8, 1e7, false, false),
+		pub("IEDM17-FEFET-06", 2017, IEDM, FeFET, 103, 45, 0, 1300, 0, 0, 1e7, 1e5, false, false),
+		pub("IEDM18-FEFET-07", 2018, IEDM, FeFET, 30, 28, 0, 200, 0, 0, 1e8, 1e8, true, false),
+		pub("VLSI18-FEFET-08", 2018, VLSI, FeFET, 0, 45, 0, 600, 0, 0, 1e8, 1e6, false, false),
+		pub("VLSI19-FEFET-09", 2019, VLSI, FeFET, 8, 28, 0, 50, 0, 0, 1e10, 1e8, false, false),
+		pub("IEDM19-FEFET-10", 2019, IEDM, FeFET, 4, 28, 0, 100, 0.001, 0, 1e11, 1e8, true, false),
+		pub("VLSI19-FEFET-11", 2019, VLSI, FeFET, 0, 28, 0, 150, 0, 0, 1e9, 1e8, false, false),
+		pub("IEDM19-FEFET-12", 2019, IEDM, FeFET, 50, 45, 0, 900, 0, 0, 1e7, 1e6, false, false),
+		pub("VLSI20-FEFET-13", 2020, VLSI, FeFET, 6, 28, 0, 0.93, 0, 0, 1e10, 1e8, false, false),
+		pub("VLSI20-FEFET-14", 2020, VLSI, FeFET, 0, 28, 0, 40, 0, 0, 1e10, 1e8, true, false),
+		pub("IEDM20-FEFET-15", 2020, IEDM, FeFET, 20, 28, 0, 120, 0, 0, 1e9, 1e8, false, true),
+		pub("VLSI20-FEFET-16", 2020, VLSI, FeFET, 0, 45, 0, 700, 0, 0, 1e8, 1e6, false, false),
+		// ------------------------------- FeRAM: 3 entries (2017, 2020×2) -
+		pub("IEDM17-FERAM-01", 2017, IEDM, FeRAM, 80, 40, 0, 1000, 0, 0, 1e4, 0, false, false),
+		pub("VLSI20-FERAM-02", 2020, VLSI, FeRAM, 20, 40, 0, 14, 0, 0, 1e11, 0, false, true),
+		pub("VLSI20-FERAM-03", 2020, VLSI, FeRAM, 45, 40, 0, 100, 0, 0, 1e9, 0, false, false),
+		// ------------------------------- SOT: 5 entries (2016×2, 2019, 2020×2)
+		pub("VLSI16-SOT-01", 2016, VLSI, SOT, 0, 0, 0, 0.35, 0, 0.015, 0, 1e8, false, false),
+		pub("IEDM16-SOT-02", 2016, IEDM, SOT, 20, 0, 11, 17, 0, 8, 0, 1e8, false, false),
+		pub("IEDM19-SOT-03", 2019, IEDM, SOT, 20, 0, 0, 0.35, 0, 0.05, 0, 1e8, false, false),
+		pub("VLSI20-SOT-04", 2020, VLSI, SOT, 0, 0, 1.4, 2, 0, 0.5, 0, 1e8, false, false),
+		pub("VLSI20-SOT-05", 2020, VLSI, SOT, 20, 55, 5, 10, 0, 1, 0, 1e8, false, true),
+		// ------------------------------- CTT: 2 entries (2016, 2019) -----
+		pub("IEDM16-CTT-01", 2016, IEDM, CTT, 12, 16, 14, 2.6e9, 0.001, 0.01, 1e4, 1e8, true, false),
+		pub("VLSI19-CTT-02", 2019, VLSI, CTT, 1, 14, 14, 6e7, 0.001, 0.0003, 1e4, 1e8, true, true),
+	}
+}
+
+// SurveyYears is the year range covered by the survey, inclusive.
+func SurveyYears() (first, last int) { return 2016, 2020 }
+
+// CountByTechYear tabulates publication counts per technology per year —
+// the data behind Figure 1.
+func CountByTechYear(pubs []Publication) map[Technology]map[int]int {
+	out := make(map[Technology]map[int]int)
+	for _, p := range pubs {
+		m := out[p.Tech]
+		if m == nil {
+			m = make(map[int]int)
+			out[p.Tech] = m
+		}
+		m[p.Year]++
+	}
+	return out
+}
+
+// CountByTech tabulates total publication counts per technology.
+func CountByTech(pubs []Publication) map[Technology]int {
+	out := make(map[Technology]int)
+	for _, p := range pubs {
+		out[p.Tech]++
+	}
+	return out
+}
+
+// Range is a closed [Lo, Hi] interval over a reported parameter; Count is
+// the number of publications reporting it.
+type Range struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// observe folds v into the range, ignoring unreported (zero) values.
+func (r *Range) observe(v float64) {
+	if v == 0 {
+		return
+	}
+	if r.Count == 0 || v < r.Lo {
+		r.Lo = v
+	}
+	if r.Count == 0 || v > r.Hi {
+		r.Hi = v
+	}
+	r.Count++
+}
+
+// Reported says at least one publication reported the parameter.
+func (r Range) Reported() bool { return r.Count > 0 }
+
+// TechRanges aggregates the reported parameter ranges of one technology
+// across the survey — the per-column content of Table I.
+type TechRanges struct {
+	Tech      Technology
+	Pubs      int
+	AreaF2    Range
+	NodeNM    Range
+	ReadNS    Range
+	WriteNS   Range
+	ReadPJ    Range
+	WritePJ   Range
+	Endurance Range
+	Retention Range
+	AnyMLC    bool
+}
+
+// RangesByTech computes per-technology parameter ranges over the survey.
+func RangesByTech(pubs []Publication) map[Technology]TechRanges {
+	out := make(map[Technology]TechRanges)
+	for _, p := range pubs {
+		r := out[p.Tech]
+		r.Tech = p.Tech
+		r.Pubs++
+		r.AreaF2.observe(p.AreaF2)
+		r.NodeNM.observe(p.NodeNM)
+		r.ReadNS.observe(p.ReadNS)
+		r.WriteNS.observe(p.WriteNS)
+		r.ReadPJ.observe(p.ReadPJ)
+		r.WritePJ.observe(p.WritePJ)
+		r.Endurance.observe(p.Endurance)
+		r.Retention.observe(p.RetentionS)
+		r.AnyMLC = r.AnyMLC || p.MLC
+		out[p.Tech] = r
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tentpole derivation (Section III-B).
+//
+// Comparing eNVMs at different maturities is hard; the paper's methodology
+// bounds what is *conceivable* per technology instead of modeling one
+// physically-consistent fabricated cell:
+//
+//  1. Among a technology's surveyed publications, find the entries with the
+//     best-case and worst-case storage density (Mb/F²). Their cell areas
+//     anchor the optimistic and pessimistic cells.
+//  2. Every other parameter those anchor publications did not report is
+//     filled with the best (respectively worst) value reported by any other
+//     recent publication of that technology.
+//  3. Electrical details below the survey's granularity (sense scheme,
+//     resistance states, voltages, variation) are filled from per-technology
+//     defaults, standing in for the paper's "SPICE models / older
+//     publications / device experts" fallback (Section III-A).
+//
+// The derived cells intentionally combine parameters from different
+// publications — they are bounds, not devices (the limitation the paper
+// acknowledges in Section III-B1).
+
+// electricalDefaults supplies the below-survey-granularity fill per
+// technology: sensing scheme, resistances, voltages, and variation.
+func electricalDefaults(t Technology, f Flavor) Definition {
+	// Start from the canonical cell when one exists; it encodes exactly the
+	// SPICE-grade fill the paper uses.
+	if d, err := Tentpole(t, f); err == nil {
+		return d
+	}
+	if d, err := Tentpole(t, Reference); err == nil {
+		return d
+	}
+	// Last-resort generic fill.
+	return Definition{Sense: CurrentSense, ResOnOhm: 5e3, ResOffOhm: 5e4,
+		ReadVoltage: 0.3, WriteVoltage: 1.5, DtoDSigma: 0.08}
+}
+
+// Derive computes the optimistic or pessimistic tentpole Definition for a
+// technology from a publication corpus, per Section III-B1. It returns an
+// error when the corpus holds no publication of that technology reporting a
+// cell area (density is the anchor metric and cannot be filled).
+func Derive(pubs []Publication, t Technology, f Flavor) (Definition, error) {
+	if f != Optimistic && f != Pessimistic {
+		return Definition{}, fmt.Errorf("cell: tentpoles are Optimistic or Pessimistic, not %v", f)
+	}
+	var corpus []Publication
+	for _, p := range pubs {
+		if p.Tech == t {
+			corpus = append(corpus, p)
+		}
+	}
+	if len(corpus) == 0 {
+		return Definition{}, fmt.Errorf("cell: no surveyed publications for %v", t)
+	}
+
+	// Step 1: anchor on the best/worst density publication.
+	anchor := -1
+	for i, p := range corpus {
+		if p.AreaF2 == 0 {
+			continue
+		}
+		if anchor == -1 {
+			anchor = i
+			continue
+		}
+		better := p.AreaF2 < corpus[anchor].AreaF2
+		if f == Pessimistic {
+			better = p.AreaF2 > corpus[anchor].AreaF2
+		}
+		if better {
+			anchor = i
+		}
+	}
+	if anchor == -1 {
+		return Definition{}, fmt.Errorf("cell: no %v publication reports cell area", t)
+	}
+	a := corpus[anchor]
+
+	// Step 2: best/worst-case fill across the rest of the corpus.
+	// For latencies and energies lower is better; for endurance and
+	// retention higher is better. Node: more advanced (smaller) is better.
+	pickLo := f == Optimistic
+	fill := func(reported float64, get func(Publication) float64, lowerBetter bool) float64 {
+		if reported != 0 {
+			return reported
+		}
+		best := 0.0
+		for _, p := range corpus {
+			v := get(p)
+			if v == 0 {
+				continue
+			}
+			if best == 0 {
+				best = v
+				continue
+			}
+			takeLower := lowerBetter == pickLo // optimistic wants the better end
+			if (takeLower && v < best) || (!takeLower && v > best) {
+				best = v
+			}
+		}
+		return best
+	}
+
+	def := electricalDefaults(t, f)
+	def.Tech = t
+	def.Flavor = f
+	def.BitsPerCell = 1
+	def.Name = fmt.Sprintf("%v %v (derived)", f, t)
+	def.AreaF2 = a.AreaF2
+	if v := fill(a.NodeNM, func(p Publication) float64 { return p.NodeNM }, true); v != 0 {
+		def.NodeNM = v
+	}
+	if v := fill(a.ReadNS, func(p Publication) float64 { return p.ReadNS }, true); v != 0 {
+		def.ReadLatencyNS = v
+	}
+	if v := fill(a.WriteNS, func(p Publication) float64 { return p.WriteNS }, true); v != 0 {
+		def.WriteLatencyNS = v
+	}
+	if v := fill(a.ReadPJ, func(p Publication) float64 { return p.ReadPJ }, true); v != 0 {
+		def.ReadEnergyPJ = v
+	}
+	if v := fill(a.WritePJ, func(p Publication) float64 { return p.WritePJ }, true); v != 0 {
+		def.WriteEnergyPJ = v
+	}
+	if v := fill(a.Endurance, func(p Publication) float64 { return p.Endurance }, false); v != 0 {
+		def.EnduranceCycles = v
+	}
+	if v := fill(a.RetentionS, func(p Publication) float64 { return p.RetentionS }, false); v != 0 {
+		def.RetentionS = v
+	}
+	if def.EnduranceCycles == 0 {
+		def.EnduranceCycles = math.Inf(1)
+	}
+	return def, nil
+}
+
+// Normalize retargets a definition to a different process node for
+// iso-process comparisons (the studies place every eNVM at 22nm and SRAM at
+// 16nm). Cell area in F² and intrinsic pulse characteristics are
+// node-independent at the fidelity of this framework, so normalization only
+// rewrites the node; array-level consequences (physical dimensions, wire RC,
+// periphery) follow inside internal/nvsim.
+func Normalize(d Definition, nodeNM float64) Definition {
+	d.NodeNM = nodeNM
+	return d
+}
+
+// ValidationTarget is a published full-array datapoint used by the
+// Section III-C validation exercise: tentpole-derived arrays must bracket
+// (or closely track) these measured macro characteristics.
+type ValidationTarget struct {
+	ID            string
+	Tech          Technology
+	CapacityBytes int64
+	NodeNM        float64
+	ReadLatencyNS float64 // measured macro read access time
+	ReadEnergyPJ  float64 // measured macro read energy per access
+	AreaMM2       float64 // measured macro area
+}
+
+// ValidationTargets returns the fabricated-array datapoints used for
+// tentpole validation. The STT entry is Fig 4's 1MB ISSCC 2018 macro.
+func ValidationTargets() []ValidationTarget {
+	return []ValidationTarget{
+		{
+			ID:   "ISSCC18-STT-16 1Mb macro",
+			Tech: STT, CapacityBytes: 1 << 20, NodeNM: 28,
+			ReadLatencyNS: 2.8, ReadEnergyPJ: 110, AreaMM2: 0.42,
+		},
+		{
+			ID:   "ISSCC19-RRAM-27 3.6Mb macro",
+			Tech: RRAM, CapacityBytes: 3686400 / 8, NodeNM: 22,
+			ReadLatencyNS: 5.0, ReadEnergyPJ: 60, AreaMM2: 0.36,
+		},
+	}
+}

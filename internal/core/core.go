@@ -1,0 +1,248 @@
+// Package core is NVMExplorer-Go's top-level design-space-exploration API:
+// the Configure → Evaluate → Explore pipeline of Figure 2. A Study gathers
+// the cross-stack configuration (cells, array provisioning, optimization
+// targets, and application traffic), Run characterizes every array and
+// evaluates it against every traffic pattern, and Results offers the
+// filter/rank/tabulate operations the paper's case studies perform on the
+// dashboard.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/eval"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+	"repro/internal/viz"
+)
+
+// Study is one configured design-space exploration.
+type Study struct {
+	Name       string
+	Cells      []cell.Definition
+	Capacities []int64
+	Targets    []nvsim.OptTarget
+	WordBits   int // 0 = 64B line
+	Patterns   []traffic.Pattern
+	Options    eval.Options
+
+	// Constraints applied during characterization (zero = none).
+	MaxAreaMM2       float64
+	MaxReadLatencyNS float64
+}
+
+// NewStudy creates an empty study.
+func NewStudy(name string) *Study { return &Study{Name: name} }
+
+// AddCell appends a fully custom cell definition.
+func (s *Study) AddCell(d cell.Definition) *Study {
+	s.Cells = append(s.Cells, d)
+	return s
+}
+
+// AddTentpole appends a canonical tentpole cell (panics on unknown
+// combinations, mirroring cell.MustTentpole).
+func (s *Study) AddTentpole(t cell.Technology, f cell.Flavor) *Study {
+	return s.AddCell(cell.MustTentpole(t, f))
+}
+
+// AddCaseStudyCells appends the paper's fixed Section IV cell set: SRAM,
+// optimistic+pessimistic PCM/STT/RRAM/FeFET, and the reference RRAM.
+func (s *Study) AddCaseStudyCells() *Study {
+	s.Cells = append(s.Cells, cell.CaseStudyCells()...)
+	return s
+}
+
+// AddCapacity appends array capacities to provision.
+func (s *Study) AddCapacity(bytes ...int64) *Study {
+	s.Capacities = append(s.Capacities, bytes...)
+	return s
+}
+
+// AddTarget appends array optimization targets.
+func (s *Study) AddTarget(ts ...nvsim.OptTarget) *Study {
+	s.Targets = append(s.Targets, ts...)
+	return s
+}
+
+// AddPattern appends traffic patterns.
+func (s *Study) AddPattern(ps ...traffic.Pattern) *Study {
+	s.Patterns = append(s.Patterns, ps...)
+	return s
+}
+
+// Results holds a completed study: every characterized array and every
+// (array, pattern) evaluation.
+type Results struct {
+	Study   *Study
+	Arrays  []nvsim.Result
+	Metrics []eval.Metrics
+	// Skipped lists arrays that could not be characterized under the
+	// study's constraints (e.g. excluded by an area budget), mirroring the
+	// paper's practice of dropping infeasible candidates from figures.
+	Skipped []string
+}
+
+// Run executes the study: characterize each (cell, capacity, target) and
+// evaluate each resulting array against each traffic pattern.
+func (s *Study) Run() (*Results, error) {
+	if len(s.Cells) == 0 {
+		return nil, fmt.Errorf("core: study %q has no cells", s.Name)
+	}
+	if len(s.Capacities) == 0 {
+		return nil, fmt.Errorf("core: study %q has no capacities", s.Name)
+	}
+	if len(s.Targets) == 0 {
+		s.Targets = []nvsim.OptTarget{nvsim.OptReadEDP}
+	}
+	res := &Results{Study: s}
+	for _, c := range s.Cells {
+		for _, capBytes := range s.Capacities {
+			for _, target := range s.Targets {
+				arr, err := nvsim.Characterize(nvsim.Config{
+					Cell:             c,
+					CapacityBytes:    capBytes,
+					WordBits:         s.WordBits,
+					Target:           target,
+					MaxAreaMM2:       s.MaxAreaMM2,
+					MaxReadLatencyNS: s.MaxReadLatencyNS,
+				})
+				if err != nil {
+					res.Skipped = append(res.Skipped,
+						fmt.Sprintf("%s@%d/%s: %v", c.Name, capBytes, target, err))
+					continue
+				}
+				res.Arrays = append(res.Arrays, arr)
+				for _, p := range s.Patterns {
+					m, err := eval.Evaluate(arr, p, s.Options)
+					if err != nil {
+						return nil, fmt.Errorf("core: evaluating %s on %s: %w", c.Name, p.Name, err)
+					}
+					res.Metrics = append(res.Metrics, m)
+				}
+			}
+		}
+	}
+	if len(res.Arrays) == 0 {
+		return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped)",
+			s.Name, len(res.Skipped))
+	}
+	return res, nil
+}
+
+// Feasible returns the evaluations that meet their task rate and avoid
+// slowdown — the paper's "solutions shown meet per-benchmark demands"
+// filter.
+func (r *Results) Feasible() []eval.Metrics {
+	var out []eval.Metrics
+	for _, m := range r.Metrics {
+		if m.MeetsTaskRate && m.MemoryTimePerSec <= 1 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Filter keeps evaluations satisfying pred.
+func (r *Results) Filter(pred func(eval.Metrics) bool) []eval.Metrics {
+	var out []eval.Metrics
+	for _, m := range r.Metrics {
+		if pred(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// BestBy returns the evaluation minimizing metric among those satisfying
+// pred (pred may be nil). ok is false when nothing qualifies.
+func (r *Results) BestBy(metric func(eval.Metrics) float64, pred func(eval.Metrics) bool) (eval.Metrics, bool) {
+	best := eval.Metrics{}
+	bestV := math.Inf(1)
+	found := false
+	for _, m := range r.Metrics {
+		if pred != nil && !pred(m) {
+			continue
+		}
+		if v := metric(m); v < bestV {
+			bestV = v
+			best = m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ArrayTable tabulates the characterized arrays (the Fig 3/5/10 views).
+func (r *Results) ArrayTable() *viz.Table {
+	t := viz.NewTable(r.Study.Name+": characterized arrays",
+		"Cell", "Capacity", "Target", "Org", "ReadNS", "WriteNS",
+		"ReadPJ", "WritePJ", "LeakMW", "AreaMM2", "AreaEff", "MbPerMM2")
+	for i := range r.Arrays {
+		a := &r.Arrays[i]
+		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(),
+			a.Org.String(), a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ,
+			a.WriteEnergyPJ, a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency,
+			a.DensityMbPerMM2())
+	}
+	return t
+}
+
+// MetricsTable tabulates the evaluations (the Fig 6/8/9 views).
+func (r *Results) MetricsTable() *viz.Table {
+	t := viz.NewTable(r.Study.Name+": application-level results",
+		"Cell", "Pattern", "TotalMW", "DynMW", "LeakMW",
+		"MemTimePerSec", "TaskLatencyS", "Meets", "LifetimeY")
+	rows := append([]eval.Metrics(nil), r.Metrics...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Pattern.Name != rows[j].Pattern.Name {
+			return rows[i].Pattern.Name < rows[j].Pattern.Name
+		}
+		return rows[i].Array.Cell.Name < rows[j].Array.Cell.Name
+	})
+	for _, m := range rows {
+		t.MustAddRow(m.Array.Cell.Name, m.Pattern.Name, m.TotalPowerMW,
+			m.DynamicPowerMW, m.LeakagePowerMW, m.MemoryTimePerSec,
+			m.TaskLatencyS, fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
+	}
+	return t
+}
+
+// PowerScatter builds the power-vs-read-rate scatter (Fig 8/9 left).
+func (r *Results) PowerScatter() *viz.Scatter {
+	s := &viz.Scatter{Title: r.Study.Name + ": total memory power vs read traffic",
+		XLabel: "reads/s", YLabel: "total power (mW)", LogX: true, LogY: true}
+	for _, m := range r.Metrics {
+		s.Add(m.Array.Cell.Name, viz.Point{
+			X: m.Pattern.ReadsPerSec, Y: m.TotalPowerMW, Label: m.Pattern.Name})
+	}
+	return s
+}
+
+// LatencyScatter builds the latency-vs-write-rate scatter (Fig 8/9 middle).
+func (r *Results) LatencyScatter() *viz.Scatter {
+	s := &viz.Scatter{Title: r.Study.Name + ": total memory latency vs write traffic",
+		XLabel: "writes/s", YLabel: "memory time per second", LogX: true, LogY: true}
+	for _, m := range r.Metrics {
+		s.Add(m.Array.Cell.Name, viz.Point{
+			X: m.Pattern.WritesPerSec, Y: m.MemoryTimePerSec, Label: m.Pattern.Name})
+	}
+	return s
+}
+
+// LifetimeScatter builds the lifetime-vs-write-rate scatter (Fig 8/9 right).
+func (r *Results) LifetimeScatter() *viz.Scatter {
+	s := &viz.Scatter{Title: r.Study.Name + ": projected lifetime vs write traffic",
+		XLabel: "writes/s", YLabel: "lifetime (years)", LogX: true, LogY: true}
+	for _, m := range r.Metrics {
+		if math.IsInf(m.LifetimeYears, 1) {
+			continue
+		}
+		s.Add(m.Array.Cell.Name, viz.Point{
+			X: m.Pattern.WritesPerSec, Y: m.LifetimeYears, Label: m.Pattern.Name})
+	}
+	return s
+}

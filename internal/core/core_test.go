@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/eval"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+func demoStudy() *Study {
+	return NewStudy("demo").
+		AddTentpole(cell.STT, cell.Optimistic).
+		AddTentpole(cell.FeFET, cell.Optimistic).
+		AddCapacity(1 << 20).
+		AddTarget(nvsim.OptReadEDP).
+		AddPattern(traffic.Pattern{Name: "p1", ReadsPerSec: 1e6, WritesPerSec: 1e4})
+}
+
+func TestStudyRun(t *testing.T) {
+	res, err := demoStudy().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arrays) != 2 {
+		t.Fatalf("arrays = %d, want 2", len(res.Arrays))
+	}
+	if len(res.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(res.Metrics))
+	}
+	if len(res.Skipped) != 0 {
+		t.Errorf("unexpected skips: %v", res.Skipped)
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := NewStudy("empty").Run(); err == nil {
+		t.Error("study without cells should error")
+	}
+	s := NewStudy("nocap").AddTentpole(cell.STT, cell.Optimistic)
+	if _, err := s.Run(); err == nil {
+		t.Error("study without capacities should error")
+	}
+}
+
+func TestStudyDefaultTarget(t *testing.T) {
+	s := NewStudy("default").
+		AddTentpole(cell.STT, cell.Optimistic).
+		AddCapacity(1 << 20)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrays[0].Target != nvsim.OptReadEDP {
+		t.Error("default optimization target should be ReadEDP")
+	}
+}
+
+func TestStudySkipsInfeasible(t *testing.T) {
+	s := NewStudy("tight").
+		AddTentpole(cell.SRAM, cell.Reference).
+		AddTentpole(cell.FeFET, cell.Optimistic).
+		AddCapacity(8 << 20)
+	s.MaxAreaMM2 = 0.5 // SRAM cannot fit 8MB in half a mm²; FeFET can
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) == 0 {
+		t.Error("SRAM should have been skipped under the area budget")
+	}
+	for _, a := range res.Arrays {
+		if a.Cell.Tech == cell.SRAM {
+			t.Error("SRAM should not appear under a 0.5mm² budget at 8MB")
+		}
+	}
+}
+
+func TestStudyAllInfeasible(t *testing.T) {
+	s := NewStudy("impossible").
+		AddTentpole(cell.SRAM, cell.Reference).
+		AddCapacity(16 << 20)
+	s.MaxAreaMM2 = 0.001
+	if _, err := s.Run(); err == nil {
+		t.Error("study with no feasible arrays should error")
+	}
+}
+
+func TestFeasibleAndFilters(t *testing.T) {
+	s := NewStudy("filter").
+		AddTentpole(cell.STT, cell.Optimistic).
+		AddTentpole(cell.PCM, cell.Pessimistic).
+		AddCapacity(2 << 20).
+		AddPattern(traffic.Pattern{Name: "wr", WritesPerSec: 1e5})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := res.Feasible()
+	for _, m := range feasible {
+		if m.Array.Cell.Tech == cell.PCM {
+			t.Error("pessimistic PCM cannot sustain 1e5 writes/s (30µs writes)")
+		}
+	}
+	if len(feasible) == 0 {
+		t.Error("STT should be feasible")
+	}
+	stt := res.Filter(func(m eval.Metrics) bool { return m.Array.Cell.Tech == cell.STT })
+	if len(stt) != 1 {
+		t.Errorf("filter returned %d, want 1", len(stt))
+	}
+}
+
+func TestBestBy(t *testing.T) {
+	res, err := demoStudy().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := res.BestBy(func(m eval.Metrics) float64 { return m.TotalPowerMW }, nil)
+	if !ok {
+		t.Fatal("no best found")
+	}
+	for _, m := range res.Metrics {
+		if m.TotalPowerMW < best.TotalPowerMW {
+			t.Error("BestBy did not minimize")
+		}
+	}
+	_, ok = res.BestBy(func(m eval.Metrics) float64 { return 0 },
+		func(m eval.Metrics) bool { return false })
+	if ok {
+		t.Error("empty predicate set should report not-found")
+	}
+}
+
+func TestTablesAndScatters(t *testing.T) {
+	res, err := demoStudy().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := res.ArrayTable()
+	if len(at.Rows) != len(res.Arrays) {
+		t.Error("array table row count mismatch")
+	}
+	mt := res.MetricsTable()
+	if len(mt.Rows) != len(res.Metrics) {
+		t.Error("metrics table row count mismatch")
+	}
+	if !strings.Contains(at.String(), "Opt. STT") {
+		t.Error("array table missing cells")
+	}
+	for _, sc := range []interface{ Render(int, int) string }{
+		res.PowerScatter(), res.LatencyScatter(),
+	} {
+		if out := sc.Render(40, 10); strings.Contains(out, "no plottable") {
+			t.Error("study scatters should have points")
+		}
+	}
+	// Lifetime scatter drops infinite lifetimes (no writes => Inf).
+	res2, err := NewStudy("nolifetime").
+		AddTentpole(cell.STT, cell.Optimistic).
+		AddCapacity(1 << 20).
+		AddPattern(traffic.Pattern{Name: "ro", ReadsPerSec: 1e6}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.LifetimeScatter(); len(got.Series) != 0 {
+		for _, s := range got.Series {
+			for _, p := range s.Points {
+				if math.IsInf(p.Y, 1) {
+					t.Error("lifetime scatter must drop infinite points")
+				}
+			}
+		}
+	}
+}
+
+func TestMultiCapacityMultiTarget(t *testing.T) {
+	s := NewStudy("grid").
+		AddTentpole(cell.RRAM, cell.Optimistic).
+		AddCapacity(1<<20, 2<<20).
+		AddTarget(nvsim.OptReadEDP, nvsim.OptArea)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arrays) != 4 {
+		t.Fatalf("arrays = %d, want 2 capacities x 2 targets = 4", len(res.Arrays))
+	}
+}

@@ -1,0 +1,191 @@
+// Package eval is NVMExplorer-Go's analytical evaluation engine
+// (Section II-B): it combines characterized memory arrays (internal/nvsim)
+// with application traffic (internal/traffic) to produce the application-
+// and system-level metrics the paper's studies filter and rank —
+// performance (a long-pole, bandwidth-driven model), operating power,
+// energy per inference, memory lifetime, and intermittent-operation energy.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+	"repro/internal/units"
+)
+
+// WearLevelingEfficiency derates ideal wear leveling when projecting
+// lifetime: writes do not spread perfectly evenly across the array.
+const WearLevelingEfficiency = 0.9
+
+// Metrics are the application-level results for one (array, traffic) pair —
+// one point in the paper's scatter views.
+type Metrics struct {
+	Array   nvsim.Result
+	Pattern traffic.Pattern
+
+	// Power (mW).
+	DynamicPowerMW float64
+	LeakagePowerMW float64
+	RefreshPowerMW float64 // retention-scrub rewrite stream (retention.go)
+	TotalPowerMW   float64
+
+	// Performance. MemoryTimePerSec is the aggregated access latency per
+	// second of wall-clock execution (the paper's long-pole model): above
+	// 1.0 the memory cannot keep up and the application slows down.
+	MemoryTimePerSec float64
+	Slowdown         float64 // max(1, MemoryTimePerSec)
+	TaskLatencyS     float64 // aggregated memory latency per task (frame/inference)
+	MeetsTaskRate    bool    // TaskLatencyS fits the task period, and bandwidth holds
+
+	// Energy per task (mJ), when the pattern is task-shaped.
+	EnergyPerTaskMJ float64
+
+	// Reliability.
+	LifetimeYears float64 // endurance-limited lifetime under this write rate
+}
+
+// String renders one result row.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s | %s: %s total (%s dyn), long-pole %.3f, lifetime %.3gy",
+		m.Array.Cell.Name, m.Pattern.Name, units.MWToString(m.TotalPowerMW),
+		units.MWToString(m.DynamicPowerMW), m.MemoryTimePerSec, m.LifetimeYears)
+}
+
+// Options tunes an evaluation.
+type Options struct {
+	// WriteBuffer, when non-nil, interposes the Section V-D write cache:
+	// masking write latency behind a fast buffer and/or coalescing write
+	// traffic before it reaches the eNVM.
+	WriteBuffer *WriteBufferConfig
+}
+
+// WriteBufferConfig models the illustrative write cache of Section V-D: it
+// holds write requests, writes back when full, and allows in-place updates
+// for re-written addresses.
+type WriteBufferConfig struct {
+	// MaskLatency hides the eNVM write pulse from the application: the
+	// effective write latency becomes the buffer's (SRAM-class) latency.
+	MaskLatency bool
+	// BufferLatencyNS is the buffer's write latency seen when masking.
+	BufferLatencyNS float64
+	// TrafficReduction is the fraction of writes absorbed by in-place
+	// updates in the buffer (0 = pure store buffer, 0.5 = half the writes
+	// never reach the eNVM).
+	TrafficReduction float64
+}
+
+// Validate checks the configuration.
+func (w *WriteBufferConfig) Validate() error {
+	if w.TrafficReduction < 0 || w.TrafficReduction >= 1 {
+		return fmt.Errorf("eval: write-buffer traffic reduction %.2f outside [0,1)", w.TrafficReduction)
+	}
+	if w.MaskLatency && w.BufferLatencyNS <= 0 {
+		return fmt.Errorf("eval: masking requires a positive buffer latency")
+	}
+	return nil
+}
+
+// Evaluate applies the analytical model to one array and one traffic
+// pattern.
+func Evaluate(array nvsim.Result, p traffic.Pattern, opts Options) (Metrics, error) {
+	p = p.Derive()
+	if err := p.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	readsPerSec, writesPerSec := p.ReadsPerSec, p.WritesPerSec
+	writeLatNS := array.WriteLatencyNS
+	writeEnergyPJ := array.WriteEnergyPJ
+	effWriteLatNS := writeLatNS
+
+	if wb := opts.WriteBuffer; wb != nil {
+		if err := wb.Validate(); err != nil {
+			return Metrics{}, err
+		}
+		writesPerSec *= 1 - wb.TrafficReduction
+		if wb.MaskLatency {
+			effWriteLatNS = wb.BufferLatencyNS
+		}
+	}
+
+	m := Metrics{Array: array, Pattern: p}
+
+	// Power: dynamic access energy plus standing leakage plus any
+	// retention-scrub stream. pJ/s -> mW: 1 pJ/s = 1e-12 W = 1e-9 mW.
+	m.DynamicPowerMW = (readsPerSec*array.ReadEnergyPJ + writesPerSec*writeEnergyPJ) * 1e-9
+	m.LeakagePowerMW = array.LeakagePowerMW
+	m.RefreshPowerMW = RefreshPowerMW(array)
+	m.TotalPowerMW = m.DynamicPowerMW + m.LeakagePowerMW + m.RefreshPowerMW
+
+	// Performance: long-pole aggregated access latency per second of
+	// execution (Section II-B). Accesses are aggregated serially — the
+	// model's purpose is to flag memories that cause application slowdown,
+	// not to predict pipelined throughput.
+	m.MemoryTimePerSec = (readsPerSec*array.ReadLatencyNS + writesPerSec*effWriteLatNS) * 1e-9
+	m.Slowdown = math.Max(1, m.MemoryTimePerSec)
+
+	// Task-level view.
+	if p.TasksPerSec > 0 || p.ReadsPerTask+p.WritesPerTask > 0 {
+		writesPerTask := p.WritesPerTask
+		if wb := opts.WriteBuffer; wb != nil {
+			writesPerTask *= 1 - wb.TrafficReduction
+		}
+		m.TaskLatencyS = (p.ReadsPerTask*array.ReadLatencyNS + writesPerTask*effWriteLatNS) * 1e-9
+		m.EnergyPerTaskMJ = (p.ReadsPerTask*array.ReadEnergyPJ + writesPerTask*writeEnergyPJ) * 1e-9
+		if p.TasksPerSec > 0 {
+			m.MeetsTaskRate = m.TaskLatencyS <= 1/p.TasksPerSec && m.MemoryTimePerSec <= 1
+		} else {
+			m.MeetsTaskRate = true
+		}
+	} else {
+		m.MeetsTaskRate = m.MemoryTimePerSec <= 1
+	}
+
+	m.LifetimeYears = lifetimeYears(array, writesPerSec)
+	return m, nil
+}
+
+// MustEvaluate panics on error; for experiment tables and tests.
+func MustEvaluate(array nvsim.Result, p traffic.Pattern, opts Options) Metrics {
+	m, err := Evaluate(array, p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// lifetimeYears projects the endurance-limited memory lifetime under
+// continuous operation at the given write rate (Section II-B: "memory
+// lifetime is extrapolated by comparing the average reported endurance to
+// the write access pattern"), including the retention-scrub write stream.
+// Volatile arrays and scrub-free, write-free cases live forever.
+func lifetimeYears(array nvsim.Result, writesPerSec float64) float64 {
+	if math.IsInf(array.Cell.EnduranceCycles, 1) {
+		return math.Inf(1)
+	}
+	totalBits := float64(array.CapacityBytes) * 8
+	writtenBitsPerSec := (writesPerSec + ScrubWritesPerSec(array)) * float64(array.WordBits)
+	if writtenBitsPerSec <= 0 {
+		return math.Inf(1)
+	}
+	cellWritesPerSec := writtenBitsPerSec / totalBits // average per-cell write rate
+	seconds := array.Cell.EnduranceCycles / cellWritesPerSec * WearLevelingEfficiency
+	return seconds / units.SecondsPerYear
+}
+
+// EvaluateSweep runs the analytical model over many (array, pattern)
+// combinations, returning one Metrics per pair in deterministic order.
+func EvaluateSweep(arrays []nvsim.Result, patterns []traffic.Pattern, opts Options) ([]Metrics, error) {
+	out := make([]Metrics, 0, len(arrays)*len(patterns))
+	for _, a := range arrays {
+		for _, p := range patterns {
+			m, err := Evaluate(a, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

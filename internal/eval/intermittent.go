@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nvsim"
+	"repro/internal/units"
+)
+
+// Intermittent-operation energy model (Section IV-A2 / Figures 6-right
+// and 7): the device wakes per inference; total memory energy over a day is
+// the standing power of the retained memory plus the access energy of the
+// inferences performed. Non-volatile arrays retain state with the memory
+// powered (paying leakage) or can rely on a volatile-free power-off;
+// SRAM either stays powered all day or pays a DRAM restore on every wake.
+//
+// With the memory powered through the day, low wake-up rates are leakage-
+// dominated (the densest, least-leaky array wins — optimistic FeFET) and
+// high rates are access-dominated (lowest energy-per-access wins —
+// optimistic STT): the Figure 7 crossover.
+
+// DRAMRestorePJPerLine is the energy to refill one 64B line from off-chip
+// DRAM on wake-up, charged to volatile memories that power off between
+// inferences (~20pJ/bit off-chip transfer).
+const DRAMRestorePJPerLine = 10000
+
+// IntermittentResult is the daily energy breakdown for one array at one
+// wake-up rate.
+type IntermittentResult struct {
+	Array          nvsim.Result
+	EventsPerDay   float64
+	ReadsPerEvent  float64
+	WritesPerEvent float64
+
+	StandingMJ   float64 // leakage (or restore) component per day
+	AccessMJ     float64 // dynamic access component per day
+	EnergyPerDay float64 // total, mJ
+	PerEventMJ   float64 // total amortized per event, mJ
+	Restored     bool    // volatile array chose power-off + DRAM restore
+}
+
+// IntermittentEnergy computes the daily memory energy for an array woken
+// eventsPerDay times, each event issuing the given line accesses. Volatile
+// arrays evaluate both stay-on and restore-per-wake policies and take the
+// cheaper (the choice a system designer would make).
+func IntermittentEnergy(array nvsim.Result, readsPerEvent, writesPerEvent, eventsPerDay float64) (IntermittentResult, error) {
+	if eventsPerDay <= 0 || readsPerEvent < 0 || writesPerEvent < 0 {
+		return IntermittentResult{}, fmt.Errorf("eval: intermittent rates must be positive (events=%g)", eventsPerDay)
+	}
+	r := IntermittentResult{
+		Array: array, EventsPerDay: eventsPerDay,
+		ReadsPerEvent: readsPerEvent, WritesPerEvent: writesPerEvent,
+	}
+	// pJ -> mJ is 1e-9.
+	r.AccessMJ = eventsPerDay *
+		(readsPerEvent*array.ReadEnergyPJ + writesPerEvent*array.WriteEnergyPJ) * 1e-9
+	stayOnMJ := array.LeakagePowerMW * units.SecondsPerDay // mW * s = mJ
+
+	if array.Cell.Volatile() {
+		lines := math.Ceil(float64(array.CapacityBytes) / 64)
+		restoreMJ := eventsPerDay * lines * DRAMRestorePJPerLine * 1e-9
+		// Restored data must also be written into the array.
+		restoreMJ += eventsPerDay * lines * array.WriteEnergyPJ * 1e-9
+		if restoreMJ < stayOnMJ {
+			r.StandingMJ = restoreMJ
+			r.Restored = true
+		} else {
+			r.StandingMJ = stayOnMJ
+		}
+	} else {
+		r.StandingMJ = stayOnMJ
+	}
+	r.EnergyPerDay = r.StandingMJ + r.AccessMJ
+	r.PerEventMJ = r.EnergyPerDay / eventsPerDay
+	return r, nil
+}
+
+// CrossoverEventsPerDay finds the wake-up rate at which array b's daily
+// energy drops below array a's, by bisection over [lo, hi] events/day.
+// It returns NaN when no crossover exists in the range.
+func CrossoverEventsPerDay(a, b nvsim.Result, readsPerEvent, writesPerEvent, lo, hi float64) float64 {
+	diff := func(n float64) float64 {
+		ra, err1 := IntermittentEnergy(a, readsPerEvent, writesPerEvent, n)
+		rb, err2 := IntermittentEnergy(b, readsPerEvent, writesPerEvent, n)
+		if err1 != nil || err2 != nil {
+			return math.NaN()
+		}
+		return rb.EnergyPerDay - ra.EnergyPerDay
+	}
+	dLo, dHi := diff(lo), diff(hi)
+	if math.IsNaN(dLo) || math.IsNaN(dHi) || dLo*dHi > 0 {
+		return math.NaN()
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(lo * hi) // bisect in log space
+		if d := diff(mid); d*dLo <= 0 {
+			hi = mid
+		} else {
+			lo = mid
+			dLo = d
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

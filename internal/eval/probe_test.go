@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/nn"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+// TestStudyProbe prints the study-level quantities used to calibrate the
+// Section IV reproductions. Run: go test ./internal/eval -run TestStudyProbe -v
+func TestStudyProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	acc := traffic.NVDLA()
+	r26 := nn.ResNet26Edge()
+	albert := nn.ALBERTBase()
+	t.Logf("ResNet26Edge: %d params, reuse %.2f", r26.WeightParams(), traffic.WeightReuseFactor(acc, &r26))
+	t.Logf("ALBERT: %d params, reuse %.2f", albert.WeightParams(), traffic.WeightReuseFactor(acc, &albert))
+
+	// Fig 6 left: continuous 60fps.
+	for _, tasks := range []int{1, 3} {
+		for _, use := range []traffic.DNNUseCase{traffic.WeightsOnly, traffic.WeightsAndActs} {
+			p := traffic.DNNTraffic(acc, &r26, 60, tasks, use)
+			t.Logf("pattern %s: %.3g rd/s %.3g wr/s", p.Name, p.ReadsPerSec, p.WritesPerSec)
+			for _, d := range []cell.Definition{
+				cell.MustTentpole(cell.SRAM, cell.Reference),
+				cell.MustTentpole(cell.PCM, cell.Optimistic),
+				cell.MustTentpole(cell.STT, cell.Optimistic),
+				cell.MustTentpole(cell.RRAM, cell.Optimistic),
+				cell.MustTentpole(cell.FeFET, cell.Optimistic),
+			} {
+				arr := nvsim.MustCharacterize(nvsim.Config{Cell: d, CapacityBytes: 2 << 20, Target: nvsim.OptReadEDP})
+				m := MustEvaluate(arr, p, Options{})
+				t.Logf("  %-12s total %.3fmW dyn %.3fmW pole %.4f meets=%v",
+					d.Name, m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.MeetsTaskRate)
+			}
+		}
+	}
+
+	// Fig 7: intermittent crossovers.
+	for _, netCase := range []struct {
+		name string
+		net  nn.NetworkShape
+	}{{"image", r26}, {"nlp", albert}} {
+		p := traffic.DNNTraffic(acc, &netCase.net, 0, 1, traffic.WeightsOnly)
+		capBytes := int64(1)
+		for capBytes < netCase.net.WeightBytes() {
+			capBytes <<= 1
+		}
+		var arrs []nvsim.Result
+		for _, d := range []cell.Definition{
+			cell.MustTentpole(cell.STT, cell.Optimistic),
+			cell.MustTentpole(cell.RRAM, cell.Optimistic),
+			cell.MustTentpole(cell.FeFET, cell.Optimistic),
+		} {
+			arrs = append(arrs, nvsim.MustCharacterize(nvsim.Config{Cell: d, CapacityBytes: capBytes, Target: nvsim.OptReadEDP}))
+		}
+		for _, n := range []float64{1e2, 1e4, 86400, 1e6, 1e7} {
+			row := ""
+			for _, a := range arrs {
+				r, _ := IntermittentEnergy(a, p.ReadsPerTask, 0, n)
+				row += a.Cell.Name + " " + formatMJ(r.EnergyPerDay) + "  "
+			}
+			t.Logf("%s cap=%dMiB N=%.0f: %s", netCase.name, capBytes>>20, n, row)
+		}
+		x := CrossoverEventsPerDay(arrs[2], arrs[0], p.ReadsPerTask, 0, 1e2, 1e8)
+		t.Logf("%s FeFET->STT crossover at %.3g events/day", netCase.name, x)
+	}
+}
+
+func formatMJ(v float64) string { return fmt.Sprintf("%.3gmJ", v) }

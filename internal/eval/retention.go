@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/nvsim"
+	"repro/internal/units"
+)
+
+// Retention-limited refresh (scrub) modeling.
+//
+// Table I shows retention spanning 1e3..1e10 seconds across technologies;
+// a cell that loses state after its retention window must be scrubbed
+// (read + rewritten) at least that often to stay a reliable store. For
+// mature cells (1e8 s ≈ 3 years) this is noise, but a pessimistic RRAM at
+// 1e3 s pays a measurable rewrite stream that burns power and — more
+// importantly — wears endurance even with zero application writes. The
+// evaluation engine folds both effects in, so low-retention candidates are
+// penalized the way a system designer would penalize them.
+
+// ScrubWritesPerSec is the line-rewrite rate retention demands of an array:
+// every line must be rewritten once per retention window. Volatile arrays
+// (refresh already folded into their leakage figure) and infinite-retention
+// cells return 0.
+func ScrubWritesPerSec(array nvsim.Result) float64 {
+	ret := array.Cell.RetentionS
+	if array.Cell.Volatile() || ret <= 0 || math.IsInf(ret, 1) {
+		return 0
+	}
+	lines := math.Ceil(float64(array.CapacityBytes) * 8 / float64(array.WordBits))
+	return lines / ret
+}
+
+// RefreshPowerMW is the standing power of the retention scrub stream
+// (read + rewrite per line).
+func RefreshPowerMW(array nvsim.Result) float64 {
+	rate := ScrubWritesPerSec(array)
+	return rate * (array.ReadEnergyPJ + array.WriteEnergyPJ) * 1e-9
+}
+
+// RetentionLimitedLifetimeYears is the endurance lifetime consumed by
+// scrubbing alone: endurance × retention. A pessimistic RRAM with 1e3
+// cycles and 1e3-second retention dies of scrubbing in ~11 days even if the
+// application never writes.
+func RetentionLimitedLifetimeYears(array nvsim.Result) float64 {
+	ret := array.Cell.RetentionS
+	if array.Cell.Volatile() || ret <= 0 || math.IsInf(ret, 1) ||
+		math.IsInf(array.Cell.EnduranceCycles, 1) {
+		return math.Inf(1)
+	}
+	return array.Cell.EnduranceCycles * ret * WearLevelingEfficiency / units.SecondsPerYear
+}

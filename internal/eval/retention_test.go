@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/traffic"
+)
+
+func TestScrubRates(t *testing.T) {
+	// SRAM: volatile, no scrub.
+	sram := study(t, cell.SRAM, cell.Reference, 1<<20)
+	if ScrubWritesPerSec(sram) != 0 {
+		t.Error("volatile cells do not scrub")
+	}
+	// Mature eNVM (1e8 s retention): negligible but non-zero.
+	stt := study(t, cell.STT, cell.Optimistic, 16<<20)
+	rate := ScrubWritesPerSec(stt)
+	if rate <= 0 || rate > 1 {
+		t.Errorf("16MB STT scrub rate = %g lines/s, want tiny but positive", rate)
+	}
+	// Pessimistic RRAM (1e3 s retention): a real rewrite stream.
+	rram := study(t, cell.RRAM, cell.Pessimistic, 16<<20)
+	if got := ScrubWritesPerSec(rram); got < 100 {
+		t.Errorf("pessimistic RRAM scrub = %g lines/s, want hundreds", got)
+	}
+}
+
+func TestRetentionLimitedLifetime(t *testing.T) {
+	rram := study(t, cell.RRAM, cell.Pessimistic, 16<<20)
+	capYears := RetentionLimitedLifetimeYears(rram)
+	// 1e3 cycles x 1e3 s retention x 0.9 wear-leveling ≈ 10.4 days.
+	if capYears > 0.05 {
+		t.Errorf("pessimistic RRAM scrub-limited lifetime = %g years, want days", capYears)
+	}
+	// The evaluation engine enforces the cap even with zero app writes.
+	m := MustEvaluate(rram, traffic.Pattern{Name: "idle"}, Options{})
+	if math.IsInf(m.LifetimeYears, 1) {
+		t.Error("scrubbing must bound the idle lifetime of low-retention cells")
+	}
+	if m.LifetimeYears > 0.05 {
+		t.Errorf("idle lifetime = %g years, want scrub-bounded days", m.LifetimeYears)
+	}
+	// Mature cells stay effectively unbounded when idle.
+	stt := study(t, cell.STT, cell.Optimistic, 16<<20)
+	if RetentionLimitedLifetimeYears(stt) < 1e9 {
+		t.Error("optimistic STT scrub-limited lifetime should be astronomical")
+	}
+}
+
+func TestRefreshPowerFoldedIntoTotal(t *testing.T) {
+	rram := study(t, cell.RRAM, cell.Pessimistic, 16<<20)
+	m := MustEvaluate(rram, traffic.Pattern{Name: "idle"}, Options{})
+	if m.RefreshPowerMW <= 0 {
+		t.Fatal("low-retention cell should report refresh power")
+	}
+	if m.TotalPowerMW < m.LeakagePowerMW+m.RefreshPowerMW {
+		t.Error("total power must include the refresh stream")
+	}
+	// Refresh must not meaningfully tax mature technologies.
+	stt := study(t, cell.STT, cell.Optimistic, 16<<20)
+	ms := MustEvaluate(stt, traffic.Pattern{Name: "idle"}, Options{})
+	if ms.RefreshPowerMW > 1e-3 {
+		t.Errorf("STT refresh power = %g mW, want negligible", ms.RefreshPowerMW)
+	}
+}

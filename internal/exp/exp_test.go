@@ -1,0 +1,383 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered,
+	// plus the SECDED extension study.
+	want := []string{"fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"table3", "ecc"}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if len(All()) != len(want) {
+		t.Error("All() size mismatch")
+	}
+}
+
+// cellValue parses a numeric table cell.
+func cellValue(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func runExp(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tab := range res.Tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced an empty table %q", id, tab.Title)
+		}
+	}
+	return res
+}
+
+func TestFig1SurveyTotals(t *testing.T) {
+	res := runExp(t, "fig1")
+	tab := res.Tables[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[len(last)-1] != "122" {
+		t.Errorf("survey total = %s, want 122", last[len(last)-1])
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	res := runExp(t, "table1")
+	if len(res.Tables[0].Rows) != 8 {
+		t.Errorf("Table I has %d rows, want 8 technologies", len(res.Tables[0].Rows))
+	}
+}
+
+func TestFig4Brackets(t *testing.T) {
+	res := runExp(t, "fig4")
+	tab := res.Tables[0]
+	col := tab.Column("ReadNS")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Fig 4 rows = %d, want opt/pess/macro", len(tab.Rows))
+	}
+	opt := cellValue(t, tab.Rows[0][col])
+	pess := cellValue(t, tab.Rows[1][col])
+	macro := cellValue(t, tab.Rows[2][col])
+	if !(opt < macro && macro < pess) {
+		t.Errorf("tentpoles must bracket the macro: %g < %g < %g", opt, macro, pess)
+	}
+}
+
+func TestFig5Tiers(t *testing.T) {
+	res := runExp(t, "fig5")
+	tab := res.Tables[0]
+	rdE := tab.Column("ReadE/b[pJ]")
+	dens := tab.Column("Mb/mm2")
+	vals := map[string][2]float64{}
+	for _, row := range tab.Rows {
+		vals[row[0]] = [2]float64{cellValue(t, row[rdE]), cellValue(t, row[dens])}
+	}
+	if !(vals["Opt. STT"][0] < vals["SRAM"][0]) {
+		t.Error("STT read energy should undercut SRAM")
+	}
+	if !(vals["Opt. FeFET"][0] > vals["SRAM"][0]) {
+		t.Error("FeFET read energy should exceed SRAM")
+	}
+	if !(vals["Opt. FeFET"][1] > vals["Opt. STT"][1]) {
+		t.Error("FeFET should be densest")
+	}
+}
+
+func TestFig6PowerAdvantages(t *testing.T) {
+	res := runExp(t, "fig6")
+	left := res.Tables[0]
+	col := left.Column("3task/w+acts")
+	var sram float64
+	byCell := map[string]float64{}
+	for _, row := range left.Rows {
+		v := cellValue(t, row[col])
+		byCell[row[0]] = v
+		if row[0] == "SRAM" {
+			sram = v
+		}
+	}
+	for _, name := range []string{"Opt. PCM", "Opt. STT", "Opt. RRAM"} {
+		if byCell[name] > sram/4 {
+			t.Errorf("%s power %.2f not >4x below SRAM %.2f", name, byCell[name], sram)
+		}
+	}
+	// FeFET has the smallest advantage among the optimistic eNVMs under
+	// activation-heavy multi-task traffic.
+	for _, name := range []string{"Opt. PCM", "Opt. STT", "Opt. RRAM"} {
+		if byCell["Opt. FeFET"] < byCell[name] {
+			t.Errorf("FeFET should be the least-advantaged optimistic eNVM, but %.2f < %s %.2f",
+				byCell["Opt. FeFET"], name, byCell[name])
+		}
+	}
+}
+
+func TestFig7CrossoverRows(t *testing.T) {
+	res := runExp(t, "fig7")
+	if len(res.Tables) != 2 {
+		t.Fatalf("Fig 7 has %d tables, want image+NLP", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		found := false
+		for _, row := range tab.Rows {
+			if strings.Contains(row[0], "crossover") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing crossover annotation", tab.Title)
+		}
+	}
+}
+
+func TestTableIIStructure(t *testing.T) {
+	res := runExp(t, "table2")
+	tab := res.Tables[0]
+	if len(tab.Rows) != 16 {
+		t.Fatalf("Table II rows = %d, want 16", len(tab.Rows))
+	}
+	optCol := tab.Column("Opt. eNVM")
+	altCol := tab.Column("Alt. eNVM")
+	prioCol := tab.Column("Priority")
+	for _, row := range tab.Rows {
+		if row[optCol] == "-" || row[altCol] == "-" {
+			t.Errorf("row %v has no winner", row)
+		}
+		if row[prioCol] == "High Density" {
+			if row[optCol] != "FeFET" {
+				t.Errorf("high-density optimistic winner = %s, want FeFET", row[optCol])
+			}
+			if row[altCol] != "CTT" {
+				t.Errorf("high-density alternative winner = %s, want CTT", row[altCol])
+			}
+		}
+	}
+}
+
+func TestFig8Exclusions(t *testing.T) {
+	res := runExp(t, "fig8")
+	tab := res.Tables[0]
+	cellCol := tab.Column("Cell")
+	patCol := tab.Column("Pattern")
+	poleCol := tab.Column("MemTime/s")
+	var sramBFS, fefetBFS float64
+	for _, row := range tab.Rows {
+		if row[patCol] != "Facebook-BFS" {
+			continue
+		}
+		switch row[cellCol] {
+		case "SRAM":
+			sramBFS = cellValue(t, row[poleCol])
+		case "Opt. FeFET":
+			fefetBFS = cellValue(t, row[poleCol])
+		}
+	}
+	if !(fefetBFS > 1.4*sramBFS) {
+		t.Errorf("FeFET (%.3f) should fail to match SRAM performance (%.3f) on BFS",
+			fefetBFS, sramBFS)
+	}
+}
+
+func TestFig9STTWinsHighTraffic(t *testing.T) {
+	res := runExp(t, "fig9")
+	tab := res.Tables[0]
+	cellCol := tab.Column("Cell")
+	patCol := tab.Column("Benchmark")
+	powCol := tab.Column("TotalMW")
+	lifeCol := tab.Column("LifetimeY")
+	// On the heaviest benchmark (mcf), optimistic STT should offer the
+	// lowest power among candidates that keep up, and the longest lifetime.
+	best, bestName := 1e18, ""
+	var sttLife, rramLife float64
+	for _, row := range tab.Rows {
+		if row[patCol] != "SPEC mcf" {
+			continue
+		}
+		meets := row[tab.Column("Meets")] == "yes"
+		if meets {
+			if v := cellValue(t, row[powCol]); v < best {
+				best, bestName = v, row[cellCol]
+			}
+		}
+		switch row[cellCol] {
+		case "Opt. STT":
+			sttLife = cellValue(t, row[lifeCol])
+		case "Ref. RRAM (40nm macro)":
+			rramLife = cellValue(t, row[lifeCol])
+		}
+	}
+	if bestName != "Opt. STT" {
+		t.Errorf("lowest-power viable LLC on mcf = %s, want Opt. STT", bestName)
+	}
+	if rramLife > 0.01 {
+		t.Errorf("reference RRAM LLC lifetime = %g years; paper: not viable", rramLife)
+	}
+	if sttLife < 1000 {
+		t.Errorf("STT LLC lifetime = %g years; paper: best longevity", sttLife)
+	}
+}
+
+func TestFig11BGFeFETClosesGap(t *testing.T) {
+	res := runExp(t, "fig11")
+	arrays := res.Tables[1]
+	wCol := arrays.Column("WriteNS")
+	vals := map[string]float64{}
+	for _, row := range arrays.Rows {
+		vals[row[0]] = cellValue(t, row[wCol])
+	}
+	if !(vals["BG FeFET"] < vals["Opt. FeFET"]/3) {
+		t.Error("BG FeFET should slash write latency vs prior FeFETs")
+	}
+}
+
+func TestFig12Correlation(t *testing.T) {
+	res := runExp(t, "fig12")
+	tab := res.Tables[0]
+	effCol := tab.Column("MeanAreaEff")
+	// Rows come in (fastest, slowest) pairs per cell.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		fast := cellValue(t, tab.Rows[i][effCol])
+		slow := cellValue(t, tab.Rows[i+1][effCol])
+		if fast >= slow {
+			t.Errorf("%s: fastest decile efficiency %.3f should be below slowest %.3f",
+				tab.Rows[i][0], fast, slow)
+		}
+	}
+}
+
+func TestFig13Verdicts(t *testing.T) {
+	res := runExp(t, "fig13")
+	tab := res.Tables[0]
+	verdict := tab.Column("Acceptable")
+	byName := map[string]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row[verdict]
+	}
+	if byName["Opt. RRAM 2bpc"] != "yes" {
+		t.Error("MLC RRAM should stay acceptable")
+	}
+	if byName["Opt. FeFET 2bpc"] != "FAILS TARGET" {
+		t.Error("small-cell MLC FeFET should fail the accuracy target")
+	}
+	if byName["Pess. FeFET 2bpc"] != "yes" {
+		t.Error("large-cell MLC FeFET should stay acceptable")
+	}
+}
+
+func TestFig14MaskingRescuesFeFET(t *testing.T) {
+	res := runExp(t, "fig14")
+	tab := res.Tables[0]
+	cfgCol := tab.Column("Config")
+	cellCol := tab.Column("Cell")
+	wlCol := tab.Column("Workload")
+	poleCol := tab.Column("MemTime/s")
+	powCol := tab.Column("TotalMW")
+	var base, masked, sramBase, sttBase float64
+	for _, row := range tab.Rows {
+		if row[wlCol] != "SPEC lbm" {
+			continue
+		}
+		switch {
+		case row[cellCol] == "Opt. FeFET" && row[cfgCol] == "baseline":
+			base = cellValue(t, row[poleCol])
+		case row[cellCol] == "Opt. FeFET" && row[cfgCol] == "mask latency":
+			masked = cellValue(t, row[poleCol])
+		case row[cellCol] == "SRAM" && row[cfgCol] == "baseline":
+			sramBase = cellValue(t, row[powCol])
+		case row[cellCol] == "Opt. STT" && row[cfgCol] == "baseline":
+			sttBase = cellValue(t, row[powCol])
+		}
+	}
+	if base < 1 {
+		t.Errorf("unmasked FeFET should be infeasible on lbm (pole %.2f)", base)
+	}
+	if masked > 1 {
+		t.Errorf("masked FeFET should become feasible (pole %.2f)", masked)
+	}
+	// And FeFET is then the lower-power alternative the paper promises.
+	var fefetPow float64
+	for _, row := range tab.Rows {
+		if row[wlCol] == "SPEC lbm" && row[cellCol] == "Opt. FeFET" && row[cfgCol] == "mask latency" {
+			fefetPow = cellValue(t, row[powCol])
+		}
+	}
+	if !(fefetPow < sttBase && fefetPow < sramBase) {
+		t.Errorf("masked FeFET power %.1f should undercut STT %.1f and SRAM %.1f",
+			fefetPow, sttBase, sramBase)
+	}
+}
+
+func TestECCExtension(t *testing.T) {
+	res := runExp(t, "ecc")
+	tab := res.Tables[0]
+	rawBER := tab.Column("RawBER")
+	resBER := tab.Column("ResidualBER")
+	accRaw := tab.Column("Acc raw")
+	accECC := tab.Column("Acc SECDED")
+	if len(tab.Rows) < 4 {
+		t.Fatalf("ECC sweep too small: %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		raw := cellValue(t, row[rawBER])
+		residual := cellValue(t, row[resBER])
+		if residual >= raw {
+			t.Errorf("area %s: residual BER %g not below raw %g", row[0], residual, raw)
+		}
+		// In SECDED's operating regime (raw <= ~1e-3), protection must not
+		// hurt measured accuracy.
+		if raw <= 2e-3 {
+			if cellValue(t, row[accECC]) < cellValue(t, row[accRaw])-0.01 {
+				t.Errorf("area %s: ECC degraded accuracy in its operating regime", row[0])
+			}
+		}
+	}
+	// The smallest cell is beyond SECDED's reach; the largest is clean
+	// either way.
+	if tab.Rows[0][tab.Column("Verdict SECDED")] != "FAILS" {
+		t.Error("4F² MLC FeFET should fail even with SECDED (BER ~7e-2)")
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[tab.Column("Verdict raw")] != "ok" {
+		t.Error("103F² MLC FeFET should pass without ECC")
+	}
+}
+
+func TestTableIIIColumns(t *testing.T) {
+	res := runExp(t, "table3")
+	tab := res.Tables[0]
+	if tab.Column("NVMExplorer") == -1 {
+		t.Error("Table III missing the NVMExplorer column")
+	}
+	nv := tab.Column("NVMExplorer")
+	for _, row := range tab.Rows[:9] { // technology + circuits rows
+		if row[nv] != "y" {
+			t.Errorf("NVMExplorer should cover %s", row[0])
+		}
+	}
+}

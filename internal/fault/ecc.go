@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// SECDED (single-error-correct, double-error-detect) storage protection.
+//
+// The paper's fault-injection interface supports "technology-specific fault
+// models and storage formats" (Section II-B2), and its reliability lineage
+// (MaxNVM [112]) pairs dense-but-faulty eNVM storage with lightweight error
+// mitigation. This file implements the classic Hamming(72,64) SECDED code —
+// 8 check bits protecting each 64-bit word (12.5% density overhead) — so
+// studies can ask when ECC rescues an otherwise accuracy-breaking cell
+// configuration (see the "ecc" experiment and examples/fault_study).
+//
+// Layout: data bits occupy positions 1..72 of a 73-position codeword,
+// skipping the power-of-two positions 1,2,4,8,16,32,64 that hold the seven
+// Hamming check bits; position 0 holds the overall parity bit. The syndrome
+// of a read word locates any single flipped bit (data or check); a non-zero
+// syndrome with matching overall parity signals an uncorrectable double
+// error.
+
+// SECDEDOverhead is the storage overhead of the (72,64) code.
+const SECDEDOverhead = 8.0 / 64.0
+
+// CorrectionStatus classifies the outcome of decoding one word.
+type CorrectionStatus int
+
+const (
+	// Clean: no error detected.
+	Clean CorrectionStatus = iota
+	// Corrected: a single-bit error was repaired.
+	Corrected
+	// Uncorrectable: a double-bit error was detected (data unreliable).
+	Uncorrectable
+)
+
+// dataPositions maps data bit i (0..63) to its codeword position (1..72,
+// skipping powers of two). Computed once at init.
+var dataPositions [64]int
+
+func init() {
+	pos := 1
+	idx := 0
+	for idx < 64 {
+		if pos&(pos-1) != 0 { // not a power of two
+			dataPositions[idx] = pos
+			idx++
+		}
+		pos++
+	}
+}
+
+// secdedParity computes the 8 check bits (7 Hamming + overall) for a word.
+func secdedParity(word uint64) uint8 {
+	var code [73]bool
+	for i := 0; i < 64; i++ {
+		if word&(1<<uint(i)) != 0 {
+			code[dataPositions[i]] = true
+		}
+	}
+	var parity uint8
+	for c := 0; c < 7; c++ {
+		mask := 1 << c
+		bit := false
+		for p := 1; p <= 72; p++ {
+			if p&mask != 0 && code[p] {
+				bit = !bit
+			}
+		}
+		if bit {
+			parity |= 1 << c
+			code[mask] = true
+		}
+	}
+	// Overall parity over every position 1..72 (data + check bits).
+	overall := false
+	for p := 1; p <= 72; p++ {
+		if code[p] {
+			overall = !overall
+		}
+	}
+	if overall {
+		parity |= 1 << 7
+	}
+	return parity
+}
+
+// secdedDecode checks and, when possible, repairs a (word, parity) pair.
+func secdedDecode(word uint64, parity uint8) (uint64, CorrectionStatus) {
+	var code [73]bool
+	for i := 0; i < 64; i++ {
+		if word&(1<<uint(i)) != 0 {
+			code[dataPositions[i]] = true
+		}
+	}
+	for c := 0; c < 7; c++ {
+		if parity&(1<<c) != 0 {
+			code[1<<c] = true
+		}
+	}
+	// Syndrome: XOR of check-bit coverage over all stored positions.
+	syndrome := 0
+	for c := 0; c < 7; c++ {
+		mask := 1 << c
+		bit := false
+		for p := 1; p <= 72; p++ {
+			if p&mask != 0 && code[p] {
+				bit = !bit
+			}
+		}
+		if bit {
+			syndrome |= mask
+		}
+	}
+	// Overall parity including the stored overall bit.
+	overall := parity&(1<<7) != 0
+	for p := 1; p <= 72; p++ {
+		if code[p] {
+			overall = !overall
+		}
+	}
+	switch {
+	case syndrome == 0 && !overall:
+		return word, Clean
+	case syndrome == 0 && overall:
+		// The overall parity bit itself flipped; data is intact.
+		return word, Corrected
+	case overall:
+		// Single-bit error at position `syndrome`: flip it back.
+		if syndrome <= 72 {
+			code[syndrome] = !code[syndrome]
+		}
+		var fixed uint64
+		for i := 0; i < 64; i++ {
+			if code[dataPositions[i]] {
+				fixed |= 1 << uint(i)
+			}
+		}
+		return fixed, Corrected
+	default:
+		// Non-zero syndrome with even overall parity: double error.
+		return word, Uncorrectable
+	}
+}
+
+// wordAt assembles a 64-bit word from up to 8 bytes of data (zero padded).
+func wordAt(data []byte, off int) uint64 {
+	var w uint64
+	for i := 0; i < 8 && off+i < len(data); i++ {
+		w |= uint64(data[off+i]) << uint(8*i)
+	}
+	return w
+}
+
+func storeWord(data []byte, off int, w uint64) {
+	for i := 0; i < 8 && off+i < len(data); i++ {
+		data[off+i] = byte(w >> uint(8*i))
+	}
+}
+
+// Protect computes SECDED parity for a buffer: one parity byte per 64-bit
+// word (the final partial word is zero-padded). The parity bytes live in
+// the same faulty memory as the data and should be injected alongside it.
+func Protect(data []byte) []byte {
+	words := (len(data) + 7) / 8
+	parity := make([]byte, words)
+	for w := 0; w < words; w++ {
+		parity[w] = secdedParity(wordAt(data, w*8))
+	}
+	return parity
+}
+
+// CorrectionStats summarizes a Correct pass.
+type CorrectionStats struct {
+	Words         int
+	Corrected     int
+	Uncorrectable int
+}
+
+// Correct decodes a protected buffer in place, repairing single-bit errors
+// per 72-bit codeword, and reports what it found. Parity length must match
+// Protect's output for the buffer.
+func Correct(data, parity []byte) (CorrectionStats, error) {
+	words := (len(data) + 7) / 8
+	if len(parity) != words {
+		return CorrectionStats{}, fmt.Errorf("fault: parity length %d for %d words", len(parity), words)
+	}
+	st := CorrectionStats{Words: words}
+	for w := 0; w < words; w++ {
+		fixed, status := secdedDecode(wordAt(data, w*8), parity[w])
+		switch status {
+		case Corrected:
+			st.Corrected++
+			storeWord(data, w*8, fixed)
+		case Uncorrectable:
+			st.Uncorrectable++
+		}
+	}
+	return st, nil
+}
+
+// ResidualBER estimates the post-correction bit error rate for a raw BER
+// under (72,64) SECDED: double-or-more errors per codeword survive. This
+// analytical form lets studies reason about ECC before running injection.
+func ResidualBER(rawBER float64) float64 {
+	if rawBER <= 0 {
+		return 0
+	}
+	if rawBER >= 1 {
+		return 0.5
+	}
+	const n = 72.0
+	// P(>=2 errors in n bits) via complement of 0 and 1 error terms.
+	p0 := math.Pow(1-rawBER, n)
+	p1 := n * rawBER * math.Pow(1-rawBER, n-1)
+	pWordBad := 1 - p0 - p1
+	if pWordBad < 0 {
+		pWordBad = 0
+	}
+	// A bad word corrupts roughly 2 of its 64 data bits on average (the
+	// dominant term is exactly-two errors).
+	return pWordBad * 2 / 64
+}

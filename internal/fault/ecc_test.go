@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDCleanRoundTrip(t *testing.T) {
+	words := []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEF00D, 1 << 63}
+	for _, w := range words {
+		p := secdedParity(w)
+		got, status := secdedDecode(w, p)
+		if status != Clean || got != w {
+			t.Errorf("clean word %x decoded as %x status %v", w, got, status)
+		}
+	}
+}
+
+func TestSECDEDCorrectsSingleDataBit(t *testing.T) {
+	w := uint64(0xDEADBEEFCAFEF00D)
+	p := secdedParity(w)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := w ^ (1 << uint(bit))
+		got, status := secdedDecode(corrupted, p)
+		if status != Corrected {
+			t.Fatalf("bit %d: status %v, want Corrected", bit, status)
+		}
+		if got != w {
+			t.Fatalf("bit %d: decoded %x, want %x", bit, got, w)
+		}
+	}
+}
+
+func TestSECDEDCorrectsSingleCheckBit(t *testing.T) {
+	w := uint64(0x0123456789ABCDEF)
+	p := secdedParity(w)
+	for bit := 0; bit < 8; bit++ {
+		got, status := secdedDecode(w, p^(1<<uint(bit)))
+		if status != Corrected {
+			t.Fatalf("check bit %d: status %v, want Corrected", bit, status)
+		}
+		if got != w {
+			t.Fatalf("check bit %d: data disturbed to %x", bit, got)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleErrors(t *testing.T) {
+	w := uint64(0xA5A5A5A5A5A5A5A5)
+	p := secdedParity(w)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := w ^ (1 << uint(b1)) ^ (1 << uint(b2))
+		_, status := secdedDecode(corrupted, p)
+		if status != Uncorrectable {
+			t.Fatalf("double flip (%d,%d): status %v, want Uncorrectable", b1, b2, status)
+		}
+	}
+}
+
+func TestProtectCorrectBuffer(t *testing.T) {
+	data := make([]byte, 1000) // includes a partial final word
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	parity := Protect(data)
+	if len(parity) != 125 {
+		t.Fatalf("parity words = %d, want 125", len(parity))
+	}
+	// Flip one bit in each of a few words.
+	data[0] ^= 0x01
+	data[80] ^= 0x10
+	data[999] ^= 0x80
+	st, err := Correct(data, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrected != 3 || st.Uncorrectable != 0 {
+		t.Fatalf("stats = %+v, want 3 corrections", st)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("buffer not fully repaired")
+	}
+	if _, err := Correct(data, parity[:10]); err == nil {
+		t.Error("mismatched parity length should error")
+	}
+}
+
+func TestCorrectWithInjection(t *testing.T) {
+	// End to end: protect, inject at a rate SECDED handles, correct; the
+	// surviving error count must be far below the injected count.
+	data := make([]byte, 1<<15)
+	rng := rand.New(rand.NewSource(6))
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	parity := Protect(data)
+	in := NewInjector(7)
+	const ber = 5e-4 // ~2.6% of 72-bit words get a flip; doubles are rare
+	if _, err := in.Inject(data, ber); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Inject(parity, ber); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Correct(data, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrected == 0 {
+		t.Error("injection at 5e-4 should have produced correctable words")
+	}
+	// Count residual corrupted bits.
+	residual := 0
+	for i := range data {
+		for b := data[i] ^ orig[i]; b != 0; b &= b - 1 {
+			residual++
+		}
+	}
+	injected := float64(len(data)) * 8 * ber
+	if float64(residual) > injected/5 {
+		t.Errorf("residual %d corrupted bits vs ~%.0f injected; ECC should remove most",
+			residual, injected)
+	}
+}
+
+func TestResidualBER(t *testing.T) {
+	if ResidualBER(0) != 0 {
+		t.Error("zero raw BER should stay zero")
+	}
+	if ResidualBER(1.5) != 0.5 {
+		t.Error("absurd raw BER should cap")
+	}
+	// ECC must help at moderate rates and help less as errors pile up.
+	for _, raw := range []float64{1e-6, 1e-4, 1e-3} {
+		res := ResidualBER(raw)
+		if res >= raw {
+			t.Errorf("residual %g not below raw %g", res, raw)
+		}
+	}
+	// Quadratic scaling in the low-BER limit: 10x raw => ~100x residual.
+	r1 := ResidualBER(1e-5)
+	r2 := ResidualBER(1e-4)
+	ratio := r2 / r1
+	if ratio < 50 || ratio > 200 {
+		t.Errorf("residual scaling ratio = %g, want ~100 (quadratic)", ratio)
+	}
+}
+
+// Property: any single bit flip anywhere in (word, parity) is repaired.
+func TestSECDEDSingleFlipProperty(t *testing.T) {
+	f := func(w uint64, flipSel uint8) bool {
+		p := secdedParity(w)
+		flip := int(flipSel) % 72
+		var got uint64
+		var status CorrectionStatus
+		if flip < 64 {
+			got, status = secdedDecode(w^(1<<uint(flip)), p)
+		} else {
+			got, status = secdedDecode(w, p^(1<<uint(flip-64)))
+		}
+		return status == Corrected && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parity is deterministic and decode of untouched words is Clean.
+func TestSECDEDCleanProperty(t *testing.T) {
+	f := func(w uint64) bool {
+		p := secdedParity(w)
+		got, status := secdedDecode(w, p)
+		return p == secdedParity(w) && status == Clean && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

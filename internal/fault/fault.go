@@ -1,0 +1,160 @@
+// Package fault provides NVMExplorer-Go's fault modeling and application-
+// level fault injection (Sections II-B2 and V-C). A Model turns cell-level
+// choices — technology, SLC vs MLC programming, cell size — into a bit
+// error rate, standing in for the paper's SPICE-derived characterization;
+// Inject then applies real bit flips to application data stored in the
+// modeled memory (e.g. the int8 weight bytes of internal/nn's classifier),
+// so accuracy impact is measured end to end.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cell"
+)
+
+// Model computes storage bit-error rates for a cell configuration.
+type Model struct {
+	Cell cell.Definition
+}
+
+// Base single-level-cell error rates per sensing family, standing in for
+// the paper's SPICE-parameterized fault models ([112], [120]): resistive
+// and magnetic cells are read-disturb/retention limited around 1e-7..1e-6;
+// FET-threshold cells depend strongly on programming variation.
+const (
+	baseSLCBERVoltage = 1e-9
+	baseSLCBERCurrent = 3e-7
+	baseSLCBERFET     = 1e-7
+)
+
+// referenceSigma normalizes device-to-device variation: a cell at this
+// sigma sees no extra penalty.
+const referenceSigma = 0.05
+
+// BER returns the expected stored-bit error rate for the model's cell.
+//
+// Three effects compose, following the paper's characterization:
+//   - a per-sensing-family SLC floor;
+//   - MLC level packing: b bits per cell squeeze 2^b levels into the same
+//     window, shrinking each margin by (2^b - 1) and raising the error
+//     rate superlinearly (we use a normal-tail model);
+//   - device-to-device variation: the effective margin shrinks as sigma
+//     grows, and for FeFETs sigma itself grows as cells shrink (smaller
+//     devices are harder to program reliably — Section V-C / [120]).
+func (m Model) BER() float64 {
+	var base float64
+	switch m.Cell.Sense {
+	case cell.VoltageSense:
+		base = baseSLCBERVoltage
+	case cell.CurrentSense:
+		base = baseSLCBERCurrent
+	default:
+		base = baseSLCBERFET
+	}
+	sigma := m.Cell.DtoDSigma
+	if m.Cell.Tech == cell.FeFET || m.Cell.Tech == cell.BGFeFET {
+		// Variation scales inversely with device dimensions: a 4F² FeFET is
+		// far harder to program than a 100F² one.
+		sigma *= math.Sqrt(referenceArea / math.Max(m.Cell.AreaF2, 1))
+	}
+	// Margin model: SLC margin normalized to 1; each level gap divides it.
+	gaps := float64(int(1)<<m.Cell.BitsPerCell) - 1
+	margin := 1.0 / gaps
+	// Error probability follows a Gaussian tail in margin/sigma, floored by
+	// the sensing-family base rate.
+	z := margin / math.Max(sigma, 1e-6) * (referenceSigma / 0.05)
+	tail := 0.5 * math.Erfc(z/math.Sqrt2)
+	ber := base + tail
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	return ber
+}
+
+// referenceArea anchors the FeFET variation scaling (F²): at this cell size
+// the surveyed DtoDSigma applies unchanged.
+const referenceArea = 20.0
+
+// Injector applies storage faults to byte buffers. Deterministic for a
+// given seed, so trials are reproducible.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector creates an injector with the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inject flips each bit of data independently with probability ber, in
+// place, and returns the number of flipped bits. For the small error rates
+// used in practice it draws the flip count from the binomial distribution
+// (via per-bit sampling when n*ber is large would be slow, so it samples
+// flip positions directly from the expected count).
+func (in *Injector) Inject(data []byte, ber float64) (int, error) {
+	if ber < 0 || ber > 1 || math.IsNaN(ber) {
+		return 0, fmt.Errorf("fault: BER %g outside [0,1]", ber)
+	}
+	if ber == 0 || len(data) == 0 {
+		return 0, nil
+	}
+	nBits := len(data) * 8
+	// Sample the number of flips from Binomial(nBits, ber) via a normal
+	// approximation for large n, exact Bernoulli sweep for small n.
+	var flips int
+	if nBits < 4096 {
+		for i := 0; i < nBits; i++ {
+			if in.rng.Float64() < ber {
+				data[i/8] ^= 1 << (i % 8)
+				flips++
+			}
+		}
+		return flips, nil
+	}
+	mean := float64(nBits) * ber
+	std := math.Sqrt(mean * (1 - ber))
+	flips = int(math.Round(mean + in.rng.NormFloat64()*std))
+	if flips < 0 {
+		flips = 0
+	}
+	if flips > nBits {
+		flips = nBits
+	}
+	for i := 0; i < flips; i++ {
+		bit := in.rng.Intn(nBits)
+		data[bit/8] ^= 1 << (bit % 8)
+	}
+	return flips, nil
+}
+
+// TrialConfig drives repeated accuracy-under-faults measurements.
+type TrialConfig struct {
+	Trials int
+	Seed   int64
+}
+
+// AccuracyUnderFaults runs repeated trials: clone the stored data via
+// restore(), inject at the model's BER, and score with evaluate(). It
+// returns the mean accuracy across trials — the quantity Figure 13 filters
+// against the application's accuracy target.
+func AccuracyUnderFaults(m Model, cfg TrialConfig,
+	restore func() [][]byte, evaluate func() float64) (float64, error) {
+	if cfg.Trials <= 0 {
+		return 0, fmt.Errorf("fault: need at least one trial")
+	}
+	ber := m.BER()
+	sum := 0.0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		in := NewInjector(cfg.Seed + int64(trial))
+		for _, buf := range restore() {
+			if _, err := in.Inject(buf, ber); err != nil {
+				return 0, err
+			}
+		}
+		sum += evaluate()
+	}
+	return sum / float64(cfg.Trials), nil
+}

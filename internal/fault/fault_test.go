@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/nn"
+)
+
+func TestBERBaseRates(t *testing.T) {
+	// SLC error rates sit at the sensing-family floors.
+	sram := Model{Cell: cell.MustTentpole(cell.SRAM, cell.Reference)}
+	stt := Model{Cell: cell.MustTentpole(cell.STT, cell.Optimistic)}
+	if b := sram.BER(); b > 1e-7 {
+		t.Errorf("SRAM BER %g should be negligible", b)
+	}
+	if b := stt.BER(); b < 1e-9 || b > 1e-4 {
+		t.Errorf("STT SLC BER %g outside plausible range", b)
+	}
+}
+
+func TestBERMLCPenalty(t *testing.T) {
+	for _, tech := range []cell.Technology{cell.RRAM, cell.FeFET, cell.CTT} {
+		slc := Model{Cell: cell.MustTentpole(tech, cell.Optimistic)}
+		mlc := Model{Cell: cell.MustToMLC(cell.MustTentpole(tech, cell.Optimistic), 2)}
+		if mlc.BER() <= slc.BER() {
+			t.Errorf("%v: MLC BER %g should exceed SLC %g", tech, mlc.BER(), slc.BER())
+		}
+	}
+}
+
+func TestFeFETSizeDependence(t *testing.T) {
+	// Section V-C: small FeFET cells are harder to program reliably, so
+	// 2-bit MLC is only acceptable at larger cell sizes (Fig 13).
+	small := cell.MustToMLC(cell.MustTentpole(cell.FeFET, cell.Optimistic), 2)  // 4F²
+	large := cell.MustToMLC(cell.MustTentpole(cell.FeFET, cell.Pessimistic), 2) // 103F²
+	smallBER := Model{Cell: small}.BER()
+	largeBER := Model{Cell: large}.BER()
+	if smallBER <= largeBER {
+		t.Errorf("small-cell MLC FeFET BER %g should exceed large-cell %g", smallBER, largeBER)
+	}
+	if smallBER < 1e-4 {
+		t.Errorf("small-cell MLC FeFET BER %g should be accuracy-threatening", smallBER)
+	}
+	// MLC RRAM stays robust (the paper's replication of [112]).
+	rram := Model{Cell: cell.MustToMLC(cell.MustTentpole(cell.RRAM, cell.Optimistic), 2)}
+	if b := rram.BER(); b > 1e-3 {
+		t.Errorf("MLC RRAM BER %g should stay tolerable", b)
+	}
+}
+
+func TestBERBounded(t *testing.T) {
+	d := cell.MustTentpole(cell.FeFET, cell.Optimistic)
+	d.DtoDSigma = 5.0 // absurd variation
+	if b := (Model{Cell: d}).BER(); b > 0.5 {
+		t.Errorf("BER %g must cap at 0.5", b)
+	}
+}
+
+func TestInjectZeroAndFull(t *testing.T) {
+	in := NewInjector(1)
+	data := make([]byte, 128)
+	n, err := in.Inject(data, 0)
+	if err != nil || n != 0 {
+		t.Errorf("BER 0 must be identity: n=%d err=%v", n, err)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("BER 0 corrupted data")
+		}
+	}
+	if _, err := in.Inject(data, 1.5); err == nil {
+		t.Error("BER > 1 should error")
+	}
+	if _, err := in.Inject(data, math.NaN()); err == nil {
+		t.Error("NaN BER should error")
+	}
+}
+
+func TestInjectFlipsExpectedCount(t *testing.T) {
+	in := NewInjector(7)
+	data := make([]byte, 1<<16) // 512k bits, large-n path
+	const ber = 1e-3
+	n, err := in.Inject(data, ber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(len(data)*8) * ber
+	if float64(n) < expected*0.7 || float64(n) > expected*1.3 {
+		t.Errorf("flips = %d, expected ~%.0f", n, expected)
+	}
+	// Count set bits; collisions make popcount <= n.
+	pop := 0
+	for _, b := range data {
+		for ; b != 0; b &= b - 1 {
+			pop++
+		}
+	}
+	if pop == 0 || pop > n {
+		t.Errorf("popcount %d inconsistent with %d flips", pop, n)
+	}
+}
+
+func TestInjectSmallBufferPath(t *testing.T) {
+	in := NewInjector(9)
+	data := make([]byte, 16) // 128 bits, Bernoulli path
+	n, err := in.Inject(data, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 30 || n > 100 {
+		t.Errorf("flips = %d, expected ~64 of 128", n)
+	}
+}
+
+func TestInjectDeterministicPerSeed(t *testing.T) {
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	if _, err := NewInjector(3).Inject(a, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInjector(3).Inject(b, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal seeds must corrupt identically")
+		}
+	}
+}
+
+// Shared trained classifier for the end-to-end tests.
+var (
+	faultOnce sync.Once
+	faultQ    *nn.QuantizedMLP
+	faultTest *nn.Dataset
+	faultErr  error
+)
+
+func classifier(t *testing.T) (*nn.QuantizedMLP, *nn.Dataset) {
+	t.Helper()
+	faultOnce.Do(func() { _, faultQ, faultTest, faultErr = nn.ReferenceClassifier() })
+	if faultErr != nil {
+		t.Fatal(faultErr)
+	}
+	return faultQ, faultTest
+}
+
+// accuracyUnder runs the full paper pipeline for one cell configuration.
+func accuracyUnder(t *testing.T, d cell.Definition, trials int) float64 {
+	t.Helper()
+	q, test := classifier(t)
+	var working *nn.QuantizedMLP
+	acc, err := AccuracyUnderFaults(Model{Cell: d}, TrialConfig{Trials: trials, Seed: 99},
+		func() [][]byte {
+			working = q.Clone()
+			bufs := make([][]byte, len(working.Layers))
+			for i := range working.Layers {
+				bufs[i] = working.WeightBytes(i)
+			}
+			return bufs
+		},
+		func() float64 { return working.Accuracy(test) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestEndToEndFig13(t *testing.T) {
+	// Figure 13's qualitative result, measured end to end on a real
+	// (stand-in) classifier: SLC storage preserves accuracy for every
+	// technology; 2-bit MLC RRAM stays acceptable; 2-bit MLC FeFET at the
+	// small (4F²) cell size degrades unacceptably while the large-cell
+	// variant stays usable.
+	q, test := classifier(t)
+	clean := q.Accuracy(test)
+	const trials = 10
+	const tolerance = 0.02 // the study's accuracy target band
+
+	slcRRAM := accuracyUnder(t, cell.MustTentpole(cell.RRAM, cell.Optimistic), trials)
+	if clean-slcRRAM > tolerance {
+		t.Errorf("SLC RRAM accuracy %.3f vs clean %.3f: should be preserved", slcRRAM, clean)
+	}
+	mlcRRAM := accuracyUnder(t, cell.MustToMLC(cell.MustTentpole(cell.RRAM, cell.Optimistic), 2), trials)
+	if clean-mlcRRAM > tolerance {
+		t.Errorf("MLC RRAM accuracy %.3f vs clean %.3f: paper says robust", mlcRRAM, clean)
+	}
+	mlcFeFETSmall := accuracyUnder(t, cell.MustToMLC(cell.MustTentpole(cell.FeFET, cell.Optimistic), 2), trials)
+	if clean-mlcFeFETSmall <= tolerance {
+		t.Errorf("small-cell MLC FeFET accuracy %.3f vs clean %.3f: should degrade", mlcFeFETSmall, clean)
+	}
+	mlcFeFETLarge := accuracyUnder(t, cell.MustToMLC(cell.MustTentpole(cell.FeFET, cell.Pessimistic), 2), trials)
+	if clean-mlcFeFETLarge > tolerance {
+		t.Errorf("large-cell MLC FeFET accuracy %.3f vs clean %.3f: should stay acceptable", mlcFeFETLarge, clean)
+	}
+	if mlcFeFETSmall >= mlcFeFETLarge {
+		t.Errorf("accuracy should improve with FeFET cell size: %.3f vs %.3f",
+			mlcFeFETSmall, mlcFeFETLarge)
+	}
+}
+
+func TestAccuracyUnderFaultsErrors(t *testing.T) {
+	m := Model{Cell: cell.MustTentpole(cell.RRAM, cell.Optimistic)}
+	if _, err := AccuracyUnderFaults(m, TrialConfig{Trials: 0},
+		func() [][]byte { return nil }, func() float64 { return 0 }); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+// Property: injection flips at most nBits bits and leaves length unchanged.
+func TestInjectBoundedProperty(t *testing.T) {
+	f := func(size uint16, berSel uint8, seed int64) bool {
+		n := int(size%2048) + 1
+		ber := float64(berSel) / 512.0 // 0 .. ~0.5
+		data := make([]byte, n)
+		flips, err := NewInjector(seed).Inject(data, ber)
+		return err == nil && flips >= 0 && flips <= n*8 && len(data) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

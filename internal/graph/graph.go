@@ -1,0 +1,164 @@
+// Package graph is NVMExplorer-Go's graph-processing substrate
+// (Section IV-B). It provides CSR graphs, a Kronecker/R-MAT synthetic
+// social-network generator standing in for the SNAP datasets (Facebook,
+// Wikipedia), and BFS / PageRank / connected-components kernels with exact
+// memory-access accounting, from which the evaluation engine derives
+// traffic patterns for a Graphicionado-class accelerator's scratchpad.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a directed graph in compressed sparse row form.
+type CSR struct {
+	N       int     // vertices
+	Offsets []int64 // len N+1
+	Targets []int32 // len Offsets[N]
+}
+
+// Edges returns the edge count.
+func (g *CSR) Edges() int64 { return g.Offsets[g.N] }
+
+// Degree returns vertex v's out-degree.
+func (g *CSR) Degree(v int) int64 { return g.Offsets[v+1] - g.Offsets[v] }
+
+// Neighbors returns the out-neighbor slice of v (shared storage).
+func (g *CSR) Neighbors(v int) []int32 {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// FootprintBytes is the in-memory size of the CSR structure: 8B offsets
+// plus 4B targets — the data a scratchpad partition must hold.
+func (g *CSR) FootprintBytes() int64 {
+	return int64(g.N+1)*8 + g.Edges()*4
+}
+
+// Validate checks structural invariants.
+func (g *CSR) Validate() error {
+	if g.N < 0 || len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d for %d vertices", len(g.Offsets), g.N)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if int64(len(g.Targets)) != g.Offsets[g.N] {
+		return fmt.Errorf("graph: %d targets, offsets claim %d", len(g.Targets), g.Offsets[g.N])
+	}
+	for i, t := range g.Targets {
+		if t < 0 || int(t) >= g.N {
+			return fmt.Errorf("graph: target %d out of range at %d", t, i)
+		}
+	}
+	return nil
+}
+
+// FromEdges builds a CSR from an edge list, sorting adjacency lists and
+// dropping duplicate edges and self-loops.
+func FromEdges(n int, edges [][2]int32) (*CSR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: need at least one vertex")
+	}
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", u, v)
+		}
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+	}
+	g := &CSR{N: n, Offsets: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		lst := adj[v]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		// Deduplicate.
+		out := lst[:0]
+		for i, t := range lst {
+			if i == 0 || t != lst[i-1] {
+				out = append(out, t)
+			}
+		}
+		g.Offsets[v+1] = g.Offsets[v] + int64(len(out))
+		g.Targets = append(g.Targets, out...)
+	}
+	return g, g.Validate()
+}
+
+// RMATConfig parameterizes the Kronecker/R-MAT generator. The defaults
+// (a=0.57 b=0.19 c=0.19) are the Graph500 social-network parameters,
+// producing the skewed degree distributions of real social graphs.
+type RMATConfig struct {
+	ScaleLog2  int   // vertices = 2^ScaleLog2
+	EdgeFactor int   // edges ≈ EdgeFactor * vertices
+	Seed       int64 // deterministic generation
+	A, B, C    float64
+}
+
+// DefaultRMAT returns Graph500-style parameters at the given scale.
+func DefaultRMAT(scaleLog2, edgeFactor int, seed int64) RMATConfig {
+	return RMATConfig{ScaleLog2: scaleLog2, EdgeFactor: edgeFactor, Seed: seed,
+		A: 0.57, B: 0.19, C: 0.19}
+}
+
+// RMAT generates a synthetic power-law graph. Both edge directions are
+// inserted so kernels see an undirected social network.
+func RMAT(cfg RMATConfig) (*CSR, error) {
+	if cfg.ScaleLog2 < 1 || cfg.ScaleLog2 > 28 {
+		return nil, fmt.Errorf("graph: scale %d outside [1,28]", cfg.ScaleLog2)
+	}
+	if cfg.EdgeFactor < 1 {
+		return nil, fmt.Errorf("graph: edge factor must be >= 1")
+	}
+	if cfg.A <= 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("graph: invalid R-MAT quadrant probabilities")
+	}
+	n := 1 << cfg.ScaleLog2
+	m := n * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([][2]int32, 0, 2*m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := cfg.ScaleLog2 - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A: // top-left
+			case r < cfg.A+cfg.B: // top-right
+				v |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)}, [2]int32{int32(v), int32(u)})
+	}
+	return FromEdges(n, edges)
+}
+
+// SocialGraphs returns the two synthetic stand-ins for the SNAP datasets of
+// Section IV-B2: a Facebook-like dense friendship graph and a larger,
+// sparser Wikipedia-like link graph. Scales are chosen so kernel working
+// sets match the paper's 8MB scratchpad setting while keeping generation
+// fast enough for tests and benchmarks.
+func SocialGraphs() (facebook, wikipedia *CSR, err error) {
+	fb, err := RMAT(DefaultRMAT(15, 48, 101)) // 32k vertices, ~3M directed edges
+	if err != nil {
+		return nil, nil, err
+	}
+	wiki, err := RMAT(DefaultRMAT(16, 40, 202)) // 64k vertices, ~5M directed edges
+	if err != nil {
+		return nil, nil, err
+	}
+	return fb, wiki, nil
+}

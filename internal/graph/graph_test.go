@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallGraph(t *testing.T) *CSR {
+	t.Helper()
+	// 0-1-2 path plus a 3-4 pair and isolated 5, undirected.
+	g, err := FromEdges(6, [][2]int32{
+		{0, 1}, {1, 0}, {1, 2}, {2, 1}, {3, 4}, {4, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdges(t *testing.T) {
+	g := smallGraph(t)
+	if g.Edges() != 6 {
+		t.Errorf("edges = %d, want 6", g.Edges())
+	}
+	if g.Degree(1) != 2 || g.Degree(5) != 0 {
+		t.Errorf("degrees wrong: deg(1)=%d deg(5)=%d", g.Degree(1), g.Degree(5))
+	}
+	if n := g.Neighbors(1); len(n) != 2 || n[0] != 0 || n[1] != 2 {
+		t.Errorf("neighbors(1) = %v", n)
+	}
+}
+
+func TestFromEdgesSanitizes(t *testing.T) {
+	g, err := FromEdges(3, [][2]int32{{0, 1}, {0, 1}, {1, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("duplicates and self-loops should drop; edges = %d", g.Edges())
+	}
+	if _, err := FromEdges(2, [][2]int32{{0, 5}}); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if _, err := FromEdges(0, nil); err == nil {
+		t.Error("empty vertex set should error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := smallGraph(t)
+	g.Targets[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range target should fail validation")
+	}
+	g = smallGraph(t)
+	g.Offsets[2] = g.Offsets[3] + 5
+	if err := g.Validate(); err == nil {
+		t.Error("non-monotone offsets should fail validation")
+	}
+}
+
+func TestRMATDeterministicAndPowerLaw(t *testing.T) {
+	cfg := DefaultRMAT(12, 8, 7)
+	g1, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Edges() != g2.Edges() {
+		t.Fatal("R-MAT must be deterministic per seed")
+	}
+	for v := 0; v < g1.N; v += 97 {
+		if g1.Degree(v) != g2.Degree(v) {
+			t.Fatal("R-MAT degree sequences differ for equal seeds")
+		}
+	}
+	// Social-network skew: the max degree dwarfs the mean.
+	var maxDeg int64
+	for v := 0; v < g1.N; v++ {
+		if d := g1.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(g1.Edges()) / float64(g1.N)
+	if float64(maxDeg) < 10*mean {
+		t.Errorf("max degree %d vs mean %.1f: missing power-law skew", maxDeg, mean)
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(RMATConfig{ScaleLog2: 0, EdgeFactor: 8, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Error("scale 0 should error")
+	}
+	if _, err := RMAT(RMATConfig{ScaleLog2: 10, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Error("edge factor 0 should error")
+	}
+	if _, err := RMAT(RMATConfig{ScaleLog2: 10, EdgeFactor: 8, A: 0.6, B: 0.3, C: 0.2}); err == nil {
+		t.Error("probabilities summing >= 1 should error")
+	}
+}
+
+func TestBFSCorrectness(t *testing.T) {
+	g := smallGraph(t)
+	depth, st, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2, -1, -1, -1}
+	for i, d := range want {
+		if depth[i] != d {
+			t.Errorf("depth[%d] = %d, want %d", i, depth[i], d)
+		}
+	}
+	if st.Reads <= 0 || st.Writes != 2 { // vertices 1 and 2 discovered
+		t.Errorf("stats = %+v", st)
+	}
+	if _, _, err := BFS(g, 99); err == nil {
+		t.Error("out-of-range root should error")
+	}
+}
+
+func TestBFSCoversComponent(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, st, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for _, d := range depth {
+		if d >= 0 {
+			reached++
+		}
+	}
+	if reached < g.N/2 {
+		t.Errorf("BFS reached only %d of %d vertices; giant component expected", reached, g.N)
+	}
+	if st.EdgesSeen <= 0 || st.Iterations <= 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	g := smallGraph(t)
+	rank, st, err := PageRank(g, 0.85, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if sum < 0.95 || sum > 1.05 {
+		t.Errorf("rank mass = %g, want ~1", sum)
+	}
+	// Vertex 1 (degree 2) outranks vertex 0 (degree 1).
+	if rank[1] <= rank[0] {
+		t.Errorf("rank(1)=%g should exceed rank(0)=%g", rank[1], rank[0])
+	}
+	if st.Writes <= 0 || st.EdgesSeen <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, _, err := PageRank(g, 1.5, 1e-9, 10); err == nil {
+		t.Error("damping outside (0,1) should error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := smallGraph(t)
+	labels, st, err := ConnectedComponents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("0,1,2 form one component")
+	}
+	if labels[3] != labels[4] {
+		t.Error("3,4 form one component")
+	}
+	if labels[0] == labels[3] || labels[0] == labels[5] {
+		t.Error("components must be distinct")
+	}
+	if st.Iterations < 2 {
+		t.Error("label propagation needs a convergence pass")
+	}
+}
+
+func TestEngineTraffic(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(12, 16, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Graphicionado()
+	p, err := e.Traffic("BFS", g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadsPerSec <= 0 || p.WritesPerSec <= 0 {
+		t.Fatal("traffic rates must be positive")
+	}
+	// Read-dominated, as graph search is.
+	if p.ReadsPerSec < 10*p.WritesPerSec {
+		t.Errorf("BFS should be strongly read-dominated: %g rd/s vs %g wr/s",
+			p.ReadsPerSec, p.WritesPerSec)
+	}
+	if p.FootprintBytes != g.FootprintBytes() {
+		t.Error("footprint should be the CSR size")
+	}
+	if _, err := e.Traffic("x", g, AccessStats{}); err == nil {
+		t.Error("zero-work stats should error")
+	}
+}
+
+func TestSocialGraphsInEnvelope(t *testing.T) {
+	// Section IV-B: BFS traffic from the social graphs must land inside the
+	// generic sweep envelope (reads 1-10GB/s, writes 1-100MB/s).
+	fb, wiki, err := SocialGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Graphicionado()
+	for _, tc := range []struct {
+		name string
+		g    *CSR
+	}{{"Facebook-BFS", fb}, {"Wikipedia-BFS", wiki}} {
+		_, st, err := BFS(tc.g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.Traffic(tc.name, tc.g, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := p.ReadBandwidthGBs(); r < 1 || r > 12 {
+			t.Errorf("%s read bandwidth %.2f GB/s outside the 1-10GB/s envelope", tc.name, r)
+		}
+		if w := p.WriteBandwidthGBs() * 1000; w < 0.3 || w > 120 {
+			t.Errorf("%s write bandwidth %.2f MB/s outside the 1-100MB/s envelope", tc.name, w)
+		}
+	}
+}
+
+// Property: CSR built from arbitrary edge lists always validates and BFS
+// depths respect edge relaxation (depth[v] <= depth[u]+1 for every edge).
+func TestBFSTriangleInequalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := RMAT(DefaultRMAT(8, 8, seed))
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		depth, _, err := BFS(g, 0)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N; u++ {
+			if depth[u] < 0 {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				if depth[v] < 0 || depth[v] > depth[u]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestResNet18Shape(t *testing.T) {
+	net := ResNet18()
+	p := net.WeightParams()
+	// Standard ResNet-18 carries ~11.7M parameters; our conv/fc accounting
+	// (no batchnorm) should land within a few percent.
+	if p < 10_500_000 || p > 12_500_000 {
+		t.Errorf("ResNet18 params = %d, want ~11.7M", p)
+	}
+	if net.MACs() < int64(1.5e9) || net.MACs() > int64(2.5e9) {
+		t.Errorf("ResNet18 MACs = %d, want ~1.8G", net.MACs())
+	}
+	if net.Passes != 1 || net.BytesPerParam != 1 {
+		t.Error("ResNet18 should be single-pass int8")
+	}
+}
+
+func TestResNet26EdgeFitsBuffer(t *testing.T) {
+	net := ResNet26Edge()
+	// The continuous study stores the full weight set in the 2MB NVDLA
+	// buffer (Section IV-A1), so it must fit.
+	if wb := net.WeightBytes(); wb > 2<<20 {
+		t.Errorf("ResNet26Edge weights = %d bytes, must fit 2MiB", wb)
+	}
+	if wb := net.WeightBytes(); wb < 1<<20 {
+		t.Errorf("ResNet26Edge weights = %d bytes, suspiciously small", wb)
+	}
+	// 26 trainable layers: conv1 + 24 block convs + fc (downsamples extra).
+	convs := 0
+	for _, l := range net.Layers {
+		convs++
+		_ = l
+	}
+	if convs < 26 {
+		t.Errorf("ResNet26Edge has %d layers, want >= 26", convs)
+	}
+}
+
+func TestALBERTShape(t *testing.T) {
+	net := ALBERTBase()
+	p := net.WeightParams()
+	// ALBERT-base: ~11-12M parameters dominated by the 30k x 128 embedding
+	// plus one shared encoder block.
+	if p < 10_000_000 || p > 13_000_000 {
+		t.Errorf("ALBERT params = %d, want ~11M", p)
+	}
+	shared := int64(0)
+	for _, l := range net.Layers {
+		if SharedEncoderLayer(l.Name) {
+			shared += l.Params
+		}
+	}
+	if shared < 6_000_000 {
+		t.Errorf("shared encoder params = %d, want ~7M", shared)
+	}
+	if ALBERTSharedPasses != 12 {
+		t.Error("ALBERT shares its encoder across 12 layers")
+	}
+}
+
+func TestConvAccounting(t *testing.T) {
+	l := conv("c", 3, 8, 3, 32, 32, 2)
+	if l.Params != 3*8*9 {
+		t.Errorf("params = %d", l.Params)
+	}
+	if l.MACs != int64(3*8*9)*16*16 {
+		t.Errorf("MACs = %d", l.MACs)
+	}
+	if l.ActInBytes != 3*32*32 || l.ActOutBytes != 8*16*16 {
+		t.Errorf("activations = %d/%d", l.ActInBytes, l.ActOutBytes)
+	}
+}
+
+func TestDenseForward(t *testing.T) {
+	l := &Dense{In: 2, Out: 2, W: []float32{1, 2, 3, 4}, B: []float32{0.5, -0.5}}
+	y := make([]float32, 2)
+	l.Forward([]float32{1, 1}, y)
+	if y[0] != 3.5 || y[1] != 6.5 {
+		t.Errorf("forward = %v, want [3.5 6.5]", y)
+	}
+}
+
+// The reference classifier is expensive to train; share it across tests.
+var (
+	refOnce sync.Once
+	refM    *MLP
+	refQ    *QuantizedMLP
+	refTest *Dataset
+	refErr  error
+)
+
+func reference(t *testing.T) (*MLP, *QuantizedMLP, *Dataset) {
+	t.Helper()
+	refOnce.Do(func() { refM, refQ, refTest, refErr = ReferenceClassifier() })
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	return refM, refQ, refTest
+}
+
+func TestTrainingReachesAccuracy(t *testing.T) {
+	m, q, test := reference(t)
+	accF := m.Accuracy(test)
+	accQ := q.Accuracy(test)
+	if accF < 0.90 {
+		t.Errorf("float accuracy %.3f < 0.90", accF)
+	}
+	if accQ < 0.88 {
+		t.Errorf("int8 accuracy %.3f < 0.88", accQ)
+	}
+	if math.Abs(accF-accQ) > 0.05 {
+		t.Errorf("quantization cost %.3f accuracy; should be small", accF-accQ)
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	_, q1, test := reference(t)
+	_, q2, _, err := ReferenceClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Accuracy(test) != q2.Accuracy(test) {
+		t.Error("training must be deterministic across runs")
+	}
+	for li := range q1.Layers {
+		b1, b2 := q1.WeightBytes(li), q2.WeightBytes(li)
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("layer %d byte %d differs between identical trainings", li, i)
+			}
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(4, 8, 3, rng)
+	q := m.Quantize()
+	if len(q.Layers) != 3 {
+		t.Fatalf("expected 3 quantized layers, got %d", len(q.Layers))
+	}
+	// Reconstruction error bounded by scale/2 per weight.
+	for li, l := range m.Layers() {
+		ql := q.Layers[li]
+		for i, w := range l.W {
+			rec := float32(int8(ql.Q[i])) * ql.Scale
+			if math.Abs(float64(rec-w)) > float64(ql.Scale)*0.51 {
+				t.Fatalf("layer %d weight %d: |%v - %v| > scale/2", li, i, rec, w)
+			}
+		}
+	}
+	if q.TotalWeightBytes() != 4*8+8*8+8*3 {
+		t.Errorf("stored bytes = %d", q.TotalWeightBytes())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	_, q, test := reference(t)
+	base := q.Accuracy(test)
+	c := q.Clone()
+	for i := range c.WeightBytes(0) {
+		c.WeightBytes(0)[i] ^= 0xFF
+	}
+	if got := q.Accuracy(test); got != base {
+		t.Error("mutating a clone must not disturb the original")
+	}
+	if c.Accuracy(test) >= base {
+		t.Error("fully corrupting layer 0 should hurt accuracy")
+	}
+}
+
+func TestSyntheticTaskDeterminism(t *testing.T) {
+	tr1, te1 := SyntheticTask(8, 3, 100, 50, 9)
+	tr2, te2 := SyntheticTask(8, 3, 100, 50, 9)
+	if tr1.Len() != 100 || te1.Len() != 50 {
+		t.Fatal("wrong sizes")
+	}
+	for i := range tr1.X {
+		if tr1.Y[i] != tr2.Y[i] {
+			t.Fatal("labels differ for identical seeds")
+		}
+		for j := range tr1.X[i] {
+			if tr1.X[i][j] != tr2.X[i][j] {
+				t.Fatal("samples differ for identical seeds")
+			}
+		}
+	}
+	_ = te2
+}
+
+// Property: quantized prediction is insensitive to which clone it runs on.
+func TestPredictPureProperty(t *testing.T) {
+	_, q, test := reference(t)
+	f := func(idx uint16) bool {
+		i := int(idx) % test.Len()
+		return q.Predict(test.X[i]) == q.Clone().Predict(test.X[i])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkAggregates(t *testing.T) {
+	net := ALBERTBase()
+	in, out := net.ActivationBytes()
+	if in <= 0 || out <= 0 {
+		t.Error("activation totals should be positive")
+	}
+	if net.WeightBytes() != net.WeightParams() {
+		t.Error("int8 networks store one byte per parameter")
+	}
+}

@@ -1,0 +1,186 @@
+// Package nn is NVMExplorer-Go's neural-network substrate. It plays two
+// roles the paper fills with PyTorch and pretrained models:
+//
+//  1. Network *shape* databases (layer-by-layer parameter counts, MACs, and
+//     activation footprints) for the DNN traffic models of Section IV-A:
+//     the ResNet26-class edge vision network run on the NVDLA-style
+//     accelerator, ResNet18 for the fault studies, and the ALBERT
+//     transformer for the NLP intermittent study.
+//  2. A real, trainable, quantizable classifier (mlp.go, train.go) whose
+//     int8-encoded weights receive actual bit-flip fault injection so
+//     application accuracy under storage faults is *measured*, not assumed
+//     (Sections II-B2 and V-C). See DESIGN.md §1 for the substitution
+//     rationale.
+package nn
+
+import "fmt"
+
+// LayerShape describes one layer's storage and compute footprint.
+type LayerShape struct {
+	Name        string
+	Params      int64 // weight parameters
+	MACs        int64 // multiply-accumulates per inference pass
+	ActInBytes  int64 // input activation footprint (int8)
+	ActOutBytes int64 // output activation footprint (int8)
+}
+
+// NetworkShape is a layer-by-layer model of a network's memory behaviour.
+type NetworkShape struct {
+	Name   string
+	Layers []LayerShape
+	// Passes is how many times the parameter set is traversed per
+	// inference. Feed-forward CNNs traverse once; ALBERT shares one encoder
+	// block across all 12 transformer layers, so the same weights are
+	// re-read every layer (the property that moves its Fig 7 crossover).
+	Passes int
+	// BytesPerParam is the stored precision (1 = int8, as in the paper's
+	// quantized edge deployments).
+	BytesPerParam int
+}
+
+// WeightParams sums parameters over all layers.
+func (n *NetworkShape) WeightParams() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.Params
+	}
+	return s
+}
+
+// WeightBytes is the stored weight footprint.
+func (n *NetworkShape) WeightBytes() int64 {
+	return n.WeightParams() * int64(n.BytesPerParam)
+}
+
+// MACs sums compute over all layers for one full inference (all passes).
+func (n *NetworkShape) MACs() int64 {
+	var s int64
+	for _, l := range n.Layers {
+		s += l.MACs
+	}
+	return s * int64(n.Passes)
+}
+
+// ActivationBytes sums the activation traffic (inputs consumed plus outputs
+// produced) over one inference.
+func (n *NetworkShape) ActivationBytes() (in, out int64) {
+	for _, l := range n.Layers {
+		in += l.ActInBytes
+		out += l.ActOutBytes
+	}
+	return in * int64(n.Passes), out * int64(n.Passes)
+}
+
+// conv builds the shape entry for a 2D convolution layer.
+func conv(name string, cin, cout, k, hIn, wIn, stride int) LayerShape {
+	hOut, wOut := hIn/stride, wIn/stride
+	params := int64(cin) * int64(cout) * int64(k) * int64(k)
+	return LayerShape{
+		Name:        name,
+		Params:      params,
+		MACs:        params * int64(hOut) * int64(wOut),
+		ActInBytes:  int64(cin) * int64(hIn) * int64(wIn),
+		ActOutBytes: int64(cout) * int64(hOut) * int64(wOut),
+	}
+}
+
+// dense builds the shape entry for a fully connected layer applied to a
+// sequence of seq tokens (seq=1 for a classifier head).
+func dense(name string, in, out, seq int) LayerShape {
+	params := int64(in) * int64(out)
+	return LayerShape{
+		Name:        name,
+		Params:      params,
+		MACs:        params * int64(seq),
+		ActInBytes:  int64(in) * int64(seq),
+		ActOutBytes: int64(out) * int64(seq),
+	}
+}
+
+// resNet constructs a basic-block ResNet shape: conv1, four stages of basic
+// blocks (two 3x3 convs each, 1x1 downsample at stage entries), and a
+// classifier head. widths gives the per-stage channel counts; blocks the
+// per-stage block counts; res the input resolution.
+func resNet(name string, res int, widths [4]int, blocks [4]int, classes int) NetworkShape {
+	var layers []LayerShape
+	h := res / 2 // conv1 stride 2
+	layers = append(layers, conv("conv1", 3, widths[0], 7, res, res, 2))
+	h /= 2 // maxpool
+	cin := widths[0]
+	for s := 0; s < 4; s++ {
+		cout := widths[s]
+		for b := 0; b < blocks[s]; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			pre := fmt.Sprintf("stage%d.block%d", s+1, b+1)
+			if stride != 1 || cin != cout {
+				layers = append(layers, conv(pre+".down", cin, cout, 1, h, h, stride))
+			}
+			layers = append(layers, conv(pre+".conv1", cin, cout, 3, h, h, stride))
+			h /= stride
+			layers = append(layers, conv(pre+".conv2", cout, cout, 3, h, h, 1))
+			cin = cout
+		}
+	}
+	layers = append(layers, dense("fc", cin, classes, 1))
+	return NetworkShape{Name: name, Layers: layers, Passes: 1, BytesPerParam: 1}
+}
+
+// ResNet18 is the standard ImageNet-class ResNet-18 (~11.7M parameters),
+// used by the Section V-C fault study (Fig 13).
+func ResNet18() NetworkShape {
+	return resNet("ResNet18", 224, [4]int{64, 128, 256, 512}, [4]int{2, 2, 2, 2}, 1000)
+}
+
+// ResNet26Edge is the compact ResNet-26 the continuous NVDLA study deploys
+// (Section IV-A1): a basic-block [3,3,3,3] network with reduced widths so
+// its int8 weights (~1.9MB) fit the 2MB on-chip buffer, in the spirit of
+// the MemTI/MaxNVM edge configurations the paper builds on.
+func ResNet26Edge() NetworkShape {
+	return resNet("ResNet26", 96, [4]int{20, 40, 80, 160}, [4]int{3, 3, 3, 3}, 200)
+}
+
+// ALBERTBase is the ALBERT transformer (~11M parameters) of the NLP
+// intermittent study (Section IV-A2): a 30k-entry factorized embedding plus
+// ONE shared encoder block traversed 12 times per inference at sequence
+// length 128.
+func ALBERTBase() NetworkShape {
+	const (
+		vocab  = 30000
+		embDim = 128
+		hidden = 768
+		ffDim  = 3072
+		seq    = 128
+	)
+	emb := dense("embedding", vocab, embDim, 1)
+	// The embedding lookup reads seq rows, not the whole table.
+	emb.MACs = int64(embDim) * int64(seq)
+	emb.ActInBytes = seq
+	emb.ActOutBytes = int64(embDim) * seq
+	layers := []LayerShape{
+		emb,
+		dense("emb_proj", embDim, hidden, seq),
+		dense("attn.qkv", hidden, 3*hidden, seq),
+		dense("attn.out", hidden, hidden, seq),
+		dense("ffn.up", hidden, ffDim, seq),
+		dense("ffn.down", ffDim, hidden, seq),
+		dense("classifier", hidden, 2, 1),
+	}
+	return NetworkShape{Name: "ALBERT", Layers: layers, Passes: 1, BytesPerParam: 1}
+}
+
+// ALBERTSharedPasses is the number of encoder traversals per ALBERT
+// inference; the traffic model applies it to the shared encoder layers.
+const ALBERTSharedPasses = 12
+
+// SharedEncoderLayer reports whether an ALBERT layer belongs to the shared
+// encoder block (re-read once per pass) rather than the embeddings/head.
+func SharedEncoderLayer(name string) bool {
+	switch name {
+	case "attn.qkv", "attn.out", "ffn.up", "ffn.down":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Deterministic synthetic-classification training. The paper evaluates
+// storage faults on ImageNet-trained ResNets; our measurable stand-in is a
+// classifier trained in-process on a seeded synthetic task, so accuracy
+// degradation under injected storage faults is a real measurement with the
+// same pipeline shape (see DESIGN.md §1).
+
+// Dataset is a labeled sample set.
+type Dataset struct {
+	X [][]float32
+	Y []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// SyntheticTask generates a Gaussian-clusters classification problem:
+// `classes` cluster centers on a hypersphere in `dim` dimensions, samples
+// perturbed with unit-variance noise. The task is hard enough that accuracy
+// responds smoothly to weight corruption but learnable to >90%.
+func SyntheticTask(dim, classes, trainN, testN int, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, classes)
+	for c := range centers {
+		v := make([]float32, dim)
+		norm := 0.0
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+			norm += float64(v[i]) * float64(v[i])
+		}
+		scale := 3.5 / float32(math.Sqrt(norm))
+		for i := range v {
+			v[i] *= scale
+		}
+		centers[c] = v
+	}
+	gen := func(n int) *Dataset {
+		ds := &Dataset{X: make([][]float32, n), Y: make([]int, n)}
+		for i := 0; i < n; i++ {
+			c := rng.Intn(classes)
+			x := make([]float32, dim)
+			for j := range x {
+				x[j] = centers[c][j] + float32(rng.NormFloat64())
+			}
+			ds.X[i] = x
+			ds.Y[i] = c
+		}
+		return ds
+	}
+	return gen(trainN), gen(testN)
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs       int
+	LearningRate float32
+	Seed         int64
+}
+
+// DefaultTrainConfig trains to >90% test accuracy on the default task.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, LearningRate: 0.05, Seed: 42}
+}
+
+// Train fits the MLP with plain SGD on softmax cross-entropy.
+func (m *MLP) Train(ds *Dataset, cfg TrainConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	classes := m.L3.Out
+	h := m.L1.Out
+
+	a1 := make([]float32, h)
+	a2 := make([]float32, h)
+	logits := make([]float32, classes)
+	d3 := make([]float32, classes)
+	d2 := make([]float32, h)
+	d1 := make([]float32, h)
+
+	order := make([]int, ds.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x, y := ds.X[idx], ds.Y[idx]
+			// Forward, keeping activations.
+			m.L1.Forward(x, a1)
+			relu(a1)
+			m.L2.Forward(a1, a2)
+			relu(a2)
+			m.L3.Forward(a2, logits)
+			// Softmax gradient.
+			maxL := logits[0]
+			for _, v := range logits[1:] {
+				if v > maxL {
+					maxL = v
+				}
+			}
+			sum := float32(0)
+			for i, v := range logits {
+				d3[i] = float32(math.Exp(float64(v - maxL)))
+				sum += d3[i]
+			}
+			for i := range d3 {
+				d3[i] /= sum
+			}
+			d3[y] -= 1
+			// Backprop through L3.
+			for i := range d2 {
+				d2[i] = 0
+			}
+			backward(m.L3, a2, d3, d2, cfg.LearningRate)
+			for i, a := range a2 {
+				if a <= 0 {
+					d2[i] = 0
+				}
+			}
+			for i := range d1 {
+				d1[i] = 0
+			}
+			backward(m.L2, a1, d2, d1, cfg.LearningRate)
+			for i, a := range a1 {
+				if a <= 0 {
+					d1[i] = 0
+				}
+			}
+			backward(m.L1, x, d1, nil, cfg.LearningRate)
+		}
+	}
+}
+
+// backward applies the gradient for one dense layer: accumulates the
+// upstream gradient into dIn (if non-nil) and updates weights in place.
+func backward(l *Dense, in, dOut, dIn []float32, lr float32) {
+	for o := 0; o < l.Out; o++ {
+		g := dOut[o]
+		if g == 0 {
+			continue
+		}
+		row := l.W[o*l.In : (o+1)*l.In]
+		if dIn != nil {
+			for i := range row {
+				dIn[i] += row[i] * g
+			}
+		}
+		for i, x := range in {
+			row[i] -= lr * g * x
+		}
+		l.B[o] -= lr * g
+	}
+}
+
+// Accuracy scores the float model on a dataset.
+func (m *MLP) Accuracy(ds *Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range ds.X {
+		if m.Predict(x) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// ReferenceClassifier trains the canonical fault-study model: the
+// deterministic stand-in for the paper's ResNet18/ResNet26 checkpoints.
+// It returns the trained model, its quantized deployment form, and the held
+// out test set, and errors out if training missed the accuracy bar (which
+// would invalidate fault conclusions).
+func ReferenceClassifier() (*MLP, *QuantizedMLP, *Dataset, error) {
+	const (
+		dim     = 16
+		classes = 4
+		hidden  = 32
+	)
+	train, test := SyntheticTask(dim, classes, 2000, 1000, 7)
+	m := NewMLP(dim, hidden, classes, rand.New(rand.NewSource(1)))
+	m.Train(train, DefaultTrainConfig())
+	q := m.Quantize()
+	if acc := q.Accuracy(test); acc < 0.90 {
+		return nil, nil, nil, fmt.Errorf("nn: reference classifier reached only %.1f%% accuracy", acc*100)
+	}
+	return m, q, test, nil
+}

@@ -1,0 +1,240 @@
+package nvsim
+
+import (
+	"math"
+
+	"repro/internal/cell"
+)
+
+// This file holds the circuit-level models that score one organization
+// candidate: timing (Elmore RC + staged logic), access energy (activation +
+// sensing + interconnect), leakage, and area. The companion array.go wraps
+// them with enumeration and target selection.
+
+// log2i returns ceil(log2(n)) for n >= 1.
+func log2i(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// schemeIndex maps a sense scheme to the calibration's area table key.
+func schemeIndex(s cell.SenseScheme) int { return int(s) }
+
+// model evaluates one organization for one cell at one node.
+type model struct {
+	cell cell.Definition
+	node techNode
+	cal  calibration
+	org  Organization
+	word int // access width, bits
+
+	// Derived geometry (µm).
+	cellW, cellH  float64
+	wlLen, blLen  float64
+	rwl, cwl      float64 // wordline R (Ω), C (fF)
+	rbl, cbl      float64 // bitline R (Ω), C (fF)
+	activeSubs    int
+	subCoreMM2    float64
+	subTotalMM2   float64
+	bankMM2       float64
+	totalMM2      float64
+	coreMM2       float64
+	saPerSubarray int
+}
+
+func newModel(c cell.Definition, org Organization, wordBits int, cal calibration) *model {
+	m := &model{cell: c, node: nodeAt(c.NodeNM), cal: cal, org: org, word: wordBits}
+	fUM := c.NodeNM * 1e-3 // F in µm
+	m.cellW = math.Sqrt(c.AreaF2) * fUM
+	m.cellH = m.cellW
+	m.wlLen = float64(org.Cols) * m.cellW
+	m.blLen = float64(org.Rows) * m.cellH
+
+	gatePerCell := m.node.GateCapFFPerUM * 2 * fUM // 2F-wide access device
+	drainPerCell := 0.6 * gatePerCell
+
+	m.rwl = m.node.WireResOhmPerUM * m.wlLen
+	m.cwl = m.node.WireCapFFPerUM*m.wlLen + float64(org.Cols)*gatePerCell
+	m.rbl = m.node.WireResOhmPerUM * m.blLen
+	m.cbl = m.node.WireCapFFPerUM*m.blLen + float64(org.Rows)*drainPerCell
+
+	m.activeSubs = org.ActiveSubarrays(wordBits, c.BitsPerCell)
+	m.saPerSubarray = org.Cols / org.MuxDegree
+
+	// Area accounting (mm²). 1 µm² = 1e-6 mm².
+	core := float64(org.Rows) * float64(org.Cols) * c.AreaF2 * fUM * fUM * 1e-6
+	rowPeriph := float64(org.Rows) * m.cellH * (cal.RowDriverWidthF * fUM) * 1e-6
+	colH := cal.ColSenseHeightF[schemeIndex(c.Sense)]
+	colPeriph := float64(org.Cols) * m.cellW * (colH * fUM) * 1e-6
+	m.subCoreMM2 = core
+	m.subTotalMM2 = core + rowPeriph + colPeriph + cal.ControlAreaFrac*core
+	m.bankMM2 = float64(org.Subarrays) * m.subTotalMM2 * (1 + cal.BankRoutingFrac)
+	m.totalMM2 = float64(org.Banks) * m.bankMM2 * (1 + cal.GlobalRoutingFrac)
+	m.coreMM2 = float64(org.Banks) * float64(org.Subarrays) * core
+	return m
+}
+
+// --- timing ---------------------------------------------------------------
+
+// elmoreNS converts an R(Ω)·C(fF) product into nanoseconds with the 0.38
+// distributed-line coefficient.
+func elmoreNS(r, cFF float64) float64 { return 0.38 * r * cFF * 1e-6 }
+
+func (m *model) decoderDelayNS() float64 {
+	stages := log2i(m.org.Rows) + log2i(m.org.Subarrays)
+	return stages*m.cal.DecoderFO4PerStage*m.node.FO4NS + m.cal.WLDriverFO4*m.node.FO4NS
+}
+
+func (m *model) wordlineDelayNS() float64 { return elmoreNS(m.rwl, m.cwl) }
+
+// senseSettleNS is the bitline development time, per sensing scheme.
+func (m *model) senseSettleNS() float64 {
+	switch m.cell.Sense {
+	case cell.VoltageSense:
+		// Bitline precharge phase, then swing development by cell current.
+		prech := m.cal.PrechargeNS * m.node.FO4NS / nodeAt(22).FO4NS
+		swing := m.cbl * m.cal.VSwing / m.cal.SRAMCellUA // fF·V/µA = ns
+		return prech + 0.3*elmoreNS(m.rbl, m.cbl) + swing
+	case cell.CurrentSense:
+		// Bias the bitline through the cell's on-resistance.
+		return 0.69 * (m.cell.ResOnOhm + m.rbl) * m.cbl * 1e-6
+	default: // FETSense
+		// Boosted wordline settles before the cell transistor is compared
+		// against the reference.
+		return 1.5*m.wordlineDelayNS() + 0.69*m.rbl*m.cbl*1e-6 + 0.2
+	}
+}
+
+func (m *model) senseAmpDelayNS() float64 {
+	base := m.cal.VSenseDelayNS
+	switch m.cell.Sense {
+	case cell.CurrentSense:
+		base = m.cal.ISenseDelayNS
+	case cell.FETSense:
+		base = m.cal.FETSenseDelayNS
+	}
+	return base * m.node.FO4NS / nodeAt(22).FO4NS
+}
+
+func (m *model) muxDelayNS() float64 {
+	return log2i(m.org.MuxDegree) * 1.5 * m.node.FO4NS
+}
+
+// htreePathMM is the total routed distance per access: half the global
+// H-tree span plus the intra-bank route to the activated subarrays. Both
+// terms scale with the *physical* array size, which is how dense cells
+// convert their footprint advantage into wire-delay and wire-energy
+// advantages at iso-capacity.
+func (m *model) htreePathMM() float64 {
+	return m.cal.HtreePathFrac *
+		(0.5*math.Sqrt(m.totalMM2) + 0.7*math.Sqrt(m.bankMM2))
+}
+
+func (m *model) htreeDelayNS() float64 { return m.cal.HtreeNSPerMM * m.htreePathMM() }
+
+func (m *model) readLatencyNS() float64 {
+	return m.decoderDelayNS() + m.wordlineDelayNS() + m.senseSettleNS() +
+		m.cal.SenseScale*m.cell.ReadLatencyNS + m.senseAmpDelayNS() +
+		m.muxDelayNS() + m.htreeDelayNS()
+}
+
+func (m *model) writeLatencyNS() float64 {
+	driver := 2 * m.node.FO4NS
+	t := m.decoderDelayNS() + m.wordlineDelayNS() + m.cell.WriteLatencyNS +
+		driver + m.htreeDelayNS()
+	if m.cell.Sense == cell.VoltageSense {
+		// Differential bitlines must be restored before the next access.
+		t += m.cal.PrechargeNS * m.node.FO4NS / nodeAt(22).FO4NS
+	}
+	return t
+}
+
+// --- energy (pJ per access of m.word bits) --------------------------------
+
+// capEnergyPJ is C(fF)·V² in picojoules.
+func capEnergyPJ(cFF, v float64) float64 { return cFF * v * v * 1e-3 }
+
+func (m *model) decoderEnergyPJ() float64 {
+	// Predecode toggling plus the selected wordline driver.
+	return 0.2 + 0.002*log2i(m.org.Rows)*float64(m.activeSubs)
+}
+
+func (m *model) htreeEnergyPJ(v float64) float64 {
+	capFF := m.node.WireCapFFPerUM * m.htreePathMM() * 1000 // route cap
+	return float64(m.word) * capEnergyPJ(capFF, v) * m.cal.HtreeEnergyFrac
+}
+
+func (m *model) senseEnergyPerBitPJ() float64 {
+	scale := m.node.Vdd * m.node.Vdd / (0.85 * 0.85) // vs 22nm reference
+	switch m.cell.Sense {
+	case cell.VoltageSense:
+		return m.cal.VSensePJ * scale
+	case cell.CurrentSense:
+		return m.cal.ISensePJ * scale
+	default:
+		return m.cal.FETSensePJ * scale
+	}
+}
+
+func (m *model) readEnergyPJ() float64 {
+	bits := float64(m.word)
+	active := float64(m.activeSubs)
+	// Wordline activation: FET sensing boosts to the read voltage; others
+	// fire at Vdd.
+	vWL := m.node.Vdd
+	if m.cell.Sense == cell.FETSense {
+		vWL = math.Max(m.node.Vdd, 2*m.cell.ReadVoltage)
+	}
+	eWL := active * capEnergyPJ(m.cwl, vWL)
+
+	var eBL float64
+	switch m.cell.Sense {
+	case cell.VoltageSense:
+		// All bitlines in the activated subarrays precharge and swing —
+		// this is what makes large SRAM rows expensive.
+		eBL = active * float64(m.org.Cols) * m.cbl * m.node.Vdd * m.cal.VSwing * 1e-3
+	default:
+		// Selective column bias: only the selected bitlines toggle.
+		eBL = bits * capEnergyPJ(m.cbl, m.cell.ReadVoltage)
+	}
+	eSense := bits * m.senseEnergyPerBitPJ()
+	eCell := bits * m.cell.ReadEnergyPJ
+	return m.decoderEnergyPJ() + eWL + eBL + eSense + eCell + m.htreeEnergyPJ(m.node.Vdd)
+}
+
+func (m *model) writeEnergyPJ() float64 {
+	bits := float64(m.word)
+	active := float64(m.activeSubs)
+	vWL := math.Max(m.node.Vdd, m.cell.WriteVoltage)
+	eWL := active * capEnergyPJ(m.cwl, vWL)
+	eDrive := bits * capEnergyPJ(m.cbl, math.Max(m.cell.WriteVoltage, m.node.Vdd))
+	eCell := bits * m.cell.WriteEnergyPJ
+	return m.decoderEnergyPJ() + eWL + eDrive + eCell + m.htreeEnergyPJ(m.node.Vdd)
+}
+
+// --- leakage (mW) ----------------------------------------------------------
+
+func (m *model) leakagePowerMW() float64 {
+	peripheryMM2 := m.totalMM2 - m.coreMM2
+	leak := m.node.LeakMWPerMM2 * peripheryMM2
+	// Sense amplifiers hold static bias.
+	saCount := float64(m.org.Banks) * float64(m.org.Subarrays) * float64(m.saPerSubarray)
+	leak += saCount * m.cal.SALeakMW[schemeIndex(m.cell.Sense)] * (m.node.Vdd / 0.85)
+	// Volatile cells leak (SRAM) or burn refresh (eDRAM, folded into the
+	// per-bit figure).
+	if m.cell.CellLeakagePW > 0 {
+		bitsTotal := float64(m.org.CellsTotal()) * float64(m.cell.BitsPerCell)
+		leak += bitsTotal * m.cell.CellLeakagePW * 1e-9
+	}
+	return leak
+}
+
+// areaEfficiency is core cell area over total macro area.
+func (m *model) areaEfficiency() float64 {
+	if m.totalMM2 <= 0 {
+		return 0
+	}
+	return m.coreMM2 / m.totalMM2
+}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/viz"
+)
+
+// Run executes a configuration end to end.
+func Run(cfg *Config) (*core.Results, error) {
+	study, err := cfg.Study()
+	if err != nil {
+		return nil, err
+	}
+	return study.Run()
+}
+
+// RunFile loads a JSON configuration file and executes it.
+func RunFile(path string) (*core.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	cfg, err := Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return Run(cfg)
+}
+
+// WriteCSVs writes one combined CSV per technology into dir, matching the
+// artifact's output/results/[eNVM]_1BPC-combined.csv convention, and
+// returns the file paths written.
+func WriteCSVs(res *core.Results, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	// Partition metrics per technology name.
+	perTech := map[string]*viz.Table{}
+	var order []string
+	for _, m := range res.Metrics {
+		techName := m.Array.Cell.Tech.String()
+		t, ok := perTech[techName]
+		if !ok {
+			t = viz.NewTable(techName,
+				"Cell", "BitsPerCell", "CapacityBytes", "OptTarget", "Pattern",
+				"ReadLatencyNS", "WriteLatencyNS", "ReadEnergyPJ", "WriteEnergyPJ",
+				"LeakagePowerMW", "AreaMM2", "AreaEfficiency", "DensityMbPerMM2",
+				"TotalPowerMW", "DynamicPowerMW", "MemTimePerSec", "TaskLatencyS",
+				"MeetsTaskRate", "LifetimeYears")
+			perTech[techName] = t
+			order = append(order, techName)
+		}
+		a := m.Array
+		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
+			fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(), m.Pattern.Name,
+			a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ, a.WriteEnergyPJ,
+			a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency, a.DensityMbPerMM2(),
+			m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.TaskLatencyS,
+			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
+	}
+	var paths []string
+	for _, techName := range order {
+		bpc := "1BPC"
+		if strings.Contains(res.Study.Name, "mlc") {
+			bpc = "combinedBPC"
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s-combined.csv", techName, bpc))
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, fmt.Errorf("sweep: %w", err)
+		}
+		if err := perTech[techName].WriteCSV(f); err != nil {
+			f.Close()
+			return paths, fmt.Errorf("sweep: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

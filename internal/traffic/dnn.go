@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// The DNN accelerator traffic model (Section IV-A), standing in for the
+// NVDLA performance model [108] the paper uses to extract "realistic memory
+// access patterns and bandwidth requirements of the on-chip buffer".
+//
+// The model is tile-based: weights stream from the on-chip buffer into the
+// MAC array once per activation tile, so layers whose activations exceed
+// the accelerator's working tile re-read their weights. That weight-re-read
+// factor is what makes per-inference access counts several times larger
+// than the raw weight footprint, and it drives the intermittent-operation
+// crossovers of Figure 7. ALBERT additionally re-reads its shared encoder
+// block once per transformer layer (12 passes).
+
+// Accelerator describes the NVDLA-class engine configuration.
+type Accelerator struct {
+	Name         string
+	MACs         int     // parallel int8 MACs
+	ClockGHz     float64 // core clock
+	ActTileBytes int64   // activation working-set per tile held in the MAC-array-side buffer
+}
+
+// NVDLA returns the paper's base computing platform (Section IV-A1): the
+// open NVDLA configuration with a 2MB on-chip buffer feeding a 1024-MAC
+// int8 engine. The activation tile reflects the convolution buffer slice
+// reserved for input activations.
+func NVDLA() Accelerator {
+	return Accelerator{Name: "NVDLA", MACs: 1024, ClockGHz: 1.0, ActTileBytes: 16 << 10}
+}
+
+// ComputeTimeS is the compute-bound inference time for a network.
+func (a Accelerator) ComputeTimeS(net *nn.NetworkShape) float64 {
+	if a.MACs <= 0 || a.ClockGHz <= 0 {
+		return 0
+	}
+	return float64(net.MACs()) / (float64(a.MACs) * a.ClockGHz * 1e9)
+}
+
+// weightReads counts line-sized weight reads for one inference: each
+// layer's weights are read once per activation tile, and shared-encoder
+// layers (ALBERT) once per pass on top.
+func (a Accelerator) weightReads(net *nn.NetworkShape) float64 {
+	var reads float64
+	for _, l := range net.Layers {
+		lines := float64((l.Params*int64(net.BytesPerParam) + LineBytes - 1) / LineBytes)
+		tiles := 1.0
+		if a.ActTileBytes > 0 && l.ActInBytes > a.ActTileBytes {
+			tiles = float64((l.ActInBytes + a.ActTileBytes - 1) / a.ActTileBytes)
+		}
+		passes := 1.0
+		if nn.SharedEncoderLayer(l.Name) {
+			passes = float64(nn.ALBERTSharedPasses)
+		}
+		reads += lines * tiles * passes
+	}
+	return reads
+}
+
+// activationTraffic counts line-sized activation reads and writes for one
+// inference (each layer reads its inputs and writes its outputs).
+func (a Accelerator) activationTraffic(net *nn.NetworkShape) (reads, writes float64) {
+	for _, l := range net.Layers {
+		passes := 1.0
+		if nn.SharedEncoderLayer(l.Name) {
+			passes = float64(nn.ALBERTSharedPasses)
+		}
+		reads += passes * float64((l.ActInBytes+LineBytes-1)/LineBytes)
+		writes += passes * float64((l.ActOutBytes+LineBytes-1)/LineBytes)
+	}
+	return reads, writes
+}
+
+// DNNUseCase selects what the evaluated memory stores (Section IV-A's
+// "weights-only vs storage of DNN parameters and intermediate results").
+type DNNUseCase int
+
+const (
+	// WeightsOnly: the memory persistently holds the weights; inference
+	// reads them and writes nothing.
+	WeightsOnly DNNUseCase = iota
+	// WeightsAndActs: activations also live in the evaluated memory,
+	// adding read and write traffic (and, the paper notes, "ostensibly
+	// ignoring endurance limitations").
+	WeightsAndActs
+)
+
+// DNNTraffic builds the traffic pattern for running net on the accelerator
+// at fps inferences per second (0 = best effort / intermittent), with
+// `tasks` concurrent network instances (1 = single-task, 3 = the multi-task
+// image pipeline of Section IV-A: detection + tracking + classification).
+func DNNTraffic(a Accelerator, net *nn.NetworkShape, fps float64, tasks int, use DNNUseCase) Pattern {
+	if tasks < 1 {
+		tasks = 1
+	}
+	wReads := a.weightReads(net) * float64(tasks)
+	aReads, aWrites := 0.0, 0.0
+	if use == WeightsAndActs {
+		aReads, aWrites = a.activationTraffic(net)
+		aReads *= float64(tasks)
+		aWrites *= float64(tasks)
+	}
+	footprint := net.WeightBytes() * int64(tasks)
+	if use == WeightsAndActs {
+		in, out := net.ActivationBytes()
+		_ = in
+		footprint += out * int64(tasks) / int64(net.Passes)
+	}
+	mode := "weights"
+	if use == WeightsAndActs {
+		mode = "weights+acts"
+	}
+	name := fmt.Sprintf("%s x%d %s", net.Name, tasks, mode)
+	if fps > 0 {
+		name = fmt.Sprintf("%s @%gfps", name, fps)
+	}
+	return Pattern{
+		Name:           name,
+		ReadsPerTask:   wReads + aReads,
+		WritesPerTask:  aWrites,
+		TasksPerSec:    fps,
+		FootprintBytes: footprint,
+	}.Derive()
+}
+
+// WeightReuseFactor reports the average number of times each weight line is
+// read per inference under the tiling model — a diagnostic the tests pin to
+// keep the Figure 7 crossovers calibrated.
+func WeightReuseFactor(a Accelerator, net *nn.NetworkShape) float64 {
+	lines := float64((net.WeightBytes() + LineBytes - 1) / LineBytes)
+	if lines == 0 {
+		return 0
+	}
+	return a.weightReads(net) / lines
+}

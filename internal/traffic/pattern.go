@@ -1,0 +1,147 @@
+// Package traffic models application memory traffic — the application layer
+// of NVMExplorer's cross-stack configuration (Section II-A). A Pattern
+// captures how a workload exercises one memory structure: access rates,
+// per-task access counts, and required task rates. Patterns come from three
+// sources, mirroring the paper:
+//
+//   - generic sweeps over read/write bandwidth ranges (graph processing,
+//     Section IV-B1; co-design sweeps, Section V),
+//   - the NVDLA-style DNN accelerator performance model (Section IV-A), and
+//   - measured workload characterization from the substrate simulators
+//     (internal/graph kernels, internal/cache SPEC runs).
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LineBytes is the access granularity every pattern uses: one 64-byte line,
+// matching the paper's LLC line size and the NVDLA buffer port.
+const LineBytes = 64
+
+// Pattern describes memory traffic into one memory structure. Rates are in
+// line-sized accesses per second; per-task counts are line-sized accesses
+// per unit of work (frame, inference, graph iteration, benchmark run).
+type Pattern struct {
+	Name string
+
+	// Steady-state rates (accesses/second).
+	ReadsPerSec  float64
+	WritesPerSec float64
+
+	// Per-task structure, when the workload is task-shaped.
+	ReadsPerTask  float64
+	WritesPerTask float64
+	TasksPerSec   float64 // required task rate (e.g. 60 FPS); 0 = best effort
+
+	// FootprintBytes is the resident data size the memory must hold
+	// (weights, graph partition, cache capacity).
+	FootprintBytes int64
+}
+
+// Derive fills the steady-state rates from the per-task structure when a
+// task rate is present, and returns the result. Patterns built directly
+// from rates pass through unchanged.
+func (p Pattern) Derive() Pattern {
+	if p.TasksPerSec > 0 {
+		if p.ReadsPerSec == 0 {
+			p.ReadsPerSec = p.ReadsPerTask * p.TasksPerSec
+		}
+		if p.WritesPerSec == 0 {
+			p.WritesPerSec = p.WritesPerTask * p.TasksPerSec
+		}
+	}
+	return p
+}
+
+// ReadBandwidthGBs is the read traffic in GB/s.
+func (p Pattern) ReadBandwidthGBs() float64 {
+	return p.ReadsPerSec * LineBytes / 1e9
+}
+
+// WriteBandwidthGBs is the write traffic in GB/s.
+func (p Pattern) WriteBandwidthGBs() float64 {
+	return p.WritesPerSec * LineBytes / 1e9
+}
+
+// ReadFraction is reads over total accesses (0 when idle).
+func (p Pattern) ReadFraction() float64 {
+	tot := p.ReadsPerSec + p.WritesPerSec
+	if tot == 0 {
+		return 0
+	}
+	return p.ReadsPerSec / tot
+}
+
+// Validate rejects physically meaningless patterns.
+func (p Pattern) Validate() error {
+	for _, v := range []float64{p.ReadsPerSec, p.WritesPerSec, p.ReadsPerTask,
+		p.WritesPerTask, p.TasksPerSec} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("traffic %q: negative or non-finite rate", p.Name)
+		}
+	}
+	if p.FootprintBytes < 0 {
+		return fmt.Errorf("traffic %q: negative footprint", p.Name)
+	}
+	return nil
+}
+
+// Scale returns a copy with read and write traffic multiplied by f —
+// used by the write-buffer what-if analyses (Section V-D) and multi-task
+// composition.
+func (p Pattern) Scale(readF, writeF float64) Pattern {
+	p.ReadsPerSec *= readF
+	p.WritesPerSec *= writeF
+	p.ReadsPerTask *= readF
+	p.WritesPerTask *= writeF
+	p.Name = fmt.Sprintf("%s(x%.2gr,x%.2gw)", p.Name, readF, writeF)
+	return p
+}
+
+// String renders the pattern compactly.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s[%.3g rd/s, %.3g wr/s, fp %dB]",
+		p.Name, p.ReadsPerSec, p.WritesPerSec, p.FootprintBytes)
+}
+
+// GenericSweep builds a log-spaced grid of generic traffic patterns
+// covering [readLoGBs, readHiGBs] x [writeLoGBs, writeHiGBs] bandwidths
+// with the given number of points per axis — Section IV-B1's "generic
+// traffic patterns representing graph processing kernels" (reads 1-10GB/s,
+// writes 1-100MB/s) and the co-design sweeps of Figures 11, 12, and 14.
+func GenericSweep(readLoGBs, readHiGBs, writeLoGBs, writeHiGBs float64, points int) []Pattern {
+	if points < 2 {
+		points = 2
+	}
+	logSpace := func(lo, hi float64, n int) []float64 {
+		out := make([]float64, n)
+		if lo <= 0 || hi <= lo {
+			for i := range out {
+				out[i] = lo
+			}
+			return out
+		}
+		step := math.Pow(hi/lo, 1/float64(n-1))
+		v := lo
+		for i := range out {
+			out[i] = v
+			v *= step
+		}
+		return out
+	}
+	reads := logSpace(readLoGBs, readHiGBs, points)
+	writes := logSpace(writeLoGBs, writeHiGBs, points)
+	var out []Pattern
+	for _, r := range reads {
+		for _, w := range writes {
+			out = append(out, Pattern{
+				Name:         fmt.Sprintf("generic r%.2gGBs w%.2gGBs", r, w),
+				ReadsPerSec:  r * 1e9 / LineBytes,
+				WritesPerSec: w * 1e9 / LineBytes,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package traffic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+func TestDerive(t *testing.T) {
+	p := Pattern{Name: "x", ReadsPerTask: 1000, WritesPerTask: 10, TasksPerSec: 60}.Derive()
+	if p.ReadsPerSec != 60000 || p.WritesPerSec != 600 {
+		t.Errorf("derived rates %g/%g, want 60000/600", p.ReadsPerSec, p.WritesPerSec)
+	}
+	// Explicit rates pass through.
+	q := Pattern{ReadsPerSec: 5, ReadsPerTask: 100, TasksPerSec: 60}.Derive()
+	if q.ReadsPerSec != 5 {
+		t.Error("explicit rate should not be overwritten")
+	}
+}
+
+func TestBandwidthAndFractions(t *testing.T) {
+	p := Pattern{ReadsPerSec: 1e9 / LineBytes, WritesPerSec: 1e8 / LineBytes}
+	if math.Abs(p.ReadBandwidthGBs()-1.0) > 1e-12 {
+		t.Errorf("read bandwidth = %g GB/s, want 1", p.ReadBandwidthGBs())
+	}
+	if math.Abs(p.WriteBandwidthGBs()-0.1) > 1e-12 {
+		t.Errorf("write bandwidth = %g GB/s, want 0.1", p.WriteBandwidthGBs())
+	}
+	if f := p.ReadFraction(); math.Abs(f-10.0/11) > 1e-9 {
+		t.Errorf("read fraction = %g", f)
+	}
+	if (Pattern{}).ReadFraction() != 0 {
+		t.Error("idle pattern read fraction should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Pattern{
+		{Name: "neg", ReadsPerSec: -1},
+		{Name: "nan", WritesPerSec: math.NaN()},
+		{Name: "inf", TasksPerSec: math.Inf(1)},
+		{Name: "fp", FootprintBytes: -5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", p.Name)
+		}
+	}
+	if err := (Pattern{Name: "ok", ReadsPerSec: 1}).Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Pattern{Name: "base", ReadsPerSec: 100, WritesPerSec: 50, WritesPerTask: 5}
+	s := p.Scale(1, 0.5)
+	if s.ReadsPerSec != 100 || s.WritesPerSec != 25 || s.WritesPerTask != 2.5 {
+		t.Errorf("scaled = %+v", s)
+	}
+	if p.WritesPerSec != 50 {
+		t.Error("Scale must not mutate the receiver")
+	}
+}
+
+func TestGenericSweepEnvelope(t *testing.T) {
+	// Section IV-B1: reads 1-10GB/s, writes 1-100MB/s.
+	pats := GenericSweep(1, 10, 0.001, 0.1, 5)
+	if len(pats) != 25 {
+		t.Fatalf("sweep size = %d, want 25", len(pats))
+	}
+	for _, p := range pats {
+		r := p.ReadBandwidthGBs()
+		w := p.WriteBandwidthGBs()
+		if r < 1-1e-9 || r > 10+1e-9 {
+			t.Errorf("%s: read bandwidth %g outside [1,10] GB/s", p.Name, r)
+		}
+		if w < 0.001-1e-12 || w > 0.1+1e-9 {
+			t.Errorf("%s: write bandwidth %g outside [1,100] MB/s", p.Name, w)
+		}
+	}
+	// Corners are covered exactly.
+	if math.Abs(pats[0].ReadBandwidthGBs()-1) > 1e-9 ||
+		math.Abs(pats[len(pats)-1].ReadBandwidthGBs()-10) > 1e-9 {
+		t.Error("sweep should span the exact bounds")
+	}
+}
+
+func TestGenericSweepDegenerate(t *testing.T) {
+	pats := GenericSweep(2, 2, 0.01, 0.01, 1)
+	if len(pats) != 4 { // clamped to 2 points per axis
+		t.Fatalf("degenerate sweep size = %d, want 4", len(pats))
+	}
+	for _, p := range pats {
+		if math.Abs(p.ReadBandwidthGBs()-2) > 1e-9 {
+			t.Error("flat range should repeat the bound")
+		}
+	}
+}
+
+func TestNVDLAComputeTime(t *testing.T) {
+	a := NVDLA()
+	net := nn.ResNet26Edge()
+	ct := a.ComputeTimeS(&net)
+	if ct <= 0 {
+		t.Fatal("compute time must be positive")
+	}
+	// 1024 MACs at 1GHz must sustain 60fps on the edge network (the study's
+	// premise that memory, not compute, is the question).
+	if ct > 1.0/60 {
+		t.Errorf("ResNet26Edge compute time %.4fs exceeds the 60fps budget", ct)
+	}
+}
+
+func TestDNNTrafficWeightsOnly(t *testing.T) {
+	a := NVDLA()
+	net := nn.ResNet26Edge()
+	p := DNNTraffic(a, &net, 60, 1, WeightsOnly)
+	if p.WritesPerTask != 0 || p.WritesPerSec != 0 {
+		t.Error("weights-only inference must not write")
+	}
+	minReads := float64(net.WeightBytes() / LineBytes)
+	if p.ReadsPerTask < minReads {
+		t.Errorf("reads per inference %.0f below one full weight sweep %.0f",
+			p.ReadsPerTask, minReads)
+	}
+	if p.ReadsPerSec != p.ReadsPerTask*60 {
+		t.Error("rate should derive from 60fps")
+	}
+	if p.FootprintBytes != net.WeightBytes() {
+		t.Errorf("footprint %d != weight bytes %d", p.FootprintBytes, net.WeightBytes())
+	}
+	if !strings.Contains(p.Name, "ResNet26") {
+		t.Errorf("pattern name %q should identify the network", p.Name)
+	}
+}
+
+func TestDNNTrafficActivations(t *testing.T) {
+	a := NVDLA()
+	net := nn.ResNet26Edge()
+	wOnly := DNNTraffic(a, &net, 60, 1, WeightsOnly)
+	wActs := DNNTraffic(a, &net, 60, 1, WeightsAndActs)
+	if wActs.ReadsPerTask <= wOnly.ReadsPerTask {
+		t.Error("storing activations must add read traffic")
+	}
+	if wActs.WritesPerTask <= 0 {
+		t.Error("storing activations must add write traffic")
+	}
+}
+
+func TestDNNTrafficMultiTask(t *testing.T) {
+	a := NVDLA()
+	net := nn.ResNet26Edge()
+	single := DNNTraffic(a, &net, 60, 1, WeightsOnly)
+	multi := DNNTraffic(a, &net, 60, 3, WeightsOnly)
+	if math.Abs(multi.ReadsPerTask/single.ReadsPerTask-3) > 1e-9 {
+		t.Errorf("multi-task reads should triple, ratio = %g",
+			multi.ReadsPerTask/single.ReadsPerTask)
+	}
+	if multi.FootprintBytes != 3*single.FootprintBytes {
+		t.Error("multi-task footprint should triple")
+	}
+	// tasks < 1 clamps.
+	clamped := DNNTraffic(a, &net, 60, 0, WeightsOnly)
+	if clamped.ReadsPerTask != single.ReadsPerTask {
+		t.Error("tasks=0 should clamp to 1")
+	}
+}
+
+func TestALBERTSharedWeightAmplification(t *testing.T) {
+	// ALBERT's shared encoder is re-read every one of its 12 layers: its
+	// weight-reuse factor must far exceed the CNN's (this drives the Fig 7
+	// NLP crossover shift).
+	a := NVDLA()
+	cnn := nn.ResNet26Edge()
+	albert := nn.ALBERTBase()
+	cnnReuse := WeightReuseFactor(a, &cnn)
+	albertReuse := WeightReuseFactor(a, &albert)
+	if cnnReuse < 1 {
+		t.Errorf("CNN reuse %.2f must be at least one full sweep", cnnReuse)
+	}
+	if albertReuse < 10*cnnReuse {
+		t.Errorf("ALBERT reuse %.2f should dwarf CNN reuse %.2f", albertReuse, cnnReuse)
+	}
+}
+
+// Property: DNN traffic is monotone in task count and never negative.
+func TestDNNTrafficMonotoneProperty(t *testing.T) {
+	a := NVDLA()
+	net := nn.ResNet26Edge()
+	f := func(tasks uint8, fps uint8) bool {
+		k := int(tasks%8) + 1
+		p1 := DNNTraffic(a, &net, float64(fps), k, WeightsAndActs)
+		p2 := DNNTraffic(a, &net, float64(fps), k+1, WeightsAndActs)
+		return p1.Validate() == nil && p2.Validate() == nil &&
+			p2.ReadsPerTask > p1.ReadsPerTask && p2.WritesPerTask > p1.WritesPerTask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package viz
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"strings"
+)
+
+// Static HTML+SVG dashboard generation — the self-contained stand-in for
+// the paper's interactive Tableau dashboard. Each Scatter renders as an SVG
+// panel with a legend; tables render as HTML tables. No external assets.
+
+// svgPalette colors series in SVG output.
+var svgPalette = []string{
+	"#2a7de1", "#e1592a", "#2ae17d", "#a12ae1", "#e1c22a",
+	"#e12a6f", "#2ac2e1", "#6fe12a", "#815531", "#555555",
+}
+
+// SVG renders the scatter as a standalone SVG element.
+func (s *Scatter) SVG(width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	const margin = 50
+	xLo, xHi, yLo, yHi, ok := s.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height+30)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`,
+		margin, template.HTMLEscapeString(s.Title))
+	if !ok {
+		b.WriteString(`<text x="50" y="50">no plottable points</text></svg>`)
+		return b.String()
+	}
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`,
+		margin, margin, plotW, plotH)
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s: %.3g .. %.3g</text>`,
+		margin, height-margin+16, template.HTMLEscapeString(s.XLabel),
+		axisVal(xLo, s.LogX), axisVal(xHi, s.LogX))
+	fmt.Fprintf(&b, `<text x="4" y="%d" font-size="11" transform="rotate(-90 12 %d)">%s: %.3g .. %.3g</text>`,
+		margin+40, margin+40, template.HTMLEscapeString(s.YLabel),
+		axisVal(yLo, s.LogY), axisVal(yHi, s.LogY))
+	// Points.
+	for si, ser := range s.Series {
+		color := svgPalette[si%len(svgPalette)]
+		for _, p := range ser.Points {
+			x, y := p.X, p.Y
+			if s.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if s.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			px := float64(margin) + (x-xLo)/(xHi-xLo)*plotW
+			py := float64(margin) + plotH - (y-yLo)/(yHi-yLo)*plotH
+			title := ser.Name
+			if p.Label != "" {
+				title += ": " + p.Label
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"><title>%s</title></circle>`,
+				px, py, color, template.HTMLEscapeString(title))
+		}
+	}
+	// Legend.
+	lx := margin
+	ly := height + 8
+	for si, ser := range s.Series {
+		color := svgPalette[si%len(svgPalette)]
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="4" fill="%s"/>`, lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`,
+			lx+8, ly+4, template.HTMLEscapeString(ser.Name))
+		lx += 12 + 7*len(ser.Name)
+		if lx > width-80 && si < len(s.Series)-1 {
+			lx = margin
+			ly += 14
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// Dashboard is a collection of panels rendered into one HTML page.
+type Dashboard struct {
+	Title    string
+	Scatters []*Scatter
+	Tables   []*Table
+}
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 24px; }
+h1 { font-size: 20px; }
+table { border-collapse: collapse; margin: 12px 0; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; font-size: 12px; }
+th { background: #f0f0f0; }
+.panel { display: inline-block; margin: 10px; vertical-align: top; }
+caption { font-weight: bold; font-size: 13px; text-align: left; padding: 4px 0; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .SVGs}}<div class="panel">{{.}}</div>
+{{end}}
+{{range .HTMLTables}}{{.}}
+{{end}}
+</body></html>
+`))
+
+// WriteHTML renders the dashboard to w.
+func (d *Dashboard) WriteHTML(w io.Writer) error {
+	var svgs []template.HTML
+	for _, s := range d.Scatters {
+		svgs = append(svgs, template.HTML(s.SVG(460, 320)))
+	}
+	var tables []template.HTML
+	for _, t := range d.Tables {
+		tables = append(tables, template.HTML(tableHTML(t)))
+	}
+	return dashboardTmpl.Execute(w, struct {
+		Title      string
+		SVGs       []template.HTML
+		HTMLTables []template.HTML
+	}{d.Title, svgs, tables})
+}
+
+func tableHTML(t *Table) string {
+	var b strings.Builder
+	b.WriteString("<table><caption>")
+	b.WriteString(template.HTMLEscapeString(t.Title))
+	b.WriteString("</caption><tr>")
+	for _, c := range t.Columns {
+		b.WriteString("<th>" + template.HTMLEscapeString(c) + "</th>")
+	}
+	b.WriteString("</tr>")
+	for _, row := range t.Rows {
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			b.WriteString("<td>" + template.HTMLEscapeString(cell) + "</td>")
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</table>")
+	return b.String()
+}

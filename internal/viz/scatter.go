@@ -1,0 +1,174 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample in a scatter view.
+type Point struct {
+	X, Y  float64
+	Label string // optional per-point annotation
+}
+
+// Series is one named point set (one technology/flavor in the figures).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Scatter is a figure-style scatter view: the terminal rendering of one
+// panel of a paper figure.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// glyphs assigns one rune per series.
+var glyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&', '^', '~', '$', '='}
+
+// Add appends points to a named series, creating it on first use.
+func (s *Scatter) Add(name string, pts ...Point) {
+	for i := range s.Series {
+		if s.Series[i].Name == name {
+			s.Series[i].Points = append(s.Series[i].Points, pts...)
+			return
+		}
+	}
+	s.Series = append(s.Series, Series{Name: name, Points: pts})
+}
+
+// bounds computes finite axis bounds over all series.
+func (s *Scatter) bounds() (xLo, xHi, yLo, yHi float64, ok bool) {
+	xLo, yLo = math.Inf(1), math.Inf(1)
+	xHi, yHi = math.Inf(-1), math.Inf(-1)
+	for _, ser := range s.Series {
+		for _, p := range ser.Points {
+			x, y := p.X, p.Y
+			if s.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if s.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xLo, xHi = math.Min(xLo, x), math.Max(xHi, x)
+			yLo, yHi = math.Min(yLo, y), math.Max(yHi, y)
+		}
+	}
+	if xLo > xHi || yLo > yHi {
+		return 0, 0, 0, 0, false
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	return xLo, xHi, yLo, yHi, true
+}
+
+// Render draws the scatter as ASCII art of the given dimensions (minimum
+// 20x8); glyph collisions keep the earliest series' mark.
+func (s *Scatter) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xLo, xHi, yLo, yHi, ok := s.bounds()
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if !ok {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, ser := range s.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range ser.Points {
+			x, y := p.X, p.Y
+			if s.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if s.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			cx := int(math.Round((x - xLo) / (xHi - xLo) * float64(width-1)))
+			cy := int(math.Round((y - yLo) / (yHi - yLo) * float64(height-1)))
+			row := height - 1 - cy
+			if grid[row][cx] == ' ' {
+				grid[row][cx] = g
+			}
+		}
+	}
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%s (y: %.3g .. %.3g)\n", s.YLabel, axisVal(yLo, s.LogY), axisVal(yHi, s.LogY))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %s (x: %.3g .. %.3g)\n", s.XLabel, axisVal(xLo, s.LogX), axisVal(xHi, s.LogX))
+	for si, ser := range s.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], ser.Name)
+	}
+	return b.String()
+}
+
+// ParetoFront extracts the Pareto-optimal subset of points minimizing both
+// axes (the dashboard's "identify design points of interest" helper).
+// Points are returned sorted by X.
+func ParetoFront(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	var front []Point
+	bestY := math.Inf(1)
+	for _, p := range sorted {
+		if p.Y < bestY {
+			front = append(front, p)
+			bestY = p.Y
+		}
+	}
+	return front
+}

@@ -1,0 +1,153 @@
+// Package viz is NVMExplorer-Go's result-exploration layer (Section II-C):
+// result tables with CSV emission, terminal scatter plots, SVG/HTML
+// dashboard rendering, constraint filters, and Pareto-frontier extraction.
+// It replaces the paper's Tableau dashboard with self-contained artifacts —
+// aligned text and ASCII plots for terminals, and a static HTML+SVG
+// dashboard (cmd/nvmviz) with the same views and filter semantics.
+package viz
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of results — one paper table or one figure's
+// underlying data.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row, formatting each value: floats render compactly,
+// everything else via %v. Rows shorter or longer than the header are
+// rejected.
+func (t *Table) AddRow(values ...any) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("viz: row has %d cells, table %q has %d columns",
+			len(values), t.Title, len(t.Columns))
+	}
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = formatCell(v)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAddRow is AddRow that panics on arity mistakes (programmer error).
+func (t *Table) MustAddRow(values ...any) {
+	if err := t.AddRow(values...); err != nil {
+		panic(err)
+	}
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x != x: // NaN
+		return "NaN"
+	case x >= 1e5 || x <= -1e5 || (x < 1e-3 && x > -1e-3):
+		return fmt.Sprintf("%.3g", x)
+	default:
+		return fmt.Sprintf("%.4g", x)
+	}
+}
+
+// String renders the table with aligned columns for terminals.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table in the artifact's CSV format (header + rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Filter returns a new table keeping rows for which keep returns true.
+// This is the dashboard's "filter according to system and application
+// constraints" primitive applied at the table level.
+func (t *Table) Filter(keep func(row []string) bool) *Table {
+	out := NewTable(t.Title, t.Columns...)
+	for _, row := range t.Rows {
+		if keep(row) {
+			out.Rows = append(out.Rows, append([]string(nil), row...))
+		}
+	}
+	return out
+}
+
+// Column returns the index of a named column, or -1.
+func (t *Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

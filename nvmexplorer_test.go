@@ -1,0 +1,153 @@
+package nvmexplorer
+
+// Integration tests for the public facade: everything a downstream user
+// does goes through these paths.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	study := NewStudy("api test").
+		AddTentpole(SRAM, Reference).
+		AddTentpole(STT, Optimistic).
+		AddCapacity(1 << 20).
+		AddTarget(OptReadEDP).
+		AddPattern(GenericSweep(1, 10, 0.001, 0.1, 3)...)
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arrays) != 2 || len(res.Metrics) != 18 {
+		t.Fatalf("arrays=%d metrics=%d", len(res.Arrays), len(res.Metrics))
+	}
+	best, ok := res.BestBy(func(m Metrics) float64 { return m.TotalPowerMW }, nil)
+	if !ok {
+		t.Fatal("no best point")
+	}
+	if best.Array.Cell.Tech != STT {
+		t.Errorf("lowest power should be the eNVM, got %v", best.Array.Cell.Tech)
+	}
+	if !strings.Contains(res.ArrayTable().String(), "Opt. STT") {
+		t.Error("array table missing STT")
+	}
+}
+
+func TestPublicCharacterize(t *testing.T) {
+	d, err := Tentpole(RRAM, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Characterize(ArrayConfig{Cell: d, CapacityBytes: 2 << 20, Target: OptArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := CharacterizeAll(ArrayConfig{Cell: d, CapacityBytes: 2 << 20, Target: OptArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.AreaMM2 != all[0].AreaMM2 {
+		t.Error("Characterize should return the best of CharacterizeAll")
+	}
+}
+
+func TestPublicSurveyAndDerivation(t *testing.T) {
+	pubs := Survey()
+	if len(pubs) != 122 {
+		t.Fatalf("survey = %d publications, want 122", len(pubs))
+	}
+	derived, err := DeriveTentpole(pubs, STT, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Tentpole(STT, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.AreaF2 != canon.AreaF2 {
+		t.Errorf("derived area %g != canonical %g", derived.AreaF2, canon.AreaF2)
+	}
+}
+
+func TestPublicMLCAndEvaluate(t *testing.T) {
+	d, err := Tentpole(RRAM, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlc, err := ToMLC(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Characterize(ArrayConfig{Cell: mlc, CapacityBytes: 1 << 20, Target: OptReadEDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(arr, TrafficPattern{Name: "x", ReadsPerSec: 1e6, WritesPerSec: 1e4}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalPowerMW <= 0 {
+		t.Error("evaluation produced no power")
+	}
+	// Write buffering through the public surface.
+	wb, err := Evaluate(arr, TrafficPattern{Name: "x", WritesPerSec: 1e6}, EvalOptions{
+		WriteBuffer: &WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Evaluate(arr, TrafficPattern{Name: "x", WritesPerSec: 1e6}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.MemoryTimePerSec >= plain.MemoryTimePerSec {
+		t.Error("write buffer should mask latency")
+	}
+}
+
+func TestPublicIntermittent(t *testing.T) {
+	d, err := Tentpole(FeFET, Optimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Characterize(ArrayConfig{Cell: d, CapacityBytes: 2 << 20, Target: OptReadEDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := IntermittentEnergy(arr, 1e5, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyPerDay <= 0 || math.IsNaN(r.EnergyPerDay) {
+		t.Error("bad intermittent energy")
+	}
+}
+
+func TestPublicDashboard(t *testing.T) {
+	res, err := NewStudy("dash").
+		AddTentpole(STT, Optimistic).
+		AddCapacity(1 << 20).
+		AddPattern(GenericSweep(1, 10, 0.01, 0.1, 3)...).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	d := &Dashboard{Title: "t", Scatters: []*Scatter{res.PowerScatter()},
+		Tables: []*Table{res.ArrayTable()}}
+	if err := d.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("dashboard missing SVG panels")
+	}
+}
+
+func TestPublicNVDLA(t *testing.T) {
+	a := NVDLA()
+	if a.MACs <= 0 || a.ClockGHz <= 0 {
+		t.Error("NVDLA config incomplete")
+	}
+}
