@@ -89,6 +89,39 @@ func BenchmarkCharacterize2MBSTT(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeTargetsCold measures one full engine pass answering
+// every optimization target at once, with the memo cache cleared each
+// iteration — the evaluate-once/select-per-target win in isolation. Compare
+// against 8× BenchmarkCharacterize2MBSTTCold.
+func BenchmarkCharacterizeTargetsCold(b *testing.B) {
+	d := cell.MustTentpole(cell.STT, cell.Optimistic)
+	targets := nvsim.OptTargets()
+	for i := 0; i < b.N; i++ {
+		nvsim.ResetMemo()
+		rs, errs := nvsim.CharacterizeTargets(nvsim.Config{
+			Cell: d, CapacityBytes: 2 << 20}, targets)
+		for j := range errs {
+			if errs[j] != nil {
+				b.Fatal(errs[j])
+			}
+		}
+		_ = rs
+	}
+}
+
+// BenchmarkCharacterize2MBSTTCold is the single-target cold path: memo
+// cleared per iteration, so it measures a full enumerate+score+select pass.
+func BenchmarkCharacterize2MBSTTCold(b *testing.B) {
+	d := cell.MustTentpole(cell.STT, cell.Optimistic)
+	for i := 0; i < b.N; i++ {
+		nvsim.ResetMemo()
+		if _, err := nvsim.Characterize(nvsim.Config{
+			Cell: d, CapacityBytes: 2 << 20, Target: nvsim.OptReadEDP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCharacterizeAll16MB(b *testing.B) {
 	d := cell.MustTentpole(cell.FeFET, cell.Optimistic)
 	for i := 0; i < b.N; i++ {
@@ -128,12 +161,13 @@ func BenchmarkPageRank(b *testing.B) {
 func BenchmarkLLCSimulator(b *testing.B) {
 	p := cache.Profiles()[2] // mcf
 	stream := p.Stream(100_000, 1)
+	llc, err := cache.NewLLC(cache.StudyLLCBytes, cache.StudyWays, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		llc, err := cache.NewLLC(cache.StudyLLCBytes, cache.StudyWays, 64)
-		if err != nil {
-			b.Fatal(err)
-		}
+		llc.Reset()
 		llc.Run(stream)
 	}
 }

@@ -134,7 +134,12 @@ const (
 	FETSense
 )
 
-var senseNames = [...]string{"voltage", "current", "fet"}
+// NumSenseSchemes is the number of defined sensing schemes; per-scheme
+// tables (e.g. the nvsim calibration) size themselves with it so adding a
+// scheme fails at compile time instead of at runtime.
+const NumSenseSchemes = 3
+
+var senseNames = [NumSenseSchemes]string{"voltage", "current", "fet"}
 
 func (s SenseScheme) String() string {
 	if s < 0 || int(s) >= len(senseNames) {
@@ -238,6 +243,8 @@ func (d *Definition) Validate() error {
 		return fmt.Errorf("cell %s: endurance must be positive (use math.Inf(1) for unlimited)", d.Name)
 	case !d.Volatile() && d.RetentionS <= 0:
 		return fmt.Errorf("cell %s: non-volatile cell must declare retention", d.Name)
+	case d.Sense < 0 || int(d.Sense) >= len(senseNames):
+		return fmt.Errorf("cell %s: unknown sense scheme %d", d.Name, int(d.Sense))
 	case d.Sense == CurrentSense && (d.ResOnOhm <= 0 || d.ResOffOhm <= d.ResOnOhm):
 		return fmt.Errorf("cell %s: current sensing requires 0 < Ron < Roff", d.Name)
 	case d.DtoDSigma < 0:

@@ -129,6 +129,8 @@ func TestValidateRejectsBadDefinitions(t *testing.T) {
 		{"NVM without retention", func(d *Definition) { d.RetentionS = 0 }},
 		{"inverted resistances", func(d *Definition) { d.ResOffOhm = d.ResOnOhm / 2 }},
 		{"negative variation", func(d *Definition) { d.DtoDSigma = -0.1 }},
+		{"unknown sense scheme", func(d *Definition) { d.Sense = SenseScheme(3) }},
+		{"negative sense scheme", func(d *Definition) { d.Sense = SenseScheme(-1) }},
 	}
 	for _, c := range cases {
 		d := base

@@ -10,7 +10,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/eval"
@@ -32,6 +35,12 @@ type Study struct {
 	// Constraints applied during characterization (zero = none).
 	MaxAreaMM2       float64
 	MaxReadLatencyNS float64
+
+	// Workers bounds the goroutines characterizing the (cell, capacity)
+	// grid. 0 uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Results are merged in declaration order regardless, so the output is
+	// identical at any worker count.
+	Workers int
 }
 
 // NewStudy creates an empty study.
@@ -86,8 +95,53 @@ type Results struct {
 	Skipped []string
 }
 
-// Run executes the study: characterize each (cell, capacity, target) and
-// evaluate each resulting array against each traffic pattern.
+// gridPoint is the independent unit of study work: one (cell, capacity)
+// pair, characterized for every target in a single engine pass and
+// evaluated against every traffic pattern.
+type gridPoint struct {
+	arrays  []nvsim.Result
+	metrics []eval.Metrics
+	skipped []string
+	err     error
+}
+
+// runPoint characterizes one (cell, capacity) pair across all of the
+// study's targets with a single shared-engine call, then evaluates each
+// resulting array against each traffic pattern.
+func (s *Study) runPoint(c cell.Definition, capBytes int64) gridPoint {
+	var pt gridPoint
+	arrs, errs := nvsim.CharacterizeTargets(nvsim.Config{
+		Cell:             c,
+		CapacityBytes:    capBytes,
+		WordBits:         s.WordBits,
+		MaxAreaMM2:       s.MaxAreaMM2,
+		MaxReadLatencyNS: s.MaxReadLatencyNS,
+	}, s.Targets)
+	for i, target := range s.Targets {
+		if errs[i] != nil {
+			pt.skipped = append(pt.skipped,
+				fmt.Sprintf("%s@%d/%s: %v", c.Name, capBytes, target, errs[i]))
+			continue
+		}
+		arr := arrs[i]
+		pt.arrays = append(pt.arrays, arr)
+		for _, p := range s.Patterns {
+			m, err := eval.Evaluate(arr, p, s.Options)
+			if err != nil {
+				pt.err = fmt.Errorf("core: evaluating %s on %s: %w", c.Name, p.Name, err)
+				return pt
+			}
+			pt.metrics = append(pt.metrics, m)
+		}
+	}
+	return pt
+}
+
+// Run executes the study: characterize each (cell, capacity) grid point
+// across every target — sharing one organization-space evaluation per
+// point — and evaluate each resulting array against each traffic pattern.
+// Grid points fan out across Workers goroutines; results merge back in
+// declaration order, so the output is byte-identical to a sequential run.
 func (s *Study) Run() (*Results, error) {
 	if len(s.Cells) == 0 {
 		return nil, fmt.Errorf("core: study %q has no cells", s.Name)
@@ -98,33 +152,47 @@ func (s *Study) Run() (*Results, error) {
 	if len(s.Targets) == 0 {
 		s.Targets = []nvsim.OptTarget{nvsim.OptReadEDP}
 	}
-	res := &Results{Study: s}
-	for _, c := range s.Cells {
-		for _, capBytes := range s.Capacities {
-			for _, target := range s.Targets {
-				arr, err := nvsim.Characterize(nvsim.Config{
-					Cell:             c,
-					CapacityBytes:    capBytes,
-					WordBits:         s.WordBits,
-					Target:           target,
-					MaxAreaMM2:       s.MaxAreaMM2,
-					MaxReadLatencyNS: s.MaxReadLatencyNS,
-				})
-				if err != nil {
-					res.Skipped = append(res.Skipped,
-						fmt.Sprintf("%s@%d/%s: %v", c.Name, capBytes, target, err))
-					continue
-				}
-				res.Arrays = append(res.Arrays, arr)
-				for _, p := range s.Patterns {
-					m, err := eval.Evaluate(arr, p, s.Options)
-					if err != nil {
-						return nil, fmt.Errorf("core: evaluating %s on %s: %w", c.Name, p.Name, err)
-					}
-					res.Metrics = append(res.Metrics, m)
-				}
-			}
+	grid := len(s.Cells) * len(s.Capacities)
+	pts := make([]gridPoint, grid)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > grid {
+		workers = grid
+	}
+	if workers <= 1 {
+		for i := range pts {
+			pts[i] = s.runPoint(s.Cells[i/len(s.Capacities)],
+				s.Capacities[i%len(s.Capacities)])
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= grid {
+						return
+					}
+					pts[i] = s.runPoint(s.Cells[i/len(s.Capacities)],
+						s.Capacities[i%len(s.Capacities)])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	res := &Results{Study: s}
+	for i := range pts {
+		if pts[i].err != nil {
+			return nil, pts[i].err
+		}
+		res.Arrays = append(res.Arrays, pts[i].arrays...)
+		res.Metrics = append(res.Metrics, pts[i].metrics...)
+		res.Skipped = append(res.Skipped, pts[i].skipped...)
 	}
 	if len(res.Arrays) == 0 {
 		return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped)",

@@ -28,12 +28,13 @@ func arrayRows(title string, cells []cell.Definition, capBytes int64,
 	writeSc := &viz.Scatter{Title: title + " (write)", XLabel: "write latency (ns)",
 		YLabel: "write energy per bit (pJ)", LogX: true, LogY: true}
 	for _, d := range cells {
-		for _, target := range targets {
-			r, err := nvsim.Characterize(nvsim.Config{
-				Cell: d, CapacityBytes: capBytes, Target: target})
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s: %w", d.Name, err)
+		rs, errs := nvsim.CharacterizeTargets(nvsim.Config{
+			Cell: d, CapacityBytes: capBytes}, targets)
+		for i, target := range targets {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("exp: %s: %w", d.Name, errs[i])
 			}
+			r := rs[i]
 			t.MustAddRow(d.Name, target.String(), r.ReadLatencyNS, r.WriteLatencyNS,
 				r.ReadEnergyPerBitPJ(), r.WriteEnergyPerBitPJ(), r.LeakagePowerMW,
 				r.AreaMM2, r.DensityMbPerMM2(), r.AreaEfficiency)

@@ -170,25 +170,6 @@ func (r *Result) metric(t OptTarget) float64 {
 	}
 }
 
-// evaluate scores one organization candidate into a Result.
-func evaluate(cfg Config, org Organization, cal calibration) Result {
-	m := newModel(cfg.Cell, org, cfg.WordBits, cal)
-	return Result{
-		Cell:           cfg.Cell,
-		CapacityBytes:  cfg.CapacityBytes,
-		WordBits:       cfg.WordBits,
-		Target:         cfg.Target,
-		Org:            org,
-		ReadLatencyNS:  m.readLatencyNS(),
-		WriteLatencyNS: m.writeLatencyNS(),
-		ReadEnergyPJ:   m.readEnergyPJ(),
-		WriteEnergyPJ:  m.writeEnergyPJ(),
-		LeakagePowerMW: m.leakagePowerMW(),
-		AreaMM2:        m.totalMM2,
-		AreaEfficiency: m.areaEfficiency(),
-	}
-}
-
 // normalize applies Config defaults and validates.
 func (cfg *Config) normalize() error {
 	if err := cfg.Cell.Validate(); err != nil {
@@ -229,26 +210,20 @@ func (cfg *Config) admissible(r Result) bool {
 // CharacterizeAll evaluates every admissible internal organization for the
 // configuration and returns them sorted by the configured target (best
 // first). Figure 12's area-efficiency exploration consumes the full set.
+// The evaluation itself comes from the shared engine (engine.go) through
+// the memo cache; only the sort runs per call.
 func CharacterizeAll(cfg Config) ([]Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	cal := defaultCalibration()
-	orgs := enumerate(cfg.CapacityBytes*8, cfg.Cell.BitsPerCell, cfg.WordBits)
-	if len(orgs) == 0 {
-		return nil, fmt.Errorf("nvsim: no feasible organization for %s at %s",
-			cfg.Cell.Name, units.Bytes(cfg.CapacityBytes))
+	cands, err := memoizedCandidates(cfg)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]Result, 0, len(orgs))
-	for _, org := range orgs {
-		r := evaluate(cfg, org, cal)
-		if cfg.admissible(r) {
-			results = append(results, r)
-		}
-	}
-	if len(results) == 0 {
-		return nil, fmt.Errorf("nvsim: constraints exclude every organization for %s at %s",
-			cfg.Cell.Name, units.Bytes(cfg.CapacityBytes))
+	results := make([]Result, len(cands))
+	copy(results, cands)
+	for i := range results {
+		results[i].Target = cfg.Target
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		return results[i].metric(cfg.Target) < results[j].metric(cfg.Target)
@@ -258,13 +233,13 @@ func CharacterizeAll(cfg Config) ([]Result, error) {
 
 // Characterize returns the best array organization for the configuration
 // under its optimization target — the single-result entry point matching
-// the NVSim contract.
+// the NVSim contract. It is a thin wrapper over CharacterizeTargets.
 func Characterize(cfg Config) (Result, error) {
-	all, err := CharacterizeAll(cfg)
-	if err != nil {
-		return Result{}, err
+	rs, errs := CharacterizeTargets(cfg, []OptTarget{cfg.Target})
+	if errs[0] != nil {
+		return Result{}, errs[0]
 	}
-	return all[0], nil
+	return rs[0], nil
 }
 
 // MustCharacterize panics on error; for experiment tables and tests where

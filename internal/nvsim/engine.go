@@ -1,0 +1,104 @@
+package nvsim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// This file is the shared characterization engine. The circuit model is
+// completely independent of the optimization target — the target only
+// decides which already-scored candidate wins — so the engine scores the
+// organization space exactly once per (cell, capacity, word width,
+// constraints) and answers any number of targets with O(n) min-selections
+// over the shared candidate set. Characterize and CharacterizeAll in
+// array.go are thin wrappers; Study.Run batches all of a study's targets
+// through CharacterizeTargets; and the memo cache (memo.go) reuses the
+// candidate sets across repeated studies.
+
+// evaluateCandidates scores every organization for an already-normalized
+// configuration and returns the admissible ones in enumeration order, with
+// Result.Target left at its zero value (the caller stamps the target it
+// selects for). This is the single expensive step of characterization; its
+// output is what the memo cache stores.
+func evaluateCandidates(cfg Config) ([]Result, error) {
+	orgs := enumerate(cfg.CapacityBytes*8, cfg.Cell.BitsPerCell, cfg.WordBits)
+	if len(orgs) == 0 {
+		return nil, fmt.Errorf("nvsim: no feasible organization for %s at %s",
+			cfg.Cell.Name, units.Bytes(cfg.CapacityBytes))
+	}
+	node := nodeAt(cfg.Cell.NodeNM)
+	results := make([]Result, 0, len(orgs))
+	var m model
+	for _, org := range orgs {
+		m.init(cfg.Cell, node, org, cfg.WordBits, &defaultCal)
+		r := Result{
+			Cell:           cfg.Cell,
+			CapacityBytes:  cfg.CapacityBytes,
+			WordBits:       cfg.WordBits,
+			Org:            org,
+			ReadLatencyNS:  m.readLatencyNS(),
+			WriteLatencyNS: m.writeLatencyNS(),
+			ReadEnergyPJ:   m.readEnergyPJ(),
+			WriteEnergyPJ:  m.writeEnergyPJ(),
+			LeakagePowerMW: m.leakagePowerMW(),
+			AreaMM2:        m.totalMM2,
+			AreaEfficiency: m.areaEfficiency(),
+		}
+		if cfg.admissible(r) {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("nvsim: constraints exclude every organization for %s at %s",
+			cfg.Cell.Name, units.Bytes(cfg.CapacityBytes))
+	}
+	return results, nil
+}
+
+// selectBest returns the candidate minimizing the target's figure of merit.
+// Ties keep the earliest candidate in enumeration order, matching what a
+// stable sort followed by taking element zero would select.
+func selectBest(cands []Result, t OptTarget) Result {
+	best := cands[0]
+	bestV := best.metric(t)
+	for i := 1; i < len(cands); i++ {
+		if v := cands[i].metric(t); v < bestV {
+			bestV = v
+			best = cands[i]
+		}
+	}
+	best.Target = t
+	return best
+}
+
+// CharacterizeTargets characterizes one configuration under many
+// optimization targets at once: the organization space is enumerated and
+// scored a single time (cfg.Target is ignored), then each target picks its
+// winner with an O(n) scan. results and errs are parallel to targets;
+// errs[i] is non-nil when that slot failed (a configuration-level error is
+// replicated into every slot, an invalid target fails only its own).
+func CharacterizeTargets(cfg Config, targets []OptTarget) (results []Result, errs []error) {
+	results = make([]Result, len(targets))
+	errs = make([]error, len(targets))
+	cfg.Target = 0 // selection is per-target; normalize only vets the rest
+	if err := cfg.normalize(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+	cands, candErr := memoizedCandidates(cfg)
+	for i, t := range targets {
+		if t < 0 || t >= numOptTargets {
+			errs[i] = fmt.Errorf("nvsim: invalid optimization target %d", int(t))
+			continue
+		}
+		if candErr != nil {
+			errs[i] = candErr
+			continue
+		}
+		results[i] = selectBest(cands, t)
+	}
+	return results, errs
+}

@@ -1,0 +1,219 @@
+package nvsim
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// seedCharacterize reimplements the pre-engine contract verbatim: score
+// every organization, stable-sort by the target's figure of merit, return
+// the head. The engine must reproduce it bit for bit.
+func seedCharacterize(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	orgs := enumerate(cfg.CapacityBytes*8, cfg.Cell.BitsPerCell, cfg.WordBits)
+	if len(orgs) == 0 {
+		t.Fatalf("no organizations for %s", cfg.Cell.Name)
+	}
+	node := nodeAt(cfg.Cell.NodeNM)
+	var results []Result
+	var m model
+	for _, org := range orgs {
+		m.init(cfg.Cell, node, org, cfg.WordBits, &defaultCal)
+		r := Result{
+			Cell: cfg.Cell, CapacityBytes: cfg.CapacityBytes,
+			WordBits: cfg.WordBits, Target: cfg.Target, Org: org,
+			ReadLatencyNS: m.readLatencyNS(), WriteLatencyNS: m.writeLatencyNS(),
+			ReadEnergyPJ: m.readEnergyPJ(), WriteEnergyPJ: m.writeEnergyPJ(),
+			LeakagePowerMW: m.leakagePowerMW(), AreaMM2: m.totalMM2,
+			AreaEfficiency: m.areaEfficiency(),
+		}
+		if cfg.admissible(r) {
+			results = append(results, r)
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].metric(cfg.Target) < results[j].metric(cfg.Target)
+	})
+	return results[0]
+}
+
+// TestEngineMatchesSeedSelection asserts the evaluate-once engine selects
+// exactly the array the sequential sort-based implementation selected, for
+// every case-study cell and every optimization target, at two capacities.
+func TestEngineMatchesSeedSelection(t *testing.T) {
+	ResetMemo()
+	targets := OptTargets()
+	for _, capBytes := range []int64{1 << 20, 4 << 20} {
+		for _, d := range cell.CaseStudyCells() {
+			rs, errs := CharacterizeTargets(Config{Cell: d, CapacityBytes: capBytes}, targets)
+			for i, target := range targets {
+				if errs[i] != nil {
+					t.Fatalf("%s/%s: %v", d.Name, target, errs[i])
+				}
+				want := seedCharacterize(t, Config{
+					Cell: d, CapacityBytes: capBytes, Target: target})
+				if rs[i] != want {
+					t.Errorf("%s@%d/%s: engine selected %+v, seed selected %+v",
+						d.Name, capBytes, target, rs[i], want)
+				}
+				// The single-target wrapper must agree as well.
+				got, err := Characterize(Config{
+					Cell: d, CapacityBytes: capBytes, Target: target})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s@%d/%s: Characterize diverges from seed", d.Name, capBytes, target)
+				}
+			}
+		}
+	}
+}
+
+// TestCharacterizeMatchesCharacterizeAllHead pins the wrapper contract:
+// Characterize returns exactly CharacterizeAll's best-ranked element.
+func TestCharacterizeMatchesCharacterizeAllHead(t *testing.T) {
+	d := cell.MustTentpole(cell.FeFET, cell.Optimistic)
+	for _, target := range OptTargets() {
+		cfg := Config{Cell: d, CapacityBytes: 2 << 20, Target: target}
+		all, err := CharacterizeAll(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := Characterize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one != all[0] {
+			t.Errorf("%s: Characterize %+v != CharacterizeAll[0] %+v", target, one, all[0])
+		}
+	}
+}
+
+// TestCharacterizeTargetsConstraints ensures constraints participate in the
+// memo key and in selection: a ForceBanks-restricted request must not be
+// served from (or pollute) the unconstrained candidate set.
+func TestCharacterizeTargetsConstraints(t *testing.T) {
+	ResetMemo()
+	d := cell.MustTentpole(cell.STT, cell.Optimistic)
+	free, err := Characterize(Config{Cell: d, CapacityBytes: 2 << 20, Target: OptReadLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := 1
+	if free.Org.Banks == 1 {
+		forced = 2
+	}
+	constrained, err := Characterize(Config{Cell: d, CapacityBytes: 2 << 20,
+		Target: OptReadLatency, ForceBanks: forced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Org.Banks != forced {
+		t.Errorf("ForceBanks=%d ignored: got %d banks", forced, constrained.Org.Banks)
+	}
+	again, err := Characterize(Config{Cell: d, CapacityBytes: 2 << 20, Target: OptReadLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != free {
+		t.Error("unconstrained result changed after a constrained request")
+	}
+}
+
+// TestCharacterizeTargetsPerSlotErrors checks error granularity: an invalid
+// target fails only its own slot, while a configuration-level failure fills
+// every slot.
+func TestCharacterizeTargetsPerSlotErrors(t *testing.T) {
+	d := cell.MustTentpole(cell.STT, cell.Optimistic)
+	rs, errs := CharacterizeTargets(Config{Cell: d, CapacityBytes: 2 << 20},
+		[]OptTarget{OptReadEDP, OptTarget(99)})
+	if errs[0] != nil {
+		t.Fatalf("valid slot errored: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid target slot did not error")
+	}
+	if rs[0].Target != OptReadEDP {
+		t.Errorf("slot 0 target = %v, want ReadEDP", rs[0].Target)
+	}
+
+	bad := d
+	bad.AreaF2 = -1
+	_, errs = CharacterizeTargets(Config{Cell: bad, CapacityBytes: 2 << 20},
+		[]OptTarget{OptReadEDP, OptArea})
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("slot %d: configuration error not replicated", i)
+		}
+	}
+}
+
+// TestMemoHitsOnRepeat verifies the cache contract the experiments rely on:
+// re-characterizing the same configuration is served from the memo, across
+// targets and entry points.
+func TestMemoHitsOnRepeat(t *testing.T) {
+	ResetMemo()
+	d := cell.MustTentpole(cell.RRAM, cell.Optimistic)
+	cfg := Config{Cell: d, CapacityBytes: 1 << 20, Target: OptReadEDP}
+	if _, err := Characterize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := MemoStats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after first call: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	// Same key again, different target, and the full-set entry point: all hits.
+	if _, err := Characterize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Target = OptArea
+	if _, err := Characterize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CharacterizeAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = MemoStats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("after repeats: hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+// TestMemoConcurrentCharacterize hammers one key and several distinct keys
+// from many goroutines; run with -race to check the synchronization.
+func TestMemoConcurrentCharacterize(t *testing.T) {
+	ResetMemo()
+	cells := cell.CaseStudyCells()
+	var wg sync.WaitGroup
+	results := make([]Result, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := cells[i%4] // few distinct keys, heavy sharing
+			r, err := Characterize(Config{Cell: d, CapacityBytes: 2 << 20, Target: OptReadEDP})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 4; i < 32; i++ {
+		if results[i] != results[i%4] {
+			t.Fatalf("goroutine %d saw a different result than goroutine %d", i, i%4)
+		}
+	}
+	_, misses := MemoStats()
+	if misses != 4 {
+		t.Errorf("misses=%d, want 4 (singleflight should dedupe concurrent evaluations)", misses)
+	}
+}

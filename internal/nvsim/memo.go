@@ -1,0 +1,105 @@
+package nvsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cell"
+)
+
+// The memo cache. Experiments across a study session characterize the same
+// tentpole cells at the same handful of capacities dozens of times (Figs
+// 3/5/10 reuse the case-study cell set, Table II re-runs the same 2MB
+// arrays for every use case row). The evaluated candidate set depends only
+// on (cell, capacity, word width, constraints) — never on the optimization
+// target — so one cached evaluation serves every target and every repeat.
+//
+// Entries are computed under a per-key sync.Once, so concurrent workers
+// asking for the same key (parallel Study.Run fans out a grid of them)
+// block on one computation instead of duplicating it. Cached slices are
+// shared read-only; selection copies the winning element and CharacterizeAll
+// sorts a copy.
+
+// memoKey identifies one candidate-set evaluation. cell.Definition contains
+// only scalars and strings, so the whole configuration fingerprint is a
+// comparable value.
+type memoKey struct {
+	cell             cell.Definition
+	capacityBytes    int64
+	wordBits         int
+	maxAreaMM2       float64
+	maxReadLatencyNS float64
+	maxLeakageMW     float64
+	forceBanks       int
+}
+
+type memoEntry struct {
+	once  sync.Once
+	cands []Result
+	err   error
+}
+
+var memo = struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoEntry
+}{m: map[memoKey]*memoEntry{}}
+
+var memoHits, memoMisses atomic.Int64
+
+// memoMaxEntries bounds the cache. Candidate sets run to thousands of
+// Results per key, so an unbounded cache in a long-lived process sweeping
+// arbitrary custom cells would grow without limit; past the cap, new keys
+// are computed without being retained (existing entries keep hitting).
+// Studies of the paper's scale use a few dozen keys.
+const memoMaxEntries = 4096
+
+// memoizedCandidates returns the admissible candidate set for a normalized
+// configuration, computing it at most once per key. The returned slice is
+// shared: callers must not mutate it.
+func memoizedCandidates(cfg Config) ([]Result, error) {
+	key := memoKey{
+		cell:             cfg.Cell,
+		capacityBytes:    cfg.CapacityBytes,
+		wordBits:         cfg.WordBits,
+		maxAreaMM2:       cfg.MaxAreaMM2,
+		maxReadLatencyNS: cfg.MaxReadLatencyNS,
+		maxLeakageMW:     cfg.MaxLeakageMW,
+		forceBanks:       cfg.ForceBanks,
+	}
+	memo.mu.Lock()
+	e, ok := memo.m[key]
+	if !ok && len(memo.m) < memoMaxEntries {
+		e = &memoEntry{}
+		memo.m[key] = e
+	}
+	memo.mu.Unlock()
+	if ok {
+		memoHits.Add(1)
+		e.once.Do(func() { e.cands, e.err = evaluateCandidates(cfg) })
+		return e.cands, e.err
+	}
+	memoMisses.Add(1)
+	if e == nil { // cache full: compute without retaining
+		return evaluateCandidates(cfg)
+	}
+	e.once.Do(func() { e.cands, e.err = evaluateCandidates(cfg) })
+	return e.cands, e.err
+}
+
+// MemoStats reports how often characterizations were served from the cache
+// versus computed. A hit means the candidate set for the requested
+// configuration already existed (or was being computed by another
+// goroutine).
+func MemoStats() (hits, misses int64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
+// ResetMemo empties the cache and zeroes the counters — for tests and for
+// benchmarks that want to measure the cold path.
+func ResetMemo() {
+	memo.mu.Lock()
+	memo.m = map[memoKey]*memoEntry{}
+	memo.mu.Unlock()
+	memoHits.Store(0)
+	memoMisses.Store(0)
+}

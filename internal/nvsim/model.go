@@ -22,11 +22,14 @@ func log2i(n int) float64 {
 // schemeIndex maps a sense scheme to the calibration's area table key.
 func schemeIndex(s cell.SenseScheme) int { return int(s) }
 
-// model evaluates one organization for one cell at one node.
+// model evaluates one organization for one cell at one node. A single model
+// value is reused across the candidates of one characterization (init
+// overwrites every field), so the scoring loop allocates nothing per
+// candidate.
 type model struct {
 	cell cell.Definition
 	node techNode
-	cal  calibration
+	cal  *calibration
 	org  Organization
 	word int // access width, bits
 
@@ -44,8 +47,12 @@ type model struct {
 	saPerSubarray int
 }
 
-func newModel(c cell.Definition, org Organization, wordBits int, cal calibration) *model {
-	m := &model{cell: c, node: nodeAt(c.NodeNM), cal: cal, org: org, word: wordBits}
+// init configures the model for one (cell, organization) candidate,
+// overwriting any previous state. node must be nodeAt(c.NodeNM); it is
+// passed in so the interpolation runs once per characterization rather than
+// once per candidate.
+func (m *model) init(c cell.Definition, node techNode, org Organization, wordBits int, cal *calibration) {
+	*m = model{cell: c, node: node, cal: cal, org: org, word: wordBits}
 	fUM := c.NodeNM * 1e-3 // F in µm
 	m.cellW = math.Sqrt(c.AreaF2) * fUM
 	m.cellH = m.cellW
@@ -73,7 +80,6 @@ func newModel(c cell.Definition, org Organization, wordBits int, cal calibration
 	m.bankMM2 = float64(org.Subarrays) * m.subTotalMM2 * (1 + cal.BankRoutingFrac)
 	m.totalMM2 = float64(org.Banks) * m.bankMM2 * (1 + cal.GlobalRoutingFrac)
 	m.coreMM2 = float64(org.Banks) * float64(org.Subarrays) * core
-	return m
 }
 
 // --- timing ---------------------------------------------------------------

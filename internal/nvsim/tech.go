@@ -20,7 +20,11 @@
 // less periphery amortization are faster but less area-efficient (Fig 12).
 package nvsim
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/cell"
+)
 
 // techNode carries the process-technology parameters the circuit models
 // need, interpolated from an ITRS/CACTI-flavored scaling table. All values
@@ -125,15 +129,15 @@ type calibration struct {
 	HtreeEnergyFrac float64 // fraction of route toggling per access
 
 	// Area.
-	RowDriverWidthF   float64         // row-periphery strip width, in F
-	ColSenseHeightF   map[int]float64 // per-scheme column-periphery height, in F
-	ControlAreaFrac   float64         // control overhead vs core
-	BankRoutingFrac   float64         // intra-bank routing overhead
-	GlobalRoutingFrac float64         // inter-bank H-tree overhead
+	RowDriverWidthF   float64                       // row-periphery strip width, in F
+	ColSenseHeightF   [cell.NumSenseSchemes]float64 // per-scheme column-periphery height, in F
+	ControlAreaFrac   float64                       // control overhead vs core
+	BankRoutingFrac   float64                       // intra-bank routing overhead
+	GlobalRoutingFrac float64                       // inter-bank H-tree overhead
 
 	// Leakage. Sense amplifiers hold static bias; current-sensing
 	// references burn the most, FET-threshold comparators the least.
-	SALeakMW map[int]float64 // per-scheme static leak per sense amp at 22nm
+	SALeakMW [cell.NumSenseSchemes]float64 // per-scheme static leak per sense amp at 22nm
 }
 
 // defaultCalibration returns the calibrated model constants.
@@ -159,11 +163,16 @@ func defaultCalibration() calibration {
 		HtreeEnergyFrac: 0.5,
 
 		RowDriverWidthF:   40,
-		ColSenseHeightF:   map[int]float64{0: 80, 1: 120, 2: 90},
+		ColSenseHeightF:   [cell.NumSenseSchemes]float64{80, 120, 90},
 		ControlAreaFrac:   0.03,
 		BankRoutingFrac:   0.08,
 		GlobalRoutingFrac: 0.06,
 
-		SALeakMW: map[int]float64{0: 1.5e-6, 1: 1.5e-6, 2: 5e-7},
+		SALeakMW: [cell.NumSenseSchemes]float64{1.5e-6, 1.5e-6, 5e-7},
 	}
 }
+
+// defaultCal is the shared calibration instance: the constants are immutable,
+// so every characterization reads the same copy instead of rebuilding one per
+// call.
+var defaultCal = defaultCalibration()

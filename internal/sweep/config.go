@@ -39,6 +39,11 @@ type Config struct {
 	// Optional constraints.
 	MaxAreaMM2       float64 `json:"max_area_mm2,omitempty"`
 	MaxReadLatencyNS float64 `json:"max_read_latency_ns,omitempty"`
+
+	// Workers bounds the goroutines characterizing the (cell, capacity)
+	// grid; 0 uses all CPUs, 1 forces sequential execution. Output is
+	// identical at any worker count.
+	Workers int `json:"workers,omitempty"`
 }
 
 // CellRef names a canonical tentpole cell.
@@ -136,6 +141,7 @@ func (c *Config) Study() (*core.Study, error) {
 	s.WordBits = c.WordBits
 	s.MaxAreaMM2 = c.MaxAreaMM2
 	s.MaxReadLatencyNS = c.MaxReadLatencyNS
+	s.Workers = c.Workers
 
 	bits := c.BitsPerCell
 	if len(bits) == 0 {

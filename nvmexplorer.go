@@ -120,6 +120,22 @@ func Characterize(cfg ArrayConfig) (ArrayResult, error) { return nvsim.Character
 // CharacterizeAll returns every admissible internal organization.
 func CharacterizeAll(cfg ArrayConfig) ([]ArrayResult, error) { return nvsim.CharacterizeAll(cfg) }
 
+// CharacterizeTargets scores the organization space once and selects the
+// best array per optimization target (results and errs parallel targets) —
+// the batch entry point behind Study.Run.
+func CharacterizeTargets(cfg ArrayConfig, targets []OptTarget) ([]ArrayResult, []error) {
+	return nvsim.CharacterizeTargets(cfg, targets)
+}
+
+// CharacterizationCacheStats reports hits and misses of the engine's memo
+// cache, which reuses evaluated candidate sets across repeated studies.
+// The cache is process-global and bounded; entries live until
+// ResetCharacterizationCache is called.
+func CharacterizationCacheStats() (hits, misses int64) { return nvsim.MemoStats() }
+
+// ResetCharacterizationCache empties the engine's memo cache.
+func ResetCharacterizationCache() { nvsim.ResetMemo() }
+
 // Application traffic layer.
 type (
 	// TrafficPattern describes application memory traffic.
