@@ -1,9 +1,13 @@
 // Command nvmexplorer is the CLI front end of NVMExplorer-Go, mirroring
-// the artifact's `python run.py config/<name>.json` workflow.
+// the artifact's `python run.py config/<name>.json` workflow plus a
+// long-running study service.
 //
 // Usage:
 //
-//	nvmexplorer run <config.json> [-out dir]   run a JSON design sweep, write per-technology CSVs
+//	nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv]
+//	                                           run a JSON design sweep
+//	nvmexplorer serve [-addr :8080] [-jobs N] [-workers N]
+//	                                           serve studies over HTTP (see internal/server)
 //	nvmexplorer exp <id> [-out dir]            regenerate a paper experiment (fig1..fig14, table1..table3)
 //	nvmexplorer list                           list available experiments
 //	nvmexplorer cells                          print the canonical tentpole cell database
@@ -12,13 +16,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/cell"
 	"repro/internal/exp"
 	"repro/internal/nvsim"
+	"repro/internal/server"
 	"repro/internal/sweep"
 	"repro/internal/viz"
 )
@@ -37,6 +45,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "run":
 		return runSweep(args[1:])
+	case "serve":
+		return runServe(args[1:])
 	case "exp":
 		return runExperiment(args[1:])
 	case "list":
@@ -55,7 +65,18 @@ func run(args []string) error {
 
 func usageError() error {
 	fmt.Fprintln(os.Stderr, `usage:
-  nvmexplorer run <config.json> [-out dir]   run a JSON design sweep
+  nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv]
+                                             run a JSON design sweep; table (default)
+                                             prints result tables and writes the
+                                             per-technology CSVs into -out, the other
+                                             formats write the study to stdout with
+                                             bytes identical to POST /v1/studies
+  nvmexplorer serve [-addr :8080] [-jobs N] [-workers N]
+                                             serve studies over HTTP: POST /v1/studies,
+                                             GET /v1/cells, /v1/experiments,
+                                             /v1/experiments/{id}/dashboard.html, /v1/stats;
+                                             -jobs bounds concurrent studies, -workers
+                                             sizes each study's worker pool
   nvmexplorer exp <id> [-out dir]            regenerate a paper experiment
   nvmexplorer list                           list experiments
   nvmexplorer cells                          print the cell database
@@ -86,29 +107,77 @@ func parseMixed(fs *flag.FlagSet, args []string) (string, error) {
 }
 
 func runSweep(args []string) error {
+	return runSweepTo(os.Stdout, args)
+}
+
+// runSweepTo implements `nvmexplorer run`, writing study output to w so
+// tests can capture the exact bytes (which must match the study service's
+// responses for the same configuration).
+func runSweepTo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	out := fs.String("out", "output/results", "directory for per-technology CSV results")
+	out := fs.String("out", "output/results", "directory for per-technology CSV results (format table)")
+	format := fs.String("format", "table",
+		"output format: table (result tables + CSV files), json, ndjson, or csv (stdout)")
 	cfgPath, err := parseMixed(fs, args)
 	if err != nil {
 		return fmt.Errorf("run needs exactly one config file: %w", err)
+	}
+	switch *format {
+	case "table", "json", "ndjson", "csv":
+	default:
+		return fmt.Errorf("run: unknown format %q (want table, json, ndjson, or csv)", *format)
 	}
 	res, err := sweep.RunFile(cfgPath)
 	if err != nil {
 		return err
 	}
+	switch *format {
+	case "json":
+		return sweep.WriteJSON(w, res)
+	case "ndjson":
+		return sweep.WriteNDJSON(w, res)
+	case "csv":
+		return sweep.WriteCombinedCSV(w, res)
+	}
 	paths, err := sweep.WriteCSVs(res, *out)
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.ArrayTable().String())
-	fmt.Println(res.MetricsTable().String())
+	fmt.Fprintln(w, res.ArrayTable().String())
+	fmt.Fprintln(w, res.MetricsTable().String())
 	for _, s := range res.Skipped {
-		fmt.Println("skipped:", s)
+		fmt.Fprintln(w, "skipped:", s)
 	}
 	for _, p := range paths {
-		fmt.Println("wrote", p)
+		fmt.Fprintln(w, "wrote", p)
 	}
 	return nil
+}
+
+// runServe starts the long-running study service (see internal/server).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	jobs := fs.Int("jobs", 0, "max concurrent studies (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0,
+		"worker-pool size per study when the config doesn't set one (0 = GOMAXPROCS/jobs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	srv := server.New(server.Options{MaxConcurrentStudies: *jobs, StudyWorkers: *workers})
+	fmt.Fprintf(os.Stderr, "nvmexplorer: serving studies on %s\n", *addr)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// No WriteTimeout: NDJSON study streams legitimately run long.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }
 
 func runExperiment(args []string) error {

@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/server"
 )
 
 func TestUsage(t *testing.T) {
@@ -82,5 +89,53 @@ func TestRunCommand(t *testing.T) {
 	}
 	if err := run([]string{"run"}); err == nil {
 		t.Error("missing config argument should error")
+	}
+	if err := run([]string{"run", cfg, "-format", "weird"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+// TestCLIMatchesStudyService is the end-to-end batch-vs-service check:
+// `nvmexplorer run -format json|ndjson|csv` and POST /v1/studies must
+// produce byte-identical output for the same configuration.
+func TestCLIMatchesStudyService(t *testing.T) {
+	cfgJSON := `{
+	  "name": "cli_vs_service",
+	  "cells": [{"technology": "STT", "flavor": "Opt"},
+	            {"technology": "FeFET", "flavor": "Pess"}],
+	  "capacities_bytes": [1048576, 4194304],
+	  "opt_targets": ["ReadEDP", "Area"],
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "study.json")
+	if err := os.WriteFile(cfgPath, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Options{MaxConcurrentStudies: 2}).Handler())
+	defer ts.Close()
+
+	for _, format := range []string{"json", "ndjson", "csv"} {
+		var cli bytes.Buffer
+		if err := runSweepTo(&cli, []string{cfgPath, "-format", format}); err != nil {
+			t.Fatalf("%s: CLI run: %v", format, err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/studies?format="+format,
+			"application/json", strings.NewReader(cfgJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: service status %d: %s", format, resp.StatusCode, srvBody)
+		}
+		if !bytes.Equal(cli.Bytes(), srvBody) {
+			t.Errorf("%s: CLI output (%d bytes) != service response (%d bytes)",
+				format, cli.Len(), len(srvBody))
+		}
 	}
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -137,12 +138,43 @@ func (s *Study) runPoint(c cell.Definition, capBytes int64) gridPoint {
 	return pt
 }
 
+// PointResult is one completed (cell, capacity) grid point as delivered to
+// a RunStream callback: every target's characterized array and every
+// (array, pattern) evaluation for that point, in the same order Run would
+// append them to Results.
+type PointResult struct {
+	// Index is the point's position in the study grid (cell-major, then
+	// capacity), which is also its emission order.
+	Index         int
+	Cell          cell.Definition
+	CapacityBytes int64
+	Arrays        []nvsim.Result
+	Metrics       []eval.Metrics
+	Skipped       []string
+}
+
 // Run executes the study: characterize each (cell, capacity) grid point
 // across every target — sharing one organization-space evaluation per
 // point — and evaluate each resulting array against each traffic pattern.
 // Grid points fan out across Workers goroutines; results merge back in
 // declaration order, so the output is byte-identical to a sequential run.
 func (s *Study) Run() (*Results, error) {
+	return s.RunStream(context.Background(), nil)
+}
+
+// RunStream is the context-aware, streaming form of Run. Grid points still
+// fan out across Workers goroutines, but instead of collecting everything
+// before returning, each completed point is handed to emit — in declaration
+// order, as soon as it and every earlier point have finished — so callers
+// (e.g. an NDJSON HTTP response) can flush rows while later points are
+// still being characterized. The accumulated Results are returned as well
+// and are byte-identical to Run's for the same study.
+//
+// emit may be nil. It is called from the calling goroutine only, never
+// concurrently. A non-nil error from emit, a point-evaluation error, or
+// ctx cancellation stops the remaining work promptly and is returned
+// (wrapped in ctx.Err()'s case).
+func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*Results, error) {
 	if len(s.Cells) == 0 {
 		return nil, fmt.Errorf("core: study %q has no cells", s.Name)
 	}
@@ -154,6 +186,31 @@ func (s *Study) Run() (*Results, error) {
 	}
 	grid := len(s.Cells) * len(s.Capacities)
 	pts := make([]gridPoint, grid)
+	cellAt := func(i int) cell.Definition { return s.Cells[i/len(s.Capacities)] }
+	capAt := func(i int) int64 { return s.Capacities[i%len(s.Capacities)] }
+
+	res := &Results{Study: s}
+	// deliver merges point i into res and streams it; errors stop the run.
+	deliver := func(i int) error {
+		if pts[i].err != nil {
+			return pts[i].err
+		}
+		res.Arrays = append(res.Arrays, pts[i].arrays...)
+		res.Metrics = append(res.Metrics, pts[i].metrics...)
+		res.Skipped = append(res.Skipped, pts[i].skipped...)
+		if emit != nil {
+			return emit(PointResult{
+				Index:         i,
+				Cell:          cellAt(i),
+				CapacityBytes: capAt(i),
+				Arrays:        pts[i].arrays,
+				Metrics:       pts[i].metrics,
+				Skipped:       pts[i].skipped,
+			})
+		}
+		return nil
+	}
+
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -163,36 +220,60 @@ func (s *Study) Run() (*Results, error) {
 	}
 	if workers <= 1 {
 		for i := range pts {
-			pts[i] = s.runPoint(s.Cells[i/len(s.Capacities)],
-				s.Capacities[i%len(s.Capacities)])
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+			}
+			pts[i] = s.runPoint(cellAt(i), capAt(i))
+			if err := deliver(i); err != nil {
+				return nil, err
+			}
 		}
 	} else {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		completed := make(chan int, grid)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= grid {
+					if i >= grid || ctx.Err() != nil {
 						return
 					}
-					pts[i] = s.runPoint(s.Cells[i/len(s.Capacities)],
-						s.Capacities[i%len(s.Capacities)])
+					pts[i] = s.runPoint(cellAt(i), capAt(i))
+					completed <- i
 				}
 			}()
 		}
-		wg.Wait()
-	}
-	res := &Results{Study: s}
-	for i := range pts {
-		if pts[i].err != nil {
-			return nil, pts[i].err
+		go func() { wg.Wait(); close(completed) }()
+		// Merge in declaration order: advance a frontier over the done set,
+		// delivering each ready point exactly once.
+		done := make([]bool, grid)
+		frontier := 0
+		var runErr error
+	merge:
+		for i := range completed {
+			done[i] = true
+			for frontier < grid && done[frontier] {
+				if err := deliver(frontier); err != nil {
+					runErr = err
+					cancel()
+					break merge
+				}
+				frontier++
+			}
 		}
-		res.Arrays = append(res.Arrays, pts[i].arrays...)
-		res.Metrics = append(res.Metrics, pts[i].metrics...)
-		res.Skipped = append(res.Skipped, pts[i].skipped...)
+		for range completed { // drain if we broke early
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		if err := ctx.Err(); err != nil && frontier < grid {
+			return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+		}
 	}
 	if len(res.Arrays) == 0 {
 		return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped)",

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRunStreamMatchesRun runs the same study through Run and through
+// RunStream (both worker counts) and requires identical Results plus
+// in-order, gap-free point emission covering the whole grid.
+func TestRunStreamMatchesRun(t *testing.T) {
+	want, err := parallelStudy(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		s := parallelStudy(workers)
+		var indices []int
+		var streamed int
+		got, err := s.RunStream(context.Background(), func(pt PointResult) error {
+			indices = append(indices, pt.Index)
+			streamed += len(pt.Metrics)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want.Arrays, got.Arrays) ||
+			!reflect.DeepEqual(want.Metrics, got.Metrics) ||
+			!reflect.DeepEqual(want.Skipped, got.Skipped) {
+			t.Fatalf("workers=%d: RunStream results diverge from Run", workers)
+		}
+		grid := len(s.Cells) * len(s.Capacities)
+		if len(indices) != grid {
+			t.Fatalf("workers=%d: emitted %d points, want %d", workers, len(indices), grid)
+		}
+		for i, idx := range indices {
+			if idx != i {
+				t.Fatalf("workers=%d: emission out of order at %d: got index %d", workers, i, idx)
+			}
+		}
+		if streamed != len(want.Metrics) {
+			t.Fatalf("workers=%d: streamed %d metrics, want %d", workers, streamed, len(want.Metrics))
+		}
+	}
+}
+
+// TestRunStreamEmitError checks that an error returned by the callback
+// aborts the run and propagates unchanged.
+func TestRunStreamEmitError(t *testing.T) {
+	sentinel := errors.New("stop here")
+	for _, workers := range []int{1, 8} {
+		calls := 0
+		_, err := parallelStudy(workers).RunStream(context.Background(), func(PointResult) error {
+			calls++
+			if calls == 2 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err=%v, want sentinel", workers, err)
+		}
+		if calls != 2 {
+			t.Fatalf("workers=%d: emit called %d times after error, want 2", workers, calls)
+		}
+	}
+}
+
+// TestRunStreamCancellation checks that a canceled context stops the run
+// with a context error at any worker count.
+func TestRunStreamCancellation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already canceled before the first point
+		_, err := parallelStudy(workers).RunStream(ctx, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestRunStreamMidRunCancel cancels from inside the emit callback, which is
+// how an HTTP handler reacts to a client disconnect mid-stream.
+func TestRunStreamMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err := parallelStudy(4).RunStream(ctx, func(PointResult) error {
+		emitted++
+		if emitted == 1 {
+			cancel()
+		}
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestRunStreamValidation mirrors Run's configuration errors.
+func TestRunStreamValidation(t *testing.T) {
+	s := NewStudy("empty")
+	if _, err := s.RunStream(context.Background(), nil); err == nil {
+		t.Error("no cells should error")
+	}
+	s.AddCaseStudyCells()
+	if _, err := s.RunStream(context.Background(), nil); err == nil {
+		t.Error("no capacities should error")
+	}
+}

@@ -1,0 +1,360 @@
+// Package server is the NVMExplorer-Go study service: a long-running HTTP
+// API over the characterization engine, the Go stand-in for the paper's
+// always-on interactive front end (the Section II-C web dashboard). It
+// exposes the sweep/study pipeline so many clients can pose eNVM design
+// questions against one warm process — repeated and overlapping studies
+// are served from the engine's shared memo cache instead of recomputing.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/studies                        run a sweep.Config; ?format=json|ndjson|csv
+//	GET  /v1/cells                          the canonical tentpole cell database
+//	GET  /v1/experiments                    the paper-experiment registry
+//	GET  /v1/experiments/{id}/dashboard.html  one experiment rendered as an HTML dashboard
+//	GET  /v1/stats                          memo-cache and job counters
+//
+// Responses for a given configuration are byte-identical to the batch CLI
+// (`nvmexplorer run -format json|ndjson|csv`): both sides render through
+// the same sweep writers, and study output is deterministic at any worker
+// count. A bounded job semaphore (Options.MaxConcurrentStudies) keeps
+// concurrent studies from oversubscribing the per-study worker pools.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/nvsim"
+	"repro/internal/sweep"
+	"repro/internal/viz"
+)
+
+// maxConfigBytes bounds a POST /v1/studies request body.
+const maxConfigBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrentStudies bounds how many studies (and dashboard
+	// renders) run at once; further requests wait their turn. 0 means
+	// GOMAXPROCS.
+	MaxConcurrentStudies int
+	// StudyWorkers is the per-study worker-pool size applied when a
+	// configuration doesn't set its own. 0 divides GOMAXPROCS evenly
+	// across MaxConcurrentStudies. Worker count never changes output.
+	StudyWorkers int
+}
+
+// Server is the study service. Create with New; it is safe for concurrent
+// use by the HTTP stack.
+type Server struct {
+	opts Options
+	sem  chan struct{} // bounded job semaphore
+
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	points    atomic.Int64 // design points served across all formats
+}
+
+// New creates a Server.
+func New(opts Options) *Server {
+	if opts.MaxConcurrentStudies <= 0 {
+		opts.MaxConcurrentStudies = runtime.GOMAXPROCS(0)
+	}
+	if opts.StudyWorkers <= 0 {
+		opts.StudyWorkers = runtime.GOMAXPROCS(0) / opts.MaxConcurrentStudies
+		if opts.StudyWorkers < 1 {
+			opts.StudyWorkers = 1
+		}
+	}
+	return &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/cells", s.handleCells)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/experiments/{id}/dashboard.html", s.handleDashboard)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	return mux
+}
+
+// acquire claims a job slot, waiting until one frees or the request dies.
+// It reports whether the slot was obtained; release with <-s.sem.
+func (s *Server) acquire(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// studyFormat resolves the response format from the query (authoritative)
+// or the Accept header.
+func studyFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "json", "ndjson", "csv":
+		return f, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want json, ndjson, or csv)", f)
+	}
+	switch r.Header.Get("Accept") {
+	case "application/x-ndjson":
+		return "ndjson", nil
+	case "text/csv":
+		return "csv", nil
+	}
+	return "json", nil
+}
+
+// handleStudies runs one sweep configuration. JSON and CSV responses are
+// rendered after the run completes; NDJSON streams one DesignPoint per
+// line, flushed as the worker pool finishes grid points (in deterministic
+// declaration order, so the concatenated stream is byte-identical to the
+// batch writer's output).
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	cfg, err := sweep.Parse(http.MaxBytesReader(w, r.Body, maxConfigBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	study, err := cfg.Study()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	format, err := studyFormat(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if study.Workers == 0 {
+		study.Workers = s.opts.StudyWorkers
+	}
+	if !s.acquire(r) {
+		return // client gone while queued
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	ctx := r.Context()
+	if format != "ndjson" {
+		res, err := study.RunStream(ctx, nil)
+		if err != nil {
+			s.failed.Add(1)
+			if ctx.Err() == nil {
+				httpError(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+		switch format {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			err = sweep.WriteJSON(w, res)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			err = sweep.WriteCombinedCSV(w, res)
+		}
+		if err == nil {
+			s.completed.Add(1)
+			s.points.Add(int64(len(res.Metrics)))
+		} else {
+			s.failed.Add(1)
+		}
+		return
+	}
+
+	// NDJSON: commit to 200 and stream rows as grid points complete.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_, err = study.RunStream(ctx, func(pt core.PointResult) error {
+		for _, m := range pt.Metrics {
+			if err := enc.Encode(sweep.Point(m)); err != nil {
+				return err
+			}
+			s.points.Add(1)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return ctx.Err()
+	})
+	if err != nil {
+		s.failed.Add(1)
+		if ctx.Err() == nil {
+			// Headers are gone; surface the failure as a trailing error row.
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	s.completed.Add(1)
+}
+
+// cellRow is one /v1/cells entry in engineering units.
+type cellRow struct {
+	Name            string      `json:"name"`
+	Technology      string      `json:"technology"`
+	Flavor          string      `json:"flavor"`
+	AreaF2          sweep.Float `json:"area_f2"`
+	NodeNM          sweep.Float `json:"node_nm"`
+	ReadLatencyNS   sweep.Float `json:"read_latency_ns"`
+	WriteLatencyNS  sweep.Float `json:"write_latency_ns"`
+	ReadEnergyPJ    sweep.Float `json:"read_energy_pj"`
+	WriteEnergyPJ   sweep.Float `json:"write_energy_pj"`
+	EnduranceCycles sweep.Float `json:"endurance_cycles"`
+	RetentionS      sweep.Float `json:"retention_s"`
+	Sense           string      `json:"sense"`
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
+	var rows []cellRow
+	for _, d := range cell.Canon() {
+		rows = append(rows, cellRow{
+			Name:            d.Name,
+			Technology:      d.Tech.String(),
+			Flavor:          d.Flavor.String(),
+			AreaF2:          sweep.Float(d.AreaF2),
+			NodeNM:          sweep.Float(d.NodeNM),
+			ReadLatencyNS:   sweep.Float(d.ReadLatencyNS),
+			WriteLatencyNS:  sweep.Float(d.WriteLatencyNS),
+			ReadEnergyPJ:    sweep.Float(d.ReadEnergyPJ),
+			WriteEnergyPJ:   sweep.Float(d.WriteEnergyPJ),
+			EnduranceCycles: sweep.Float(d.EnduranceCycles),
+			RetentionS:      sweep.Float(d.RetentionS),
+			Sense:           d.Sense.String(),
+		})
+	}
+	writeJSON(w, rows)
+}
+
+// experimentRow is one /v1/experiments entry.
+type experimentRow struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	Dashboard string `json:"dashboard"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var rows []experimentRow
+	for _, e := range exp.All() {
+		rows = append(rows, experimentRow{
+			ID:        e.ID,
+			Title:     e.Title,
+			Dashboard: "/v1/experiments/" + e.ID + "/dashboard.html",
+		})
+	}
+	writeJSON(w, rows)
+}
+
+// handleDashboard runs one registered experiment and renders its tables
+// and scatter views as the self-contained HTML dashboard — the live form
+// of `nvmviz`. Experiment runs count against the job semaphore like
+// studies do.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	e, err := exp.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if !s.acquire(r) {
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	// Experiment generators have no cancellation path, so a render that has
+	// started runs to completion even if the client leaves; at least skip
+	// the work when the client is already gone by the time a slot frees.
+	if r.Context().Err() != nil {
+		return
+	}
+	res, err := e.Run()
+	if err != nil {
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	dash := &viz.Dashboard{
+		Title:    fmt.Sprintf("%s — %s", e.ID, e.Title),
+		Scatters: res.Scatters,
+		Tables:   res.Tables,
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dash.WriteHTML(w); err != nil {
+		s.failed.Add(1)
+		return
+	}
+	s.completed.Add(1)
+}
+
+// Stats is the /v1/stats body.
+type Stats struct {
+	Memo struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"memo_cache"`
+	Jobs struct {
+		InFlight      int64 `json:"in_flight"`
+		MaxConcurrent int   `json:"max_concurrent"`
+		StudyWorkers  int   `json:"study_workers"`
+		Completed     int64 `json:"completed"`
+		Failed        int64 `json:"failed"`
+		PointsServed  int64 `json:"points_served"`
+	} `json:"jobs"`
+}
+
+// Snapshot returns the current counters (also served at /v1/stats).
+func (s *Server) Snapshot() Stats {
+	var st Stats
+	st.Memo.Hits, st.Memo.Misses = nvsim.MemoStats()
+	st.Jobs.InFlight = s.inFlight.Load()
+	st.Jobs.MaxConcurrent = s.opts.MaxConcurrentStudies
+	st.Jobs.StudyWorkers = s.opts.StudyWorkers
+	st.Jobs.Completed = s.completed.Load()
+	st.Jobs.Failed = s.failed.Load()
+	st.Jobs.PointsServed = s.points.Load()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `NVMExplorer-Go study service
+  POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv)
+  GET  /v1/cells                            canonical tentpole cell database
+  GET  /v1/experiments                      paper-experiment registry
+  GET  /v1/experiments/{id}/dashboard.html  live HTML dashboard for one experiment
+  GET  /v1/stats                            memo-cache and job counters
+`)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

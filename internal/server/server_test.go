@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/nvsim"
+	"repro/internal/sweep"
+)
+
+// testConfig builds a small sweep configuration JSON. Distinct names and
+// cell sets give distinct results; repeating a config exercises the shared
+// memo cache across requests.
+func testConfig(name, tech string, capacityBytes int64) string {
+	return fmt.Sprintf(`{
+	  "name": %q,
+	  "cells": [{"technology": %q, "flavor": "Opt"}, {"technology": "SRAM", "flavor": "Ref"}],
+	  "capacities_bytes": [%d],
+	  "opt_targets": ["ReadEDP", "Area"],
+	  "traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+	               "write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+	}`, name, tech, capacityBytes)
+}
+
+// batchOutput renders the sequential batch-CLI output for a config: the
+// reference every server response must match byte for byte.
+func batchOutput(t *testing.T, cfgJSON, format string) []byte {
+	t.Helper()
+	cfg, err := sweep.Parse(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1 // sequential reference
+	res, err := sweep.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	switch format {
+	case "json":
+		err = sweep.WriteJSON(&buf, res)
+	case "ndjson":
+		err = sweep.WriteNDJSON(&buf, res)
+	case "csv":
+		err = sweep.WriteCombinedCSV(&buf, res)
+	default:
+		t.Fatalf("unknown format %q", format)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func post(t *testing.T, ts *httptest.Server, cfgJSON, format string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/studies?format="+format,
+		"application/json", strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestConcurrentStudiesByteIdentical is the service's core guarantee: ≥8
+// concurrent POST /v1/studies — mixed configurations, several identical so
+// requests overlap inside the shared memo cache — each return exactly the
+// bytes the sequential batch CLI produces for the same config, across all
+// three formats.
+func TestConcurrentStudiesByteIdentical(t *testing.T) {
+	nvsim.ResetMemo()
+	srv := New(Options{MaxConcurrentStudies: 4, StudyWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfgA := testConfig("svc_a", "STT", 1<<20)
+	cfgB := testConfig("svc_b", "RRAM", 2<<20)
+	cfgC := testConfig("svc_c", "FeFET", 1<<20)
+	type req struct{ cfg, format string }
+	reqs := []req{
+		{cfgA, "json"}, {cfgB, "json"}, {cfgA, "json"}, {cfgC, "ndjson"},
+		{cfgA, "ndjson"}, {cfgB, "csv"}, {cfgC, "json"}, {cfgA, "csv"},
+		{cfgB, "ndjson"}, {cfgA, "json"},
+	}
+	want := map[req][]byte{}
+	for _, r := range reqs {
+		if _, ok := want[r]; !ok {
+			want[r] = batchOutput(t, r.cfg, r.format)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(reqs))
+	for _, r := range reqs {
+		wg.Add(1)
+		go func(r req) {
+			defer wg.Done()
+			status, body := post(t, ts, r.cfg, r.format)
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("%s/%s: status %d: %s", r.cfg[:20], r.format, status, body)
+				return
+			}
+			if !bytes.Equal(body, want[r]) {
+				errs <- fmt.Errorf("%s response diverges from batch CLI output:\n got %d bytes\nwant %d bytes",
+					r.format, len(body), len(want[r]))
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Repeated configs must have hit the shared process-wide memo cache.
+	hits, _ := nvsim.MemoStats()
+	if hits == 0 {
+		t.Error("no memo-cache hits across repeated concurrent studies")
+	}
+	st := srv.Snapshot()
+	if st.Jobs.InFlight != 0 {
+		t.Errorf("in-flight = %d after all requests returned", st.Jobs.InFlight)
+	}
+	if st.Jobs.Completed < int64(len(reqs)) {
+		t.Errorf("completed = %d, want ≥ %d", st.Jobs.Completed, len(reqs))
+	}
+}
+
+// TestStudiesNDJSONShape checks the streamed rows decode as DesignPoints
+// and agree with the JSON body's points array.
+func TestStudiesNDJSONShape(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxConcurrentStudies: 2}).Handler())
+	defer ts.Close()
+	cfg := testConfig("svc_nd", "PCM", 1<<20)
+
+	_, jsonBody := post(t, ts, cfg, "json")
+	var body sweep.StudyResult
+	if err := json.Unmarshal(jsonBody, &body); err != nil {
+		t.Fatal(err)
+	}
+	_, ndBody := post(t, ts, cfg, "ndjson")
+	lines := strings.Split(strings.TrimRight(string(ndBody), "\n"), "\n")
+	if len(lines) != len(body.Points) {
+		t.Fatalf("ndjson rows = %d, json points = %d", len(lines), len(body.Points))
+	}
+	for i, line := range lines {
+		var pt sweep.DesignPoint
+		if err := json.Unmarshal([]byte(line), &pt); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if pt.Cell == "" || pt.Pattern == "" {
+			t.Fatalf("row %d: incomplete point %+v", i, pt)
+		}
+	}
+}
+
+// TestStudiesErrors covers the request-rejection paths.
+func TestStudiesErrors(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	cases := []struct {
+		name, body, format string
+		wantStatus         int
+	}{
+		{"malformed JSON", `{broken`, "json", http.StatusBadRequest},
+		{"unknown field", `{"name":"x","bogus":1}`, "json", http.StatusBadRequest},
+		{"no cells", `{"name":"x","capacities_bytes":[1048576],
+		   "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "json", http.StatusBadRequest},
+		{"bad format", testConfig("x", "STT", 1<<20), "xml", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, tc.body, tc.format)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, status, tc.wantStatus, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: expected JSON error body, got %s", tc.name, body)
+		}
+	}
+	// Method gate: GET on /v1/studies is not routed.
+	resp, err := http.Get(ts.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/studies status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCellsEndpoint checks the tentpole database round-trips as JSON.
+func TestCellsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("cells = %d, want the full canonical database", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r["technology"].(string)] = true
+	}
+	for _, tech := range []string{"SRAM", "STT", "RRAM", "FeFET", "PCM"} {
+		if !seen[tech] {
+			t.Errorf("missing technology %s in /v1/cells", tech)
+		}
+	}
+}
+
+// TestExperimentsAndDashboard checks the registry listing and a live
+// dashboard render.
+func TestExperimentsAndDashboard(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct{ ID, Title, Dashboard string }
+	err = json.NewDecoder(resp.Body).Decode(&rows)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 15 {
+		t.Fatalf("experiments = %d, want the full registry", len(rows))
+	}
+
+	// fig1 (the publication survey) is cheap to render live.
+	resp, err = http.Get(ts.URL + "/v1/experiments/fig1/dashboard.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status = %d: %s", resp.StatusCode, html)
+	}
+	if !strings.Contains(string(html), "<!DOCTYPE html>") ||
+		!strings.Contains(string(html), "fig1") {
+		t.Error("dashboard response is not the rendered HTML page")
+	}
+	resp, err = http.Get(ts.URL + "/v1/experiments/nope/dashboard.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsEndpoint checks the counters move and parse.
+func TestStatsEndpoint(t *testing.T) {
+	nvsim.ResetMemo()
+	ts := httptest.NewServer(New(Options{MaxConcurrentStudies: 3}).Handler())
+	defer ts.Close()
+	if status, _ := post(t, ts, testConfig("svc_stats", "CTT", 1<<20), "json"); status != http.StatusOK {
+		t.Fatalf("study status = %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs.MaxConcurrent != 3 {
+		t.Errorf("max_concurrent = %d, want 3", st.Jobs.MaxConcurrent)
+	}
+	if st.Jobs.Completed != 1 || st.Jobs.PointsServed == 0 {
+		t.Errorf("completed = %d points = %d, want 1 and > 0",
+			st.Jobs.Completed, st.Jobs.PointsServed)
+	}
+	if st.Memo.Misses == 0 {
+		t.Error("memo misses = 0 after a fresh-cache study")
+	}
+}

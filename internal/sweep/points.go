@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/viz"
+)
+
+// DesignPoint is one evaluated (array, traffic) pair flattened into the
+// row shape the per-technology CSVs use — the unit of the study service's
+// JSON and NDJSON responses. Field order matches the CSV column order.
+type DesignPoint struct {
+	Cell          string `json:"cell"`
+	Technology    string `json:"technology"`
+	BitsPerCell   int    `json:"bits_per_cell"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	OptTarget     string `json:"opt_target"`
+	Pattern       string `json:"pattern"`
+
+	ReadLatencyNS   Float `json:"read_latency_ns"`
+	WriteLatencyNS  Float `json:"write_latency_ns"`
+	ReadEnergyPJ    Float `json:"read_energy_pj"`
+	WriteEnergyPJ   Float `json:"write_energy_pj"`
+	LeakagePowerMW  Float `json:"leakage_power_mw"`
+	AreaMM2         Float `json:"area_mm2"`
+	AreaEfficiency  Float `json:"area_efficiency"`
+	DensityMbPerMM2 Float `json:"density_mb_per_mm2"`
+
+	TotalPowerMW   Float `json:"total_power_mw"`
+	DynamicPowerMW Float `json:"dynamic_power_mw"`
+	MemTimePerSec  Float `json:"mem_time_per_sec"`
+	TaskLatencyS   Float `json:"task_latency_s"`
+	MeetsTaskRate  bool  `json:"meets_task_rate"`
+	LifetimeYears  Float `json:"lifetime_years"`
+}
+
+// Float marshals like float64 but encodes non-finite values (an
+// endurance-unlimited lifetime is +Inf) as null, which plain float64
+// rejects outright.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, mapping null back to +Inf.
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Point flattens one evaluation into its row form.
+func Point(m eval.Metrics) DesignPoint {
+	a := m.Array
+	return DesignPoint{
+		Cell:            a.Cell.Name,
+		Technology:      a.Cell.Tech.String(),
+		BitsPerCell:     a.Cell.BitsPerCell,
+		CapacityBytes:   a.CapacityBytes,
+		OptTarget:       a.Target.String(),
+		Pattern:         m.Pattern.Name,
+		ReadLatencyNS:   Float(a.ReadLatencyNS),
+		WriteLatencyNS:  Float(a.WriteLatencyNS),
+		ReadEnergyPJ:    Float(a.ReadEnergyPJ),
+		WriteEnergyPJ:   Float(a.WriteEnergyPJ),
+		LeakagePowerMW:  Float(a.LeakagePowerMW),
+		AreaMM2:         Float(a.AreaMM2),
+		AreaEfficiency:  Float(a.AreaEfficiency),
+		DensityMbPerMM2: Float(a.DensityMbPerMM2()),
+		TotalPowerMW:    Float(m.TotalPowerMW),
+		DynamicPowerMW:  Float(m.DynamicPowerMW),
+		MemTimePerSec:   Float(m.MemoryTimePerSec),
+		TaskLatencyS:    Float(m.TaskLatencyS),
+		MeetsTaskRate:   m.MeetsTaskRate,
+		LifetimeYears:   Float(m.LifetimeYears),
+	}
+}
+
+// Points flattens a completed study into rows, in Results order.
+func Points(res *core.Results) []DesignPoint {
+	out := make([]DesignPoint, 0, len(res.Metrics))
+	for _, m := range res.Metrics {
+		out = append(out, Point(m))
+	}
+	return out
+}
+
+// StudyResult is the JSON body of a completed study — what
+// `nvmexplorer run -format json` prints and what the study service
+// returns from POST /v1/studies.
+type StudyResult struct {
+	Name    string        `json:"name"`
+	Points  []DesignPoint `json:"points"`
+	Skipped []string      `json:"skipped,omitempty"`
+}
+
+// Result converts a completed study into its JSON body form.
+func Result(res *core.Results) StudyResult {
+	return StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped}
+}
+
+// WriteJSON writes the study's JSON body (indented, trailing newline) to w.
+// The encoding is deterministic, so any two runs of the same configuration
+// produce byte-identical output regardless of worker count or caching.
+func WriteJSON(w io.Writer, res *core.Results) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Result(res))
+}
+
+// WriteNDJSON writes one DesignPoint JSON object per line to w, in Results
+// order — the batch form of the study service's streamed NDJSON response.
+func WriteNDJSON(w io.Writer, res *core.Results) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range res.Metrics {
+		if err := enc.Encode(Point(m)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCombinedCSV writes every per-technology table that WriteCSVs would
+// emit as files into a single stream, in first-appearance technology order
+// with a blank line between tables.
+func WriteCombinedCSV(w io.Writer, res *core.Results) error {
+	tables, order := techTables(res)
+	for i, techName := range order {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := tables[techName].WriteCSV(w); err != nil {
+			return fmt.Errorf("sweep: writing %s table: %w", techName, err)
+		}
+	}
+	return nil
+}
+
+// techTables partitions the metrics into one table per technology,
+// preserving first-appearance order — shared by WriteCSVs (files) and
+// WriteCombinedCSV (single stream).
+func techTables(res *core.Results) (map[string]*viz.Table, []string) {
+	perTech := map[string]*viz.Table{}
+	var order []string
+	for _, m := range res.Metrics {
+		techName := m.Array.Cell.Tech.String()
+		t, ok := perTech[techName]
+		if !ok {
+			t = viz.NewTable(techName,
+				"Cell", "BitsPerCell", "CapacityBytes", "OptTarget", "Pattern",
+				"ReadLatencyNS", "WriteLatencyNS", "ReadEnergyPJ", "WriteEnergyPJ",
+				"LeakagePowerMW", "AreaMM2", "AreaEfficiency", "DensityMbPerMM2",
+				"TotalPowerMW", "DynamicPowerMW", "MemTimePerSec", "TaskLatencyS",
+				"MeetsTaskRate", "LifetimeYears")
+			perTech[techName] = t
+			order = append(order, techName)
+		}
+		a := m.Array
+		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
+			fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(), m.Pattern.Name,
+			a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ, a.WriteEnergyPJ,
+			a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency, a.DensityMbPerMM2(),
+			m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.TaskLatencyS,
+			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
+	}
+	return perTech, order
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFloatJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"},
+		{0, "0"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+		{math.NaN(), "null"},
+	}
+	for _, tc := range cases {
+		b, err := json.Marshal(Float(tc.in))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.in, err)
+		}
+		if string(b) != tc.want {
+			t.Errorf("marshal %v = %s, want %s", tc.in, b, tc.want)
+		}
+	}
+	var f Float
+	if err := json.Unmarshal([]byte("null"), &f); err != nil || !math.IsInf(float64(f), 1) {
+		t.Errorf("null should unmarshal to +Inf, got %v err %v", f, err)
+	}
+	if err := json.Unmarshal([]byte("2.25"), &f); err != nil || f != 2.25 {
+		t.Errorf("number unmarshal = %v err %v", f, err)
+	}
+	if err := json.Unmarshal([]byte(`"x"`), &f); err == nil {
+		t.Error("non-numeric value should fail")
+	}
+}
+
+// TestWritersAgree checks the three batch writers describe the same study:
+// JSON points == NDJSON rows, and the combined CSV contains exactly the
+// tables WriteCSVs writes as files.
+func TestWritersAgree(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(dnnConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jsonBuf, ndBuf, csvBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&ndBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCombinedCSV(&csvBuf, res); err != nil {
+		t.Fatal(err)
+	}
+
+	var body StudyResult
+	if err := json.Unmarshal(jsonBuf.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Name != "dnn_study" {
+		t.Errorf("name = %q", body.Name)
+	}
+	if len(body.Points) != len(res.Metrics) {
+		t.Fatalf("points = %d, want %d", len(body.Points), len(res.Metrics))
+	}
+	ndLines := strings.Split(strings.TrimRight(ndBuf.String(), "\n"), "\n")
+	if len(ndLines) != len(body.Points) {
+		t.Fatalf("ndjson rows = %d, json points = %d", len(ndLines), len(body.Points))
+	}
+	for i, line := range ndLines {
+		var pt DesignPoint
+		if err := json.Unmarshal([]byte(line), &pt); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if pt != body.Points[i] {
+			t.Errorf("row %d: ndjson %+v != json %+v", i, pt, body.Points[i])
+		}
+	}
+	// One header per technology in the combined CSV.
+	headers := strings.Count(csvBuf.String(), "Cell,BitsPerCell,CapacityBytes")
+	if headers != 3 { // SRAM, STT, FeFET
+		t.Errorf("combined CSV has %d technology tables, want 3", headers)
+	}
+}
+
+// TestRunContextStreams checks the sweep-level streaming entry point
+// delivers points and honors cancellation.
+func TestRunContextStreams(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(dnnConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := 0
+	res, err := RunContext(context.Background(), cfg, func(pt core.PointResult) error {
+		points += len(pt.Metrics)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != len(res.Metrics) {
+		t.Errorf("streamed %d metrics, results hold %d", points, len(res.Metrics))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, cfg, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run err = %v", err)
+	}
+}

@@ -1,22 +1,29 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/viz"
 )
 
 // Run executes a configuration end to end.
 func Run(cfg *Config) (*core.Results, error) {
+	return RunContext(context.Background(), cfg, nil)
+}
+
+// RunContext is the context-aware, streaming form of Run: completed grid
+// points are handed to emit in declaration order as the worker pool
+// produces them (see core.Study.RunStream). emit may be nil.
+func RunContext(ctx context.Context, cfg *Config, emit func(core.PointResult) error) (*core.Results, error) {
 	study, err := cfg.Study()
 	if err != nil {
 		return nil, err
 	}
-	return study.Run()
+	return study.RunStream(ctx, emit)
 }
 
 // RunFile loads a JSON configuration file and executes it.
@@ -40,30 +47,7 @@ func WriteCSVs(res *core.Results, dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
-	// Partition metrics per technology name.
-	perTech := map[string]*viz.Table{}
-	var order []string
-	for _, m := range res.Metrics {
-		techName := m.Array.Cell.Tech.String()
-		t, ok := perTech[techName]
-		if !ok {
-			t = viz.NewTable(techName,
-				"Cell", "BitsPerCell", "CapacityBytes", "OptTarget", "Pattern",
-				"ReadLatencyNS", "WriteLatencyNS", "ReadEnergyPJ", "WriteEnergyPJ",
-				"LeakagePowerMW", "AreaMM2", "AreaEfficiency", "DensityMbPerMM2",
-				"TotalPowerMW", "DynamicPowerMW", "MemTimePerSec", "TaskLatencyS",
-				"MeetsTaskRate", "LifetimeYears")
-			perTech[techName] = t
-			order = append(order, techName)
-		}
-		a := m.Array
-		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
-			fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(), m.Pattern.Name,
-			a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ, a.WriteEnergyPJ,
-			a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency, a.DensityMbPerMM2(),
-			m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.TaskLatencyS,
-			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
-	}
+	perTech, order := techTables(res)
 	var paths []string
 	for _, techName := range order {
 		bpc := "1BPC"

@@ -69,6 +69,48 @@ func TestStudyExpansionErrors(t *testing.T) {
 	}
 }
 
+// TestEmptyCapacitiesError checks a config with no capacities fails at run
+// time (the study expands, but the grid is empty).
+func TestEmptyCapacitiesError(t *testing.T) {
+	for _, caps := range []string{`[]`, `null`} {
+		src := `{"name":"nocaps", "capacities_bytes":` + caps + `,
+		  "cells":[{"technology":"STT","flavor":"Opt"}],
+		  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`
+		cfg, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "capacit") {
+			t.Errorf("capacities=%s: err = %v, want a no-capacities error", caps, err)
+		}
+	}
+}
+
+// TestParseErrorDetails pins the messages a study-service client sees for
+// the common misconfigurations.
+func TestParseErrorDetails(t *testing.T) {
+	cases := []struct {
+		src, wantSubstr string
+	}{
+		{`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"MRAMish","flavor":"Opt"}],
+		  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "MRAMish"},
+		{`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Shiny"}],
+		  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "Shiny"},
+		{`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+		  "opt_targets":["Vibes"],"traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "Vibes"},
+	}
+	for i, tc := range cases {
+		cfg, err := Parse(strings.NewReader(tc.src))
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		_, err = cfg.Study()
+		if err == nil || !strings.Contains(err.Error(), tc.wantSubstr) {
+			t.Errorf("case %d: err = %v, want mention of %q", i, err, tc.wantSubstr)
+		}
+	}
+}
+
 func TestCustomCellsAndMLC(t *testing.T) {
 	src := `{
       "name": "mlc_custom",
