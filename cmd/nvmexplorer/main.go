@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cell"
@@ -65,18 +69,21 @@ func run(args []string) error {
 
 func usageError() error {
 	fmt.Fprintln(os.Stderr, `usage:
-  nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv]
-                                             run a JSON design sweep; table (default)
+  nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv|html]
+                    [-pareto metric,metric]  run a JSON design sweep; table (default)
                                              prints result tables and writes the
                                              per-technology CSVs into -out, the other
                                              formats write the study to stdout with
-                                             bytes identical to POST /v1/studies
-  nvmexplorer serve [-addr :8080] [-jobs N] [-workers N]
+                                             bytes identical to POST /v1/studies;
+                                             -pareto selects the result frontier
+  nvmexplorer serve [-addr :8080] [-jobs N] [-workers N] [-grace 30s]
                                              serve studies over HTTP: POST /v1/studies,
                                              GET /v1/cells, /v1/experiments,
-                                             /v1/experiments/{id}/dashboard.html, /v1/stats;
-                                             -jobs bounds concurrent studies, -workers
-                                             sizes each study's worker pool
+                                             /v1/experiments/{id}/dashboard.html,
+                                             /v1/stats, /v1/healthz; -jobs bounds
+                                             concurrent studies, -workers sizes each
+                                             study's worker pool; SIGINT/SIGTERM
+                                             drains in-flight studies for -grace
   nvmexplorer exp <id> [-out dir]            regenerate a paper experiment
   nvmexplorer list                           list experiments
   nvmexplorer cells                          print the cell database
@@ -117,17 +124,31 @@ func runSweepTo(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	out := fs.String("out", "output/results", "directory for per-technology CSV results (format table)")
 	format := fs.String("format", "table",
-		"output format: table (result tables + CSV files), json, ndjson, or csv (stdout)")
+		"output format: table (result tables + CSV files), json, ndjson, csv, or html (stdout)")
+	pareto := fs.String("pareto", "",
+		"comma-separated metrics for Pareto-frontier selection (e.g. total_power_mw,mem_time_per_sec); overrides the config's pareto block")
 	cfgPath, err := parseMixed(fs, args)
 	if err != nil {
 		return fmt.Errorf("run needs exactly one config file: %w", err)
 	}
 	switch *format {
-	case "table", "json", "ndjson", "csv":
+	case "table", "json", "ndjson", "csv", "html":
 	default:
-		return fmt.Errorf("run: unknown format %q (want table, json, ndjson, or csv)", *format)
+		return fmt.Errorf("run: unknown format %q (want table, json, ndjson, csv, or html)", *format)
 	}
-	res, err := sweep.RunFile(cfgPath)
+	f, err := os.Open(cfgPath)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	cfg, err := sweep.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if p := sweep.ParseParetoList(*pareto); p != nil {
+		cfg.Pareto = p
+	}
+	res, err := sweep.Run(cfg)
 	if err != nil {
 		return err
 	}
@@ -138,6 +159,8 @@ func runSweepTo(w io.Writer, args []string) error {
 		return sweep.WriteNDJSON(w, res)
 	case "csv":
 		return sweep.WriteCombinedCSV(w, res)
+	case "html":
+		return sweep.WriteDashboardHTML(w, res)
 	}
 	paths, err := sweep.WriteCSVs(res, *out)
 	if err != nil {
@@ -145,6 +168,18 @@ func runSweepTo(w io.Writer, args []string) error {
 	}
 	fmt.Fprintln(w, res.ArrayTable().String())
 	fmt.Fprintln(w, res.MetricsTable().String())
+	if len(res.Study.Pareto) > 0 {
+		if err := res.EnsureFrontier(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "pareto frontier on (%s): %d of %d points\n",
+			strings.Join(res.Study.Pareto, ", "), len(res.Frontier), len(res.Metrics))
+		for _, i := range res.Frontier {
+			m := res.Metrics[i]
+			fmt.Fprintf(w, "  [%d] %s @ %d B / %s | %s\n", i, m.Array.Cell.Name,
+				m.Array.CapacityBytes, m.Array.Target, m.Pattern.Name)
+		}
+	}
 	for _, s := range res.Skipped {
 		fmt.Fprintln(w, "skipped:", s)
 	}
@@ -155,12 +190,17 @@ func runSweepTo(w io.Writer, args []string) error {
 }
 
 // runServe starts the long-running study service (see internal/server).
+// SIGINT/SIGTERM drain gracefully: /v1/healthz flips to 503 so load
+// balancers stop routing here, in-flight studies run to completion (up to
+// -grace), then the process exits cleanly.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	jobs := fs.Int("jobs", 0, "max concurrent studies (0 = GOMAXPROCS)")
 	workers := fs.Int("workers", 0,
 		"worker-pool size per study when the config doesn't set one (0 = GOMAXPROCS/jobs)")
+	grace := fs.Duration("grace", 30*time.Second,
+		"how long to let in-flight studies drain on SIGINT/SIGTERM before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,7 +217,29 @@ func runServe(args []string) error {
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		srv.Drain()
+		fmt.Fprintf(os.Stderr, "nvmexplorer: draining in-flight studies (max %s)\n", *grace)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(drainCtx)
+	}()
+
+	err := hs.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Signal path: wait for the drain to finish before reporting.
+	if err := <-shutdownDone; err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "nvmexplorer: shut down cleanly")
+	return nil
 }
 
 func runExperiment(args []string) error {

@@ -139,3 +139,90 @@ func TestCLIMatchesStudyService(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIMultiAxisParetoMatchesService runs the acceptance-criteria study —
+// cells × bits-per-cell × capacity × write-buffer with Pareto selection —
+// through the CLI and POST /v1/studies and requires byte-identical output
+// in every format, dashboard HTML included.
+func TestCLIMultiAxisParetoMatchesService(t *testing.T) {
+	cfgJSON := `{
+	  "name": "multi_axis_pareto",
+	  "cells": [{"technology": "RRAM", "flavor": "Opt"},
+	            {"technology": "FeFET", "flavor": "Opt"}],
+	  "bits_per_cell": [1, 2],
+	  "capacities_bytes": [1048576, 2097152],
+	  "write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 2, "traffic_reduction": 0.5}],
+	  "pareto": {"metrics": ["total_power_mw", "mem_time_per_sec"]},
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "study.json")
+	if err := os.WriteFile(cfgPath, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Options{MaxConcurrentStudies: 2}).Handler())
+	defer ts.Close()
+
+	for _, format := range []string{"json", "ndjson", "csv", "html"} {
+		var cli bytes.Buffer
+		if err := runSweepTo(&cli, []string{cfgPath, "-format", format}); err != nil {
+			t.Fatalf("%s: CLI run: %v", format, err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/studies?format="+format,
+			"application/json", strings.NewReader(cfgJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: service status %d: %s", format, resp.StatusCode, srvBody)
+		}
+		if !bytes.Equal(cli.Bytes(), srvBody) {
+			t.Errorf("%s: CLI output (%d bytes) != service response (%d bytes)",
+				format, cli.Len(), len(srvBody))
+		}
+		if format == "json" && !bytes.Contains(srvBody, []byte(`"frontier"`)) {
+			t.Error("json body has no frontier block")
+		}
+	}
+}
+
+// TestCLIParetoFlag checks -pareto overrides the config and shows up in
+// the table summary.
+func TestCLIParetoFlag(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "study.json")
+	cfgJSON := `{
+	  "name": "cli_pareto",
+	  "cells": [{"technology": "STT", "flavor": "Opt"},
+	            {"technology": "RRAM", "flavor": "Opt"}],
+	  "capacities_bytes": [1048576],
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runSweepTo(&out, []string{cfgPath, "-out", filepath.Join(dir, "res"),
+		"-pareto", "total_power_mw,mem_time_per_sec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pareto frontier on (total_power_mw, mem_time_per_sec)") {
+		t.Errorf("table output missing frontier summary:\n%s", out.String())
+	}
+	var js bytes.Buffer
+	if err := runSweepTo(&js, []string{cfgPath, "-format", "json", "-pareto", "lifetime_years"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"lifetime_years"`) {
+		t.Error("json output missing the flag-selected frontier metrics")
+	}
+	if err := runSweepTo(io.Discard, []string{cfgPath, "-pareto", "bogus"}); err == nil {
+		t.Error("unknown -pareto metric should error")
+	}
+}

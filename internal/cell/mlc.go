@@ -29,6 +29,17 @@ const (
 	mlcRetentionFactor    = 0.5
 )
 
+// CanProgram reports whether d can be re-programmed at bitsPerCell bits per
+// cell: the predicate the design-space enumeration (core.Study) uses to
+// prune infeasible (cell, bits-per-cell) axis combinations — volatile
+// technologies have no MLC mode (Table I) — instead of failing the study.
+func CanProgram(d Definition, bitsPerCell int) bool {
+	if bitsPerCell < 1 || bitsPerCell > 4 {
+		return false
+	}
+	return bitsPerCell == 1 || !d.Volatile()
+}
+
 // ToMLC returns a copy of d programmed at bitsPerCell bits per cell with the
 // analytical derations applied relative to d's current bits-per-cell. It
 // returns an error if the target is not in [1,4] or the technology is

@@ -23,7 +23,10 @@ import (
 	"repro/internal/viz"
 )
 
-// Study is one configured design-space exploration.
+// Study is one configured design-space exploration. Cells and Capacities
+// are the two mandatory axes; the optional axis fields widen the grid, and
+// their cross product — the study's DesignSpace — is enumerated in exactly
+// one place, Study.Space (space.go).
 type Study struct {
 	Name       string
 	Cells      []cell.Definition
@@ -31,15 +34,35 @@ type Study struct {
 	Targets    []nvsim.OptTarget
 	WordBits   int // 0 = 64B line
 	Patterns   []traffic.Pattern
-	Options    eval.Options
+	Options    eval.Options // study-wide defaults; per-point axes override
+
+	// Optional design-space axes (empty = single implicit value).
+	//
+	// BitsPerCell re-programs every base cell at each listed bits-per-cell
+	// (cell.ToMLC); volatile cells keep only their SLC entry. Empty uses
+	// each cell exactly as declared.
+	BitsPerCell []int
+	// WordBitsAxis varies the access width per point; empty uses WordBits.
+	WordBitsAxis []int
+	// WriteBuffers varies the write-buffer configuration per point (a nil
+	// entry is an explicit "no buffer" point); empty uses Options.WriteBuffer.
+	WriteBuffers []*eval.WriteBufferConfig
+	// Faults varies the storage fault/ECC handling per point; empty uses
+	// Options.Fault. Per-point injection seeds are derived from the entry's
+	// base seed plus the point index, so results are reproducible.
+	Faults []*eval.FaultConfig
+
+	// Pareto names the metrics (see ParetoMetricNames) to minimize when
+	// selecting the result frontier. Empty disables frontier selection.
+	Pareto []string
 
 	// Constraints applied during characterization (zero = none).
 	MaxAreaMM2       float64
 	MaxReadLatencyNS float64
 
-	// Workers bounds the goroutines characterizing the (cell, capacity)
-	// grid. 0 uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
-	// Results are merged in declaration order regardless, so the output is
+	// Workers bounds the goroutines characterizing the design-space grid.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Results are merged in enumeration order regardless, so the output is
 	// identical at any worker count.
 	Workers int
 }
@@ -94,11 +117,15 @@ type Results struct {
 	// study's constraints (e.g. excluded by an area budget), mirroring the
 	// paper's practice of dropping infeasible candidates from figures.
 	Skipped []string
+	// Frontier holds the indices into Metrics of the current Pareto
+	// selection (set by SelectPareto / EnsureFrontier, pareto.go); nil
+	// until a selection runs. Scatter views highlight these points.
+	Frontier []int
 }
 
-// gridPoint is the independent unit of study work: one (cell, capacity)
-// pair, characterized for every target in a single engine pass and
-// evaluated against every traffic pattern.
+// gridPoint is the independent unit of study work: one PointSpec,
+// characterized for every target in a single engine pass and evaluated
+// against every traffic pattern.
 type gridPoint struct {
 	arrays  []nvsim.Result
 	metrics []eval.Metrics
@@ -106,30 +133,31 @@ type gridPoint struct {
 	err     error
 }
 
-// runPoint characterizes one (cell, capacity) pair across all of the
-// study's targets with a single shared-engine call, then evaluates each
-// resulting array against each traffic pattern.
-func (s *Study) runPoint(c cell.Definition, capBytes int64) gridPoint {
+// runPoint characterizes one design-space point across all of the study's
+// targets with a single shared-engine call, then evaluates each resulting
+// array against each traffic pattern under the point's own options.
+func (s *Study) runPoint(spec PointSpec) gridPoint {
 	var pt gridPoint
 	arrs, errs := nvsim.CharacterizeTargets(nvsim.Config{
-		Cell:             c,
-		CapacityBytes:    capBytes,
-		WordBits:         s.WordBits,
+		Cell:             spec.Cell,
+		CapacityBytes:    spec.CapacityBytes,
+		WordBits:         spec.WordBits,
 		MaxAreaMM2:       s.MaxAreaMM2,
 		MaxReadLatencyNS: s.MaxReadLatencyNS,
 	}, s.Targets)
+	opts := spec.options(s.Options)
 	for i, target := range s.Targets {
 		if errs[i] != nil {
 			pt.skipped = append(pt.skipped,
-				fmt.Sprintf("%s@%d/%s: %v", c.Name, capBytes, target, errs[i]))
+				fmt.Sprintf("%s@%d/%s: %v", spec.Cell.Name, spec.CapacityBytes, target, errs[i]))
 			continue
 		}
 		arr := arrs[i]
 		pt.arrays = append(pt.arrays, arr)
 		for _, p := range s.Patterns {
-			m, err := eval.Evaluate(arr, p, s.Options)
+			m, err := eval.Evaluate(arr, p, opts)
 			if err != nil {
-				pt.err = fmt.Errorf("core: evaluating %s on %s: %w", c.Name, p.Name, err)
+				pt.err = fmt.Errorf("core: evaluating %s on %s: %w", spec.Cell.Name, p.Name, err)
 				return pt
 			}
 			pt.metrics = append(pt.metrics, m)
@@ -138,26 +166,25 @@ func (s *Study) runPoint(c cell.Definition, capBytes int64) gridPoint {
 	return pt
 }
 
-// PointResult is one completed (cell, capacity) grid point as delivered to
-// a RunStream callback: every target's characterized array and every
-// (array, pattern) evaluation for that point, in the same order Run would
-// append them to Results.
+// PointResult is one completed design-space grid point as delivered to a
+// RunStream callback: the point's coordinates plus every target's
+// characterized array and every (array, pattern) evaluation, in the same
+// order Run would append them to Results.
 type PointResult struct {
-	// Index is the point's position in the study grid (cell-major, then
-	// capacity), which is also its emission order.
-	Index         int
-	Cell          cell.Definition
-	CapacityBytes int64
-	Arrays        []nvsim.Result
-	Metrics       []eval.Metrics
-	Skipped       []string
+	// Spec carries the point's axis coordinates; Spec.Index is also the
+	// emission order.
+	Spec    PointSpec
+	Arrays  []nvsim.Result
+	Metrics []eval.Metrics
+	Skipped []string
 }
 
-// Run executes the study: characterize each (cell, capacity) grid point
-// across every target — sharing one organization-space evaluation per
-// point — and evaluate each resulting array against each traffic pattern.
-// Grid points fan out across Workers goroutines; results merge back in
-// declaration order, so the output is byte-identical to a sequential run.
+// Run executes the study: enumerate the design space (Space), characterize
+// each grid point across every target — sharing one organization-space
+// evaluation per point — and evaluate each resulting array against each
+// traffic pattern. Grid points fan out across Workers goroutines; results
+// merge back in enumeration order, so the output is byte-identical to a
+// sequential run.
 func (s *Study) Run() (*Results, error) {
 	return s.RunStream(context.Background(), nil)
 }
@@ -175,19 +202,18 @@ func (s *Study) Run() (*Results, error) {
 // ctx cancellation stops the remaining work promptly and is returned
 // (wrapped in ctx.Err()'s case).
 func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*Results, error) {
-	if len(s.Cells) == 0 {
-		return nil, fmt.Errorf("core: study %q has no cells", s.Name)
-	}
-	if len(s.Capacities) == 0 {
-		return nil, fmt.Errorf("core: study %q has no capacities", s.Name)
-	}
 	if len(s.Targets) == 0 {
 		s.Targets = []nvsim.OptTarget{nvsim.OptReadEDP}
 	}
-	grid := len(s.Cells) * len(s.Capacities)
+	if err := ValidateParetoMetrics(s.Pareto); err != nil {
+		return nil, err
+	}
+	specs, err := s.Space()
+	if err != nil {
+		return nil, err
+	}
+	grid := len(specs)
 	pts := make([]gridPoint, grid)
-	cellAt := func(i int) cell.Definition { return s.Cells[i/len(s.Capacities)] }
-	capAt := func(i int) int64 { return s.Capacities[i%len(s.Capacities)] }
 
 	res := &Results{Study: s}
 	// deliver merges point i into res and streams it; errors stop the run.
@@ -200,12 +226,10 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 		res.Skipped = append(res.Skipped, pts[i].skipped...)
 		if emit != nil {
 			return emit(PointResult{
-				Index:         i,
-				Cell:          cellAt(i),
-				CapacityBytes: capAt(i),
-				Arrays:        pts[i].arrays,
-				Metrics:       pts[i].metrics,
-				Skipped:       pts[i].skipped,
+				Spec:    specs[i],
+				Arrays:  pts[i].arrays,
+				Metrics: pts[i].metrics,
+				Skipped: pts[i].skipped,
 			})
 		}
 		return nil
@@ -223,7 +247,7 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
 			}
-			pts[i] = s.runPoint(cellAt(i), capAt(i))
+			pts[i] = s.runPoint(specs[i])
 			if err := deliver(i); err != nil {
 				return nil, err
 			}
@@ -243,7 +267,7 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 					if i >= grid || ctx.Err() != nil {
 						return
 					}
-					pts[i] = s.runPoint(cellAt(i), capAt(i))
+					pts[i] = s.runPoint(specs[i])
 					completed <- i
 				}
 			}()
@@ -361,37 +385,60 @@ func (r *Results) MetricsTable() *viz.Table {
 }
 
 // PowerScatter builds the power-vs-read-rate scatter (Fig 8/9 left).
+// Points on a selected Pareto frontier are emphasized.
 func (r *Results) PowerScatter() *viz.Scatter {
 	s := &viz.Scatter{Title: r.Study.Name + ": total memory power vs read traffic",
 		XLabel: "reads/s", YLabel: "total power (mW)", LogX: true, LogY: true}
-	for _, m := range r.Metrics {
+	front := r.frontierSet()
+	for i, m := range r.Metrics {
 		s.Add(m.Array.Cell.Name, viz.Point{
-			X: m.Pattern.ReadsPerSec, Y: m.TotalPowerMW, Label: m.Pattern.Name})
+			X: m.Pattern.ReadsPerSec, Y: m.TotalPowerMW, Label: m.Pattern.Name,
+			Emph: front[i]})
 	}
 	return s
 }
 
 // LatencyScatter builds the latency-vs-write-rate scatter (Fig 8/9 middle).
+// Points on a selected Pareto frontier are emphasized.
 func (r *Results) LatencyScatter() *viz.Scatter {
 	s := &viz.Scatter{Title: r.Study.Name + ": total memory latency vs write traffic",
 		XLabel: "writes/s", YLabel: "memory time per second", LogX: true, LogY: true}
-	for _, m := range r.Metrics {
+	front := r.frontierSet()
+	for i, m := range r.Metrics {
 		s.Add(m.Array.Cell.Name, viz.Point{
-			X: m.Pattern.WritesPerSec, Y: m.MemoryTimePerSec, Label: m.Pattern.Name})
+			X: m.Pattern.WritesPerSec, Y: m.MemoryTimePerSec, Label: m.Pattern.Name,
+			Emph: front[i]})
 	}
 	return s
 }
 
 // LifetimeScatter builds the lifetime-vs-write-rate scatter (Fig 8/9 right).
+// Points on a selected Pareto frontier are emphasized.
 func (r *Results) LifetimeScatter() *viz.Scatter {
 	s := &viz.Scatter{Title: r.Study.Name + ": projected lifetime vs write traffic",
 		XLabel: "writes/s", YLabel: "lifetime (years)", LogX: true, LogY: true}
-	for _, m := range r.Metrics {
+	front := r.frontierSet()
+	for i, m := range r.Metrics {
 		if math.IsInf(m.LifetimeYears, 1) {
 			continue
 		}
 		s.Add(m.Array.Cell.Name, viz.Point{
-			X: m.Pattern.WritesPerSec, Y: m.LifetimeYears, Label: m.Pattern.Name})
+			X: m.Pattern.WritesPerSec, Y: m.LifetimeYears, Label: m.Pattern.Name,
+			Emph: front[i]})
 	}
 	return s
+}
+
+// Dashboard renders the completed study — its tables and scatter views,
+// with any selected Pareto frontier highlighted — as the self-contained
+// HTML dashboard, the study-level analogue of the paper's interactive
+// filter/rank front end.
+func (r *Results) Dashboard() *viz.Dashboard {
+	return &viz.Dashboard{
+		Title: r.Study.Name,
+		Scatters: []*viz.Scatter{
+			r.PowerScatter(), r.LatencyScatter(), r.LifetimeScatter(),
+		},
+		Tables: []*viz.Table{r.ArrayTable(), r.MetricsTable()},
+	}
 }

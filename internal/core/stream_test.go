@@ -3,8 +3,13 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
 )
 
 // TestRunStreamMatchesRun runs the same study through Run and through
@@ -20,7 +25,7 @@ func TestRunStreamMatchesRun(t *testing.T) {
 		var indices []int
 		var streamed int
 		got, err := s.RunStream(context.Background(), func(pt PointResult) error {
-			indices = append(indices, pt.Index)
+			indices = append(indices, pt.Spec.Index)
 			streamed += len(pt.Metrics)
 			return nil
 		})
@@ -97,6 +102,75 @@ func TestRunStreamMidRunCancel(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+// TestRunStreamCancelMidMerge cancels the context while the merge frontier
+// is only partially delivered: the emit callback keeps returning nil (so
+// only the context, not an emit error, stops the run), workers must stop
+// picking up new grid points, and RunStream must report context.Canceled
+// with the stream cut off gap-free at a prefix of the grid.
+func TestRunStreamCancelMidMerge(t *testing.T) {
+	nvsim.ResetMemo() // cold cache: each point costs real engine work
+	s := NewStudy("mid-merge")
+	// Distinct custom-named cells defeat memoization across points so the
+	// remaining grid cannot race to completion before cancellation lands:
+	// at ~0.5ms per cold point, 128 points are far more work than any
+	// scheduling delay between cancel() and the workers noticing it.
+	for i := 0; i < 64; i++ {
+		d := cell.MustTentpole(cell.RRAM, cell.Optimistic)
+		d.Name = fmt.Sprintf("midmerge-%d", i)
+		s.AddCell(d)
+	}
+	s.AddCapacity(1<<20, 2<<20)
+	s.AddPattern(traffic.Pattern{Name: "p", ReadsPerSec: 1e6})
+	s.Workers = 2
+	grid := 128
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var indices []int
+	res, err := s.RunStream(ctx, func(pt PointResult) error {
+		indices = append(indices, pt.Spec.Index)
+		if len(indices) == 1 {
+			cancel() // cancel mid-merge, but keep accepting deliveries
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (delivered %d of %d)", err, len(indices), grid)
+	}
+	if res != nil {
+		t.Error("canceled run should not return results")
+	}
+	if len(indices) < 1 || len(indices) >= grid {
+		t.Fatalf("delivered %d of %d points; cancellation should stop mid-grid", len(indices), grid)
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("delivery out of order at %d: index %d", i, idx)
+		}
+	}
+
+	// The sequential path has the same contract, with fully deterministic
+	// scheduling: the context is checked before every point.
+	nvsim.ResetMemo()
+	s.Workers = 1
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	delivered := 0
+	res, err = s.RunStream(ctx2, func(PointResult) error {
+		delivered++
+		if delivered == 2 {
+			cancel2()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("sequential: err = %v res = %v, want context.Canceled and nil", err, res)
+	}
+	if delivered != 2 {
+		t.Fatalf("sequential: delivered %d points, want exactly 2", delivered)
 	}
 }
 

@@ -9,6 +9,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/nvsim"
 	"repro/internal/traffic"
@@ -44,6 +45,13 @@ type Metrics struct {
 
 	// Reliability.
 	LifetimeYears float64 // endurance-limited lifetime under this write rate
+
+	// Provenance of the per-point evaluation knobs: the write-buffer
+	// configuration actually applied (nil = none) and the storage-fault
+	// summary (nil = evaluated fault-free). Both are stamped by Evaluate so
+	// multi-axis studies can report which axis value produced each row.
+	WriteBuffer *WriteBufferConfig
+	Fault       *FaultSummary
 }
 
 // String renders one result row.
@@ -53,12 +61,18 @@ func (m *Metrics) String() string {
 		units.MWToString(m.DynamicPowerMW), m.MemoryTimePerSec, m.LifetimeYears)
 }
 
-// Options tunes an evaluation.
+// Options tunes an evaluation. In a core.Study these act as the study-wide
+// defaults; per-point axis values (write-buffer and fault axes) override
+// them for individual grid points.
 type Options struct {
 	// WriteBuffer, when non-nil, interposes the Section V-D write cache:
 	// masking write latency behind a fast buffer and/or coalescing write
 	// traffic before it reaches the eNVM.
 	WriteBuffer *WriteBufferConfig
+	// Fault, when non-nil and not FaultNone, evaluates the point under the
+	// storage-fault model (see fault.go): BER, optional SECDED protection,
+	// and a seed-deterministic injection probe.
+	Fault *FaultConfig
 }
 
 // WriteBufferConfig models the illustrative write cache of Section V-D: it
@@ -74,6 +88,26 @@ type WriteBufferConfig struct {
 	// updates in the buffer (0 = pure store buffer, 0.5 = half the writes
 	// never reach the eNVM).
 	TrafficReduction float64
+}
+
+// Label renders the configuration as the compact tag multi-axis study rows
+// use to identify which write-buffer axis value they were evaluated under.
+// A nil receiver labels the no-buffer point.
+func (w *WriteBufferConfig) Label() string {
+	if w == nil {
+		return "none"
+	}
+	var parts []string
+	if w.MaskLatency {
+		parts = append(parts, fmt.Sprintf("mask(%gns)", w.BufferLatencyNS))
+	}
+	if w.TrafficReduction > 0 {
+		parts = append(parts, fmt.Sprintf("coalesce(%.2f)", w.TrafficReduction))
+	}
+	if len(parts) == 0 {
+		return "passthrough"
+	}
+	return strings.Join(parts, "+")
 }
 
 // Validate checks the configuration.
@@ -108,12 +142,15 @@ func Evaluate(array nvsim.Result, p traffic.Pattern, opts Options) (Metrics, err
 			effWriteLatNS = wb.BufferLatencyNS
 		}
 	}
+	// ECC storage overhead: SECDED moves 72 bits per 64 data bits, scaling
+	// access energy and the cell-wearing write stream (fault.go).
+	eccFactor := opts.Fault.eccFactor()
 
-	m := Metrics{Array: array, Pattern: p}
+	m := Metrics{Array: array, Pattern: p, WriteBuffer: opts.WriteBuffer}
 
 	// Power: dynamic access energy plus standing leakage plus any
 	// retention-scrub stream. pJ/s -> mW: 1 pJ/s = 1e-12 W = 1e-9 mW.
-	m.DynamicPowerMW = (readsPerSec*array.ReadEnergyPJ + writesPerSec*writeEnergyPJ) * 1e-9
+	m.DynamicPowerMW = (readsPerSec*array.ReadEnergyPJ + writesPerSec*writeEnergyPJ) * eccFactor * 1e-9
 	m.LeakagePowerMW = array.LeakagePowerMW
 	m.RefreshPowerMW = RefreshPowerMW(array)
 	m.TotalPowerMW = m.DynamicPowerMW + m.LeakagePowerMW + m.RefreshPowerMW
@@ -132,7 +169,7 @@ func Evaluate(array nvsim.Result, p traffic.Pattern, opts Options) (Metrics, err
 			writesPerTask *= 1 - wb.TrafficReduction
 		}
 		m.TaskLatencyS = (p.ReadsPerTask*array.ReadLatencyNS + writesPerTask*effWriteLatNS) * 1e-9
-		m.EnergyPerTaskMJ = (p.ReadsPerTask*array.ReadEnergyPJ + writesPerTask*writeEnergyPJ) * 1e-9
+		m.EnergyPerTaskMJ = (p.ReadsPerTask*array.ReadEnergyPJ + writesPerTask*writeEnergyPJ) * eccFactor * 1e-9
 		if p.TasksPerSec > 0 {
 			m.MeetsTaskRate = m.TaskLatencyS <= 1/p.TasksPerSec && m.MemoryTimePerSec <= 1
 		} else {
@@ -142,7 +179,10 @@ func Evaluate(array nvsim.Result, p traffic.Pattern, opts Options) (Metrics, err
 		m.MeetsTaskRate = m.MemoryTimePerSec <= 1
 	}
 
-	m.LifetimeYears = lifetimeYears(array, writesPerSec)
+	m.LifetimeYears = lifetimeYears(array, writesPerSec*eccFactor)
+	if err := applyFault(&m, opts.Fault); err != nil {
+		return Metrics{}, err
+	}
 	return m, nil
 }
 

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Storage-fault evaluation (Sections II-B2 and V-C) as a first-class design
+// axis: a FaultConfig on Options (or on a per-point axis of a core.Study)
+// folds the cell's bit-error rate, optional SECDED protection, and a
+// deterministic fault-injection probe into every evaluated design point, so
+// fault handling can be swept alongside cells, capacities, and write
+// buffers instead of living in a separate one-off experiment.
+
+// FaultMode selects how storage faults are handled at a design point.
+type FaultMode int
+
+const (
+	// FaultNone evaluates the point as fault-free (the default).
+	FaultNone FaultMode = iota
+	// FaultRaw stores data unprotected: the cell's raw BER applies.
+	FaultRaw
+	// FaultSECDED protects storage with the Hamming(72,64) SECDED code:
+	// the residual (post-correction) BER applies, at the cost of the code's
+	// 12.5% storage overhead on dynamic energy and effective write traffic.
+	FaultSECDED
+)
+
+var faultModeNames = [...]string{"none", "raw", "secded"}
+
+// String returns the mode's JSON/CLI name.
+func (m FaultMode) String() string {
+	if m < 0 || int(m) >= len(faultModeNames) {
+		return fmt.Sprintf("FaultMode(%d)", int(m))
+	}
+	return faultModeNames[m]
+}
+
+// ParseFaultMode resolves a JSON/CLI name to a mode.
+func ParseFaultMode(s string) (FaultMode, error) {
+	for i, n := range faultModeNames {
+		if n == s {
+			return FaultMode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("eval: unknown fault mode %q (want none, raw, or secded)", s)
+}
+
+// DefaultFaultProbeBytes sizes the injection probe buffer when
+// FaultConfig.ProbeBytes is zero.
+const DefaultFaultProbeBytes = 4096
+
+// FaultConfig evaluates a design point under a storage-fault model.
+type FaultConfig struct {
+	// Mode selects raw faulty storage, SECDED-protected storage, or none.
+	Mode FaultMode
+	// Seed drives the injection probe's RNG explicitly, so every fault-mode
+	// design point is reproducible. Study runs derive a distinct
+	// deterministic seed per grid point (base seed + point index).
+	Seed int64
+	// ProbeBytes sizes the buffer the injection probe flips bits in
+	// (default DefaultFaultProbeBytes).
+	ProbeBytes int
+}
+
+// Validate checks the configuration.
+func (f *FaultConfig) Validate() error {
+	if f.Mode < FaultNone || f.Mode > FaultSECDED {
+		return fmt.Errorf("eval: invalid fault mode %d", int(f.Mode))
+	}
+	if f.ProbeBytes < 0 {
+		return fmt.Errorf("eval: fault probe size %d is negative", f.ProbeBytes)
+	}
+	return nil
+}
+
+// FaultSummary records the storage-fault view of one evaluated design
+// point: the modeled error rates plus the outcome of one deterministic
+// injection probe.
+type FaultSummary struct {
+	Mode FaultMode
+	Seed int64
+	// RawBER is the cell's modeled stored-bit error rate.
+	RawBER float64
+	// EffectiveBER is the error rate data actually sees: RawBER for raw
+	// storage, the post-correction residual under SECDED.
+	EffectiveBER float64
+	// InjectedFlips counts bit flips the seeded probe injected (data plus,
+	// under SECDED, parity).
+	InjectedFlips int
+	// CorrectedWords / UncorrectableWords report the SECDED decode of the
+	// probe buffer (zero in raw mode).
+	CorrectedWords     int
+	UncorrectableWords int
+}
+
+// eccFactor is the energy/traffic multiplier the fault mode imposes:
+// SECDED stores 72 bits per 64 data bits, so every access moves (and every
+// write wears) proportionally more cells. Decode latency is negligible
+// next to array access times and is not modeled.
+func (f *FaultConfig) eccFactor() float64 {
+	if f != nil && f.Mode == FaultSECDED {
+		return 1 + fault.SECDEDOverhead
+	}
+	return 1
+}
+
+// applyFault attaches the fault summary for the point to m. The metric
+// derations (eccFactor) are applied by Evaluate itself; this computes the
+// error rates and runs the seeded injection probe.
+func applyFault(m *Metrics, f *FaultConfig) error {
+	if f == nil || f.Mode == FaultNone {
+		return nil
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	rawBER := fault.Model{Cell: m.Array.Cell}.BER()
+	sum := &FaultSummary{Mode: f.Mode, Seed: f.Seed, RawBER: rawBER}
+	probe := f.ProbeBytes
+	if probe == 0 {
+		probe = DefaultFaultProbeBytes
+	}
+	buf := make([]byte, probe)
+	switch f.Mode {
+	case FaultRaw:
+		sum.EffectiveBER = rawBER
+		flips, err := fault.Inject(buf, rawBER, f.Seed)
+		if err != nil {
+			return err
+		}
+		sum.InjectedFlips = flips
+	case FaultSECDED:
+		sum.EffectiveBER = fault.ResidualBER(rawBER)
+		parity := fault.Protect(buf)
+		in := fault.NewInjector(f.Seed)
+		dataFlips, err := in.Inject(buf, rawBER)
+		if err != nil {
+			return err
+		}
+		parityFlips, err := in.Inject(parity, rawBER)
+		if err != nil {
+			return err
+		}
+		sum.InjectedFlips = dataFlips + parityFlips
+		st, err := fault.Correct(buf, parity)
+		if err != nil {
+			return err
+		}
+		sum.CorrectedWords, sum.UncorrectableWords = st.Corrected, st.Uncorrectable
+	}
+	m.Fault = sum
+	return nil
+}

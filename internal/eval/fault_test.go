@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+func faultArray(t *testing.T) nvsim.Result {
+	t.Helper()
+	// Pessimistic RRAM at 2 bpc has a high enough BER for the probe to
+	// reliably inject flips.
+	d := cell.MustToMLC(cell.MustTentpole(cell.RRAM, cell.Pessimistic), 2)
+	arr, err := nvsim.Characterize(nvsim.Config{Cell: d, CapacityBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestParseFaultMode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want FaultMode
+	}{{"none", FaultNone}, {"raw", FaultRaw}, {"secded", FaultSECDED}} {
+		got, err := ParseFaultMode(tc.name)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFaultMode(%q) = %v, %v", tc.name, got, err)
+		}
+		if got.String() != tc.name {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.name)
+		}
+	}
+	if _, err := ParseFaultMode("cosmic"); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	if err := (&FaultConfig{Mode: FaultMode(9)}).Validate(); err == nil {
+		t.Error("invalid mode should fail validation")
+	}
+	if err := (&FaultConfig{ProbeBytes: -1}).Validate(); err == nil {
+		t.Error("negative probe size should fail validation")
+	}
+	if err := (&FaultConfig{Mode: FaultSECDED, Seed: 3}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestEvaluateFaultModes(t *testing.T) {
+	arr := faultArray(t)
+	p := traffic.Pattern{Name: "t", ReadsPerSec: 1e6, WritesPerSec: 1e5}
+
+	clean := MustEvaluate(arr, p, Options{})
+	if clean.Fault != nil {
+		t.Fatal("fault-free evaluation should not carry a fault summary")
+	}
+
+	raw := MustEvaluate(arr, p, Options{Fault: &FaultConfig{Mode: FaultRaw, Seed: 1}})
+	if raw.Fault == nil {
+		t.Fatal("raw-mode evaluation missing fault summary")
+	}
+	if raw.Fault.RawBER <= 0 || raw.Fault.EffectiveBER != raw.Fault.RawBER {
+		t.Errorf("raw mode BERs = %g/%g", raw.Fault.RawBER, raw.Fault.EffectiveBER)
+	}
+	if raw.Fault.InjectedFlips == 0 {
+		t.Error("pessimistic 2bpc RRAM probe should inject flips")
+	}
+	// Raw storage changes reliability bookkeeping only, not power.
+	if raw.TotalPowerMW != clean.TotalPowerMW {
+		t.Error("raw mode should not change power")
+	}
+
+	ecc := MustEvaluate(arr, p, Options{Fault: &FaultConfig{Mode: FaultSECDED, Seed: 1}})
+	if ecc.Fault == nil {
+		t.Fatal("secded evaluation missing fault summary")
+	}
+	if ecc.Fault.EffectiveBER >= ecc.Fault.RawBER {
+		t.Errorf("SECDED should reduce the effective BER: %g >= %g",
+			ecc.Fault.EffectiveBER, ecc.Fault.RawBER)
+	}
+	if ecc.Fault.CorrectedWords == 0 {
+		t.Error("SECDED probe decoded no corrections at this BER")
+	}
+	// The 72/64 storage overhead must show up in dynamic power and wear.
+	wantFactor := 1 + 8.0/64.0
+	if got := ecc.DynamicPowerMW / clean.DynamicPowerMW; got < wantFactor-1e-9 || got > wantFactor+1e-9 {
+		t.Errorf("SECDED dynamic power factor = %g, want %g", got, wantFactor)
+	}
+	if ecc.LifetimeYears >= clean.LifetimeYears {
+		t.Error("SECDED parity writes should shorten lifetime")
+	}
+}
+
+func TestEvaluateFaultDeterministic(t *testing.T) {
+	arr := faultArray(t)
+	p := traffic.Pattern{Name: "t", ReadsPerSec: 1e6}
+	a := MustEvaluate(arr, p, Options{Fault: &FaultConfig{Mode: FaultRaw, Seed: 7}})
+	b := MustEvaluate(arr, p, Options{Fault: &FaultConfig{Mode: FaultRaw, Seed: 7}})
+	if a.Fault.InjectedFlips != b.Fault.InjectedFlips {
+		t.Errorf("same seed, different flips: %d vs %d",
+			a.Fault.InjectedFlips, b.Fault.InjectedFlips)
+	}
+	c := MustEvaluate(arr, p, Options{Fault: &FaultConfig{Mode: FaultRaw, Seed: 8}})
+	if a.Fault.InjectedFlips == c.Fault.InjectedFlips {
+		t.Logf("seeds 7 and 8 coincide on flips (%d); acceptable but unusual", c.Fault.InjectedFlips)
+	}
+}
+
+func TestWriteBufferLabel(t *testing.T) {
+	var nilWB *WriteBufferConfig
+	cases := []struct {
+		wb   *WriteBufferConfig
+		want string
+	}{
+		{nilWB, "none"},
+		{&WriteBufferConfig{}, "passthrough"},
+		{&WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 2}, "mask(2ns)"},
+		{&WriteBufferConfig{TrafficReduction: 0.5}, "coalesce(0.50)"},
+		{&WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 1.5, TrafficReduction: 0.25},
+			"mask(1.5ns)+coalesce(0.25)"},
+	}
+	for _, tc := range cases {
+		if got := tc.wb.Label(); got != tc.want {
+			t.Errorf("Label() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -90,6 +90,15 @@ func NewInjector(seed int64) *Injector {
 }
 
 // Inject flips each bit of data independently with probability ber, in
+// place, drawing from an RNG seeded explicitly with seed — the one-call
+// reproducible form of NewInjector(seed).Inject(data, ber). Sweep points
+// that evaluate fault modes use this with a per-point deterministic seed so
+// results are identical at any worker count.
+func Inject(data []byte, ber float64, seed int64) (int, error) {
+	return NewInjector(seed).Inject(data, ber)
+}
+
+// Inject flips each bit of data independently with probability ber, in
 // place, and returns the number of flipped bits. For the small error rates
 // used in practice it draws the flip count from the binomial distribution
 // (via per-bit sampling when n*ber is large would be slow, so it samples

@@ -33,6 +33,23 @@ type memoKey struct {
 	forceBanks       int
 }
 
+// memoKey fingerprints a normalized Config in exactly one place. Every
+// coordinate of a study's PointSpec that affects characterization (cell —
+// which carries bits-per-cell — capacity, word width, constraints) flows
+// through here; axes that only affect evaluation (write buffer, fault mode)
+// deliberately do not, so those sweep points share one characterization.
+func (cfg *Config) memoKey() memoKey {
+	return memoKey{
+		cell:             cfg.Cell,
+		capacityBytes:    cfg.CapacityBytes,
+		wordBits:         cfg.WordBits,
+		maxAreaMM2:       cfg.MaxAreaMM2,
+		maxReadLatencyNS: cfg.MaxReadLatencyNS,
+		maxLeakageMW:     cfg.MaxLeakageMW,
+		forceBanks:       cfg.ForceBanks,
+	}
+}
+
 type memoEntry struct {
 	once  sync.Once
 	cands []Result
@@ -57,15 +74,7 @@ const memoMaxEntries = 4096
 // configuration, computing it at most once per key. The returned slice is
 // shared: callers must not mutate it.
 func memoizedCandidates(cfg Config) ([]Result, error) {
-	key := memoKey{
-		cell:             cfg.Cell,
-		capacityBytes:    cfg.CapacityBytes,
-		wordBits:         cfg.WordBits,
-		maxAreaMM2:       cfg.MaxAreaMM2,
-		maxReadLatencyNS: cfg.MaxReadLatencyNS,
-		maxLeakageMW:     cfg.MaxLeakageMW,
-		forceBanks:       cfg.ForceBanks,
-	}
+	key := cfg.memoKey()
 	memo.mu.Lock()
 	e, ok := memo.m[key]
 	if !ok && len(memo.m) < memoMaxEntries {

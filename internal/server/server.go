@@ -7,11 +7,13 @@
 //
 // Endpoints (all under /v1):
 //
-//	POST /v1/studies                        run a sweep.Config; ?format=json|ndjson|csv
+//	POST /v1/studies                        run a sweep.Config; ?format=json|ndjson|csv|html
+//	                                        and ?pareto=metric,metric for frontier selection
 //	GET  /v1/cells                          the canonical tentpole cell database
 //	GET  /v1/experiments                    the paper-experiment registry
 //	GET  /v1/experiments/{id}/dashboard.html  one experiment rendered as an HTML dashboard
 //	GET  /v1/stats                          memo-cache and job counters
+//	GET  /v1/healthz                        liveness/readiness (503 while draining)
 //
 // Responses for a given configuration are byte-identical to the batch CLI
 // (`nvmexplorer run -format json|ndjson|csv`): both sides render through
@@ -60,6 +62,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	points    atomic.Int64 // design points served across all formats
+	draining  atomic.Bool  // set by Drain; flips /v1/healthz to 503
 }
 
 // New creates a Server.
@@ -84,8 +87,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/experiments/{id}/dashboard.html", s.handleDashboard)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
+}
+
+// Drain marks the server as shutting down: /v1/healthz starts answering
+// 503 so load balancers stop routing new work, while requests already
+// in flight run to completion (http.Server.Shutdown handles the drain).
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// handleHealthz reports liveness plus readiness: 200 while serving, 503
+// once draining, with the in-flight study count either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    state,
+		"in_flight": s.inFlight.Load(),
+	})
 }
 
 // acquire claims a job slot, waiting until one frees or the request dies.
@@ -110,19 +136,29 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // or the Accept header.
 func studyFormat(r *http.Request) (string, error) {
 	switch f := r.URL.Query().Get("format"); f {
-	case "json", "ndjson", "csv":
+	case "json", "ndjson", "csv", "html":
 		return f, nil
 	case "":
 	default:
-		return "", fmt.Errorf("unknown format %q (want json, ndjson, or csv)", f)
+		return "", fmt.Errorf("unknown format %q (want json, ndjson, csv, or html)", f)
 	}
 	switch r.Header.Get("Accept") {
 	case "application/x-ndjson":
 		return "ndjson", nil
 	case "text/csv":
 		return "csv", nil
+	case "text/html":
+		return "html", nil
 	}
 	return "json", nil
+}
+
+// studyPareto resolves the ?pareto= query option — a comma-separated
+// metric list that overrides the configuration's own pareto block.
+func studyPareto(r *http.Request, cfg *sweep.Config) {
+	if p := sweep.ParseParetoList(r.URL.Query().Get("pareto")); p != nil {
+		cfg.Pareto = p
+	}
 }
 
 // handleStudies runs one sweep configuration. JSON and CSV responses are
@@ -136,6 +172,7 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	studyPareto(r, cfg)
 	study, err := cfg.Study()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -173,6 +210,9 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		case "csv":
 			w.Header().Set("Content-Type", "text/csv")
 			err = sweep.WriteCombinedCSV(w, res)
+		case "html":
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			err = sweep.WriteDashboardHTML(w, res)
 		}
 		if err == nil {
 			s.completed.Add(1)
@@ -188,9 +228,9 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	_, err = study.RunStream(ctx, func(pt core.PointResult) error {
+	res, err := study.RunStream(ctx, func(pt core.PointResult) error {
 		for _, m := range pt.Metrics {
-			if err := enc.Encode(sweep.Point(m)); err != nil {
+			if err := enc.Encode(sweep.PointOf(m, study)); err != nil {
 				return err
 			}
 			s.points.Add(1)
@@ -200,6 +240,11 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		}
 		return ctx.Err()
 	})
+	if err == nil && len(study.Pareto) > 0 {
+		// The frontier needs the full result set, so it trails the rows —
+		// the same trailer sweep.WriteNDJSON emits in batch mode.
+		err = sweep.WriteNDJSONFrontier(w, res)
+	}
 	if err != nil {
 		s.failed.Add(1)
 		if ctx.Err() == nil {
@@ -344,11 +389,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `NVMExplorer-Go study service
-  POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv)
+  POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv|html,
+                                            ?pareto=metric,metric for frontier selection)
   GET  /v1/cells                            canonical tentpole cell database
   GET  /v1/experiments                      paper-experiment registry
   GET  /v1/experiments/{id}/dashboard.html  live HTML dashboard for one experiment
   GET  /v1/stats                            memo-cache and job counters
+  GET  /v1/healthz                          liveness/readiness (503 while draining)
 `)
 }
 

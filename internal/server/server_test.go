@@ -302,3 +302,127 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Error("memo misses = 0 after a fresh-cache study")
 	}
 }
+
+// TestHealthz checks the liveness endpoint and the drain transition.
+func TestHealthz(t *testing.T) {
+	srv := New(Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz = %d %v, want 200 ok", resp.StatusCode, body)
+	}
+
+	srv.Drain()
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Errorf("draining healthz = %d %v, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+// TestStudiesParetoQuery checks ?pareto= selection: the JSON body gains a
+// frontier block, NDJSON gains the trailer, and bad metrics are rejected.
+func TestStudiesParetoQuery(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxConcurrentStudies: 2}).Handler())
+	defer ts.Close()
+	cfg := testConfig("svc_pareto", "STT", 1<<20)
+
+	resp, err := http.Post(ts.URL+"/v1/studies?format=json&pareto=total_power_mw,mem_time_per_sec",
+		"application/json", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body sweep.StudyResult
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pareto study status = %d", resp.StatusCode)
+	}
+	if body.Frontier == nil || len(body.Frontier.Points) == 0 {
+		t.Fatal("pareto query produced no frontier block")
+	}
+	marked := 0
+	for _, p := range body.Points {
+		if p.Pareto {
+			marked++
+		}
+	}
+	if marked != len(body.Frontier.Points) {
+		t.Errorf("marked rows = %d, frontier = %d", marked, len(body.Frontier.Points))
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/studies?format=ndjson&pareto=total_power_mw,mem_time_per_sec",
+		"application/json", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(nd), "\n"), "\n")
+	if len(lines) != len(body.Points)+1 {
+		t.Fatalf("ndjson lines = %d, want %d + trailer", len(lines), len(body.Points))
+	}
+	if !strings.Contains(lines[len(lines)-1], `"frontier"`) {
+		t.Errorf("last ndjson line is not the frontier trailer: %s", lines[len(lines)-1])
+	}
+
+	status, errBody := post(t, ts, cfg, "json&pareto=vibes")
+	if status != http.StatusBadRequest || !strings.Contains(string(errBody), "vibes") {
+		t.Errorf("bad pareto metric: status %d body %s", status, errBody)
+	}
+}
+
+// TestStudiesHTMLDashboard checks format=html renders the study dashboard
+// with the frontier highlighted.
+func TestStudiesHTMLDashboard(t *testing.T) {
+	ts := httptest.NewServer(New(Options{MaxConcurrentStudies: 2}).Handler())
+	defer ts.Close()
+	cfg := testConfig("svc_html", "RRAM", 1<<20)
+	resp, err := http.Post(ts.URL+"/v1/studies?format=html&pareto=total_power_mw,mem_time_per_sec",
+		"application/json", strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("html study status = %d: %s", resp.StatusCode, html)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	page := string(html)
+	if !strings.Contains(page, "<!DOCTYPE html>") || !strings.Contains(page, "svc_html") {
+		t.Error("response is not the rendered study dashboard")
+	}
+	if !strings.Contains(page, "Pareto frontier") {
+		t.Error("dashboard does not highlight the Pareto frontier")
+	}
+}

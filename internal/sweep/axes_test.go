@@ -1,0 +1,238 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// multiAxisConfig sweeps four axes (cells × bits-per-cell × capacity ×
+// write-buffer × fault mode) and asks for a Pareto frontier — the
+// acceptance-criteria study shape.
+const multiAxisConfig = `{
+  "name": "multi_axis",
+  "cells": [
+    {"technology": "RRAM", "flavor": "Opt"},
+    {"technology": "FeFET", "flavor": "Opt"}
+  ],
+  "bits_per_cell": [1, 2],
+  "capacities_bytes": [1048576, 2097152],
+  "word_bits_axis": [256, 512],
+  "write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 2, "traffic_reduction": 0.5}],
+  "fault": {"modes": ["none", "secded"], "seed": 42},
+  "pareto": {"metrics": ["total_power_mw", "mem_time_per_sec", "area_mm2"]},
+  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+}`
+
+// TestMultiAxisStudyThroughWriters runs the multi-axis + Pareto study
+// through all three writers and checks axis columns, frontier reporting,
+// and the JSON/NDJSON row agreement.
+func TestMultiAxisStudyThroughWriters(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(multiAxisConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrid := 2 * 2 * 2 * 2 * 2 * 2 // bits x cells x caps x words x buffers x faults
+	if len(res.Metrics) != wantGrid {
+		t.Fatalf("metrics = %d, want %d", len(res.Metrics), wantGrid)
+	}
+
+	var jb bytes.Buffer
+	if err := WriteJSON(&jb, res); err != nil {
+		t.Fatal(err)
+	}
+	var body StudyResult
+	if err := json.Unmarshal(jb.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Frontier == nil || len(body.Frontier.Points) == 0 {
+		t.Fatal("pareto study has no frontier block")
+	}
+	if got := body.Frontier.Metrics; len(got) != 3 || got[0] != "total_power_mw" {
+		t.Errorf("frontier metrics = %v", got)
+	}
+	marked := 0
+	sawWordBits, sawBuffer, sawFault := false, false, false
+	for _, p := range body.Points {
+		if p.Pareto {
+			marked++
+		}
+		if p.WordBits == 256 || p.WordBits == 512 {
+			sawWordBits = true
+		}
+		if p.WriteBuffer == "mask(2ns)+coalesce(0.50)" {
+			sawBuffer = true
+		}
+		if p.Fault != nil && p.Fault.Mode == "secded" {
+			if p.Fault.RawBER <= 0 {
+				t.Error("secded row missing raw_ber")
+			}
+			if p.Fault.Seed < 42 {
+				t.Errorf("secded row seed %d below base", p.Fault.Seed)
+			}
+			sawFault = true
+		}
+	}
+	if marked != len(body.Frontier.Points) {
+		t.Errorf("pareto-marked rows = %d, frontier lists %d", marked, len(body.Frontier.Points))
+	}
+	if !sawWordBits || !sawBuffer || !sawFault {
+		t.Errorf("axis fields missing: word_bits=%v write_buffer=%v fault=%v",
+			sawWordBits, sawBuffer, sawFault)
+	}
+
+	// NDJSON: one row per metric plus the frontier trailer, rows matching
+	// the JSON body's points (minus the buffered-only pareto flag).
+	var nb bytes.Buffer
+	if err := WriteNDJSON(&nb, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(nb.String(), "\n"), "\n")
+	if len(lines) != len(body.Points)+1 {
+		t.Fatalf("ndjson lines = %d, want %d rows + 1 trailer", len(lines), len(body.Points))
+	}
+	var trailer struct {
+		Frontier *Frontier `json:"frontier"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Frontier == nil || len(trailer.Frontier.Points) != len(body.Frontier.Points) {
+		t.Fatalf("ndjson trailer = %s", lines[len(lines)-1])
+	}
+	// Fault is a pointer field, so compare by value, not pointer identity.
+	samePoint := func(a, b DesignPoint) bool {
+		af, bf := a.Fault, b.Fault
+		a.Fault, b.Fault = nil, nil
+		if a != b {
+			return false
+		}
+		if (af == nil) != (bf == nil) {
+			return false
+		}
+		return af == nil || *af == *bf
+	}
+	for i, line := range lines[:len(lines)-1] {
+		var pt DesignPoint
+		if err := json.Unmarshal([]byte(line), &pt); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		want := body.Points[i]
+		want.Pareto = false // NDJSON rows stream before the frontier exists
+		if !samePoint(pt, want) {
+			t.Fatalf("row %d: ndjson %+v != json %+v", i, pt, want)
+		}
+	}
+
+	// CSV: axis and Pareto columns appear.
+	var cb bytes.Buffer
+	if err := WriteCombinedCSV(&cb, res); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(cb.String(), "\n", 2)[0] // first table's header row
+	for _, col := range []string{"WordBits", "WriteBuffer", "FaultMode", "RawBER", "EffectiveBER", "Pareto"} {
+		if !strings.Contains(head, col) {
+			t.Errorf("CSV header missing %s: %s", col, head)
+		}
+	}
+	if !strings.Contains(cb.String(), "secded") {
+		t.Error("CSV rows missing fault mode values")
+	}
+
+	// Dashboard: the frontier is visibly highlighted in the SVG.
+	var hb bytes.Buffer
+	if err := WriteDashboardHTML(&hb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hb.String(), "Pareto frontier") {
+		t.Error("dashboard HTML does not highlight the frontier")
+	}
+}
+
+// TestAxisConfigErrors covers the new configuration rejection paths.
+func TestAxisConfigErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSubstr string
+	}{
+		{"both write buffer forms",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "write_buffer":{"mask_latency":true,"buffer_latency_ns":2},
+			  "write_buffers":[null],
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "write_buffers"},
+		{"fault without modes",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "fault":{"seed":1},
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "modes"},
+		{"unknown fault mode",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "fault":{"modes":["cosmic"]},
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "cosmic"},
+		{"empty pareto",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "pareto":{"metrics":[]},
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "pareto"},
+		{"unknown pareto metric",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "pareto":{"metrics":["swagger"]},
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "swagger"},
+		{"bits per cell out of range",
+			`{"name":"x","capacities_bytes":[1048576],"cells":[{"technology":"STT","flavor":"Opt"}],
+			  "bits_per_cell":[7],
+			  "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "bits per cell"},
+	}
+	for _, tc := range cases {
+		cfg, err := Parse(strings.NewReader(tc.src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		_, err = cfg.Study()
+		if err == nil || !strings.Contains(err.Error(), tc.wantSubstr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantSubstr)
+		}
+	}
+}
+
+// TestFaultSweepReproducible runs the same fault-mode sweep twice and at
+// different worker counts: the injected-flip counts (the only randomized
+// quantity in the pipeline) must be identical because every point derives
+// its seed from the config's base seed plus its grid index.
+func TestFaultSweepReproducible(t *testing.T) {
+	const src = `{
+	  "name": "fault_repro",
+	  "cells": [{"technology": "RRAM", "flavor": "Pess"}],
+	  "bits_per_cell": [1, 2],
+	  "capacities_bytes": [1048576],
+	  "fault": {"modes": ["raw", "secded"], "seed": 99},
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	flips := func(workers int) []int {
+		cfg, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, m := range res.Metrics {
+			if m.Fault == nil {
+				t.Fatal("fault sweep row missing fault summary")
+			}
+			out = append(out, m.Fault.InjectedFlips)
+		}
+		return out
+	}
+	a, b, c := flips(1), flips(1), flips(4)
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("flip counts diverge at row %d: %d / %d / %d", i, a[i], b[i], c[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -33,17 +34,63 @@ type Config struct {
 
 	Traffic TrafficConfig `json:"traffic"`
 
-	// Optional write-buffer what-if (Section V-D).
+	// Optional write-buffer what-if (Section V-D), applied study-wide.
 	WriteBuffer *WriteBufferConfig `json:"write_buffer,omitempty"`
+
+	// Optional design-space axes beyond (cells × bits_per_cell ×
+	// capacities). word_bits_axis varies the access width per grid point;
+	// write_buffers sweeps write-buffer configurations (a null entry is an
+	// explicit no-buffer point; mutually exclusive with write_buffer);
+	// fault sweeps storage fault/ECC modes with a reproducible seed.
+	WordBitsAxis []int                `json:"word_bits_axis,omitempty"`
+	WriteBuffers []*WriteBufferConfig `json:"write_buffers,omitempty"`
+	Fault        *FaultConfig         `json:"fault,omitempty"`
+
+	// Pareto selects the result frontier: the named metrics (DesignPoint
+	// field names, e.g. total_power_mw, mem_time_per_sec, area_mm2) are
+	// jointly optimized and non-dominated rows are reported.
+	Pareto *ParetoConfig `json:"pareto,omitempty"`
 
 	// Optional constraints.
 	MaxAreaMM2       float64 `json:"max_area_mm2,omitempty"`
 	MaxReadLatencyNS float64 `json:"max_read_latency_ns,omitempty"`
 
-	// Workers bounds the goroutines characterizing the (cell, capacity)
-	// grid; 0 uses all CPUs, 1 forces sequential execution. Output is
-	// identical at any worker count.
+	// Workers bounds the goroutines characterizing the design-space grid;
+	// 0 uses all CPUs, 1 forces sequential execution. Output is identical
+	// at any worker count.
 	Workers int `json:"workers,omitempty"`
+}
+
+// FaultConfig is the storage fault/ECC axis of a sweep: each mode ("none",
+// "raw", "secded") becomes one grid point per (cell, capacity, ...) with a
+// deterministic per-point injection seed derived from Seed.
+type FaultConfig struct {
+	Modes      []string `json:"modes"`
+	Seed       int64    `json:"seed,omitempty"`
+	ProbeBytes int      `json:"probe_bytes,omitempty"`
+}
+
+// ParetoConfig names the metrics the frontier selection minimizes (or, for
+// lifetime/density, maximizes).
+type ParetoConfig struct {
+	Metrics []string `json:"metrics"`
+}
+
+// ParseParetoList parses the comma-separated metric-list syntax shared by
+// the CLI's -pareto flag and the study service's ?pareto= query option
+// (e.g. "total_power_mw, mem_time_per_sec"). Empty input yields nil — no
+// selection; metric names are validated later, at Study expansion.
+func ParseParetoList(list string) *ParetoConfig {
+	var metrics []string
+	for _, m := range strings.Split(list, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			metrics = append(metrics, m)
+		}
+	}
+	if metrics == nil && list == "" {
+		return nil
+	}
+	return &ParetoConfig{Metrics: metrics}
 }
 
 // CellRef names a canonical tentpole cell.
@@ -132,7 +179,10 @@ func network(name string) (nn.NetworkShape, error) {
 	return nn.NetworkShape{}, fmt.Errorf("sweep: unknown network %q", name)
 }
 
-// Study expands the configuration into a runnable core.Study.
+// Study expands the configuration into a runnable core.Study. Axis values
+// (bits per cell, word bits, write buffers, fault modes) pass through as
+// first-class study axes; the cross-product grid itself is enumerated by
+// core.Study.Space, not here.
 func (c *Config) Study() (*core.Study, error) {
 	if c.Name == "" {
 		return nil, fmt.Errorf("sweep: config needs a name")
@@ -147,6 +197,12 @@ func (c *Config) Study() (*core.Study, error) {
 	if len(bits) == 0 {
 		bits = []int{1}
 	}
+	for _, b := range bits {
+		if b < 1 || b > 4 {
+			return nil, fmt.Errorf("sweep: bits per cell %d out of range [1,4]", b)
+		}
+	}
+	s.BitsPerCell = bits
 	var baseCells []cell.Definition
 	for _, ref := range c.Cells {
 		tech, err := cell.ParseTechnology(ref.Technology)
@@ -202,20 +258,7 @@ func (c *Config) Study() (*core.Study, error) {
 	if len(baseCells) == 0 {
 		return nil, fmt.Errorf("sweep: config %q selects no cells", c.Name)
 	}
-	for _, b := range bits {
-		for _, d := range baseCells {
-			md, err := cell.ToMLC(d, b)
-			if err != nil {
-				// SRAM has no MLC mode; skip silently for multi-bit passes,
-				// keeping the SLC entry.
-				if b == 1 {
-					return nil, err
-				}
-				continue
-			}
-			s.AddCell(md)
-		}
-	}
+	s.Cells = baseCells
 
 	s.AddCapacity(c.CapacitiesBytes...)
 	if len(c.OptTargets) == 0 {
@@ -255,11 +298,52 @@ func (c *Config) Study() (*core.Study, error) {
 	}
 
 	if wb := c.WriteBuffer; wb != nil {
-		s.Options = eval.Options{WriteBuffer: &eval.WriteBufferConfig{
-			MaskLatency:      wb.MaskLatency,
-			BufferLatencyNS:  wb.BufferLatencyNS,
-			TrafficReduction: wb.TrafficReduction,
-		}}
+		if len(c.WriteBuffers) > 0 {
+			return nil, fmt.Errorf("sweep: config %q sets both write_buffer and the write_buffers axis", c.Name)
+		}
+		s.Options.WriteBuffer = evalWriteBuffer(wb)
+	}
+	for _, wb := range c.WriteBuffers {
+		s.WriteBuffers = append(s.WriteBuffers, evalWriteBuffer(wb))
+	}
+	s.WordBitsAxis = c.WordBitsAxis
+
+	if f := c.Fault; f != nil {
+		if len(f.Modes) == 0 {
+			return nil, fmt.Errorf("sweep: config %q fault block lists no modes", c.Name)
+		}
+		for _, name := range f.Modes {
+			mode, err := eval.ParseFaultMode(name)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			s.Faults = append(s.Faults, &eval.FaultConfig{
+				Mode: mode, Seed: f.Seed, ProbeBytes: f.ProbeBytes,
+			})
+		}
+	}
+
+	if p := c.Pareto; p != nil {
+		if len(p.Metrics) == 0 {
+			return nil, fmt.Errorf("sweep: config %q pareto block names no metrics", c.Name)
+		}
+		if err := core.ValidateParetoMetrics(p.Metrics); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		s.Pareto = p.Metrics
 	}
 	return s, nil
+}
+
+// evalWriteBuffer converts the JSON write-buffer form to the eval config.
+// A nil input stays nil: an explicit "no buffer" axis point.
+func evalWriteBuffer(wb *WriteBufferConfig) *eval.WriteBufferConfig {
+	if wb == nil {
+		return nil
+	}
+	return &eval.WriteBufferConfig{
+		MaskLatency:      wb.MaskLatency,
+		BufferLatencyNS:  wb.BufferLatencyNS,
+		TrafficReduction: wb.TrafficReduction,
+	}
 }

@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+)
+
+// legacyConfig exercises everything a pre-DesignSpace configuration could
+// express: tentpole + custom cells, an MLC pass (with SRAM silently kept
+// SLC-only), multiple capacities and targets, generic traffic, and a
+// study-wide write buffer.
+const legacyConfig = `{
+  "name": "legacy_equivalence",
+  "cells": [
+    {"technology": "SRAM", "flavor": "Ref"},
+    {"technology": "RRAM", "flavor": "Opt"},
+    {"technology": "FeFET", "flavor": "Pess"}
+  ],
+  "custom_cells": [{
+    "name": "MyRRAM", "technology": "RRAM", "area_f2": 10, "node_nm": 28,
+    "read_latency_ns": 5, "write_latency_ns": 50,
+    "read_energy_pj": 0.2, "write_energy_pj": 1.0,
+    "endurance_cycles": 1e7, "retention_s": 1e8
+  }],
+  "bits_per_cell": [1, 2],
+  "capacities_bytes": [1048576, 4194304],
+  "opt_targets": ["ReadEDP", "Area"],
+  "traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+               "write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}},
+  "write_buffer": {"mask_latency": true, "buffer_latency_ns": 2, "traffic_reduction": 0.25},
+  "max_area_mm2": 2.0
+}`
+
+// legacyStudy rebuilds the pre-refactor expansion of a configuration: MLC
+// variants pre-cloned into the cell list in bits-major order (volatile
+// cells keep only their SLC entry), with no bits-per-cell axis declared —
+// exactly what sweep.Config.Study produced before the DesignSpace refactor.
+func legacyStudy(t *testing.T, cfg *Config) *core.Study {
+	t.Helper()
+	s, err := cfg.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg := *s
+	leg.BitsPerCell = nil
+	leg.Cells = nil
+	for _, b := range s.BitsPerCell {
+		for _, d := range s.Cells {
+			md, err := cell.ToMLC(d, b)
+			if err != nil {
+				if b == 1 {
+					t.Fatal(err)
+				}
+				continue
+			}
+			leg.Cells = append(leg.Cells, md)
+		}
+	}
+	return &leg
+}
+
+// TestLegacyConfigByteIdentical is the acceptance gate of the DesignSpace
+// refactor: a legacy sweep configuration must produce byte-identical JSON,
+// NDJSON, and CSV output through the new axis enumeration compared to the
+// old cell-cloning expansion — end to end, at several worker counts.
+func TestLegacyConfigByteIdentical(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(legacyConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := legacyStudy(t, cfg)
+	legacy.Workers = 1
+	wantRes, err := legacy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(res *core.Results) (jsonB, ndB, csvB []byte) {
+		t.Helper()
+		var jb, nb, cb bytes.Buffer
+		if err := WriteJSON(&jb, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNDJSON(&nb, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCombinedCSV(&cb, res); err != nil {
+			t.Fatal(err)
+		}
+		return jb.Bytes(), nb.Bytes(), cb.Bytes()
+	}
+	wantJSON, wantND, wantCSV := render(wantRes)
+	if len(wantRes.Metrics) == 0 || len(wantRes.Skipped) == 0 {
+		t.Fatalf("reference study should have results and constraint skips; got %d/%d",
+			len(wantRes.Metrics), len(wantRes.Skipped))
+	}
+
+	for _, workers := range []int{1, 4} {
+		cfg2, err := Parse(strings.NewReader(legacyConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg2.Workers = workers
+		res, err := Run(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, gotND, gotCSV := render(res)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("workers=%d: JSON diverges from the legacy expansion (%d vs %d bytes)",
+				workers, len(gotJSON), len(wantJSON))
+		}
+		if !bytes.Equal(wantND, gotND) {
+			t.Errorf("workers=%d: NDJSON diverges from the legacy expansion", workers)
+		}
+		if !bytes.Equal(wantCSV, gotCSV) {
+			t.Errorf("workers=%d: CSV diverges from the legacy expansion", workers)
+		}
+	}
+}
+
+// TestLegacyRowsHaveNoAxisFields pins the wire compatibility detail: rows
+// of a legacy configuration must not grow the new axis/pareto JSON keys.
+func TestLegacyRowsHaveNoAxisFields(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(dnnConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nd bytes.Buffer
+	if err := WriteNDJSON(&nd, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(nd.String(), "\n"), "\n") {
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"word_bits", "write_buffer", "fault",
+			"pareto", "frontier"} {
+			if _, ok := raw[key]; ok {
+				t.Fatalf("legacy row leaked new field %q: %s", key, line)
+			}
+		}
+	}
+	var body bytes.Buffer
+	if err := WriteJSON(&body, res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(body.String(), "frontier") {
+		t.Error("legacy JSON body should have no frontier block")
+	}
+}

@@ -38,6 +38,30 @@ type DesignPoint struct {
 	TaskLatencyS   Float `json:"task_latency_s"`
 	MeetsTaskRate  bool  `json:"meets_task_rate"`
 	LifetimeYears  Float `json:"lifetime_years"`
+
+	// Axis coordinates beyond the legacy (cell, bits, capacity, target,
+	// pattern) set. word_bits and write_buffer appear only when the study
+	// declares the matching axis; the fault block appears whenever the
+	// point was evaluated under a fault mode, with all of its subfields
+	// always present. Legacy configurations keep their exact historical
+	// encoding.
+	WordBits    int         `json:"word_bits,omitempty"`
+	WriteBuffer string      `json:"write_buffer,omitempty"`
+	Fault       *FaultPoint `json:"fault,omitempty"`
+
+	// Pareto marks rows on the selected frontier; emitted only in the
+	// buffered JSON body (NDJSON reports the frontier as a trailer).
+	Pareto bool `json:"pareto,omitempty"`
+}
+
+// FaultPoint is the fault view of one row: the mode and per-point seed the
+// point was evaluated under, plus the modeled error rates. It is attached
+// whole or not at all, so every fault-evaluated row has the same shape.
+type FaultPoint struct {
+	Mode         string `json:"mode"`
+	Seed         int64  `json:"seed"`
+	RawBER       Float  `json:"raw_ber"`
+	EffectiveBER Float  `json:"effective_ber"`
 }
 
 // Float marshals like float64 but encodes non-finite values (an
@@ -68,8 +92,36 @@ func (f *Float) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Point flattens one evaluation into its row form.
-func Point(m eval.Metrics) DesignPoint {
+// Point flattens one evaluation into its legacy row form, with no
+// axis-dependent columns. Equivalent to PointOf(m, nil).
+func Point(m eval.Metrics) DesignPoint { return PointOf(m, nil) }
+
+// PointOf flattens one evaluation into its row form for a study: axis
+// columns (word bits, write buffer) appear when the study declares the
+// axis, and fault columns whenever the point was evaluated under a fault
+// mode. A nil study emits the legacy column set only.
+func PointOf(m eval.Metrics, s *core.Study) DesignPoint {
+	p := basePoint(m)
+	if s != nil {
+		if s.Declares(core.AxisWordBits) {
+			p.WordBits = m.Array.WordBits
+		}
+		if s.Declares(core.AxisWriteBuffer) {
+			p.WriteBuffer = m.WriteBuffer.Label()
+		}
+	}
+	if f := m.Fault; f != nil {
+		p.Fault = &FaultPoint{
+			Mode:         f.Mode.String(),
+			Seed:         f.Seed,
+			RawBER:       Float(f.RawBER),
+			EffectiveBER: Float(f.EffectiveBER),
+		}
+	}
+	return p
+}
+
+func basePoint(m eval.Metrics) DesignPoint {
 	a := m.Array
 	return DesignPoint{
 		Cell:            a.Cell.Name,
@@ -99,51 +151,105 @@ func Point(m eval.Metrics) DesignPoint {
 func Points(res *core.Results) []DesignPoint {
 	out := make([]DesignPoint, 0, len(res.Metrics))
 	for _, m := range res.Metrics {
-		out = append(out, Point(m))
+		out = append(out, PointOf(m, res.Study))
 	}
 	return out
+}
+
+// Frontier is the Pareto-selection block of a study body: the metrics it
+// optimized and the row indices (into the points array / NDJSON row order)
+// that survived.
+type Frontier struct {
+	Metrics []string `json:"metrics"`
+	Points  []int    `json:"points"`
 }
 
 // StudyResult is the JSON body of a completed study — what
 // `nvmexplorer run -format json` prints and what the study service
 // returns from POST /v1/studies.
 type StudyResult struct {
-	Name    string        `json:"name"`
-	Points  []DesignPoint `json:"points"`
-	Skipped []string      `json:"skipped,omitempty"`
+	Name     string        `json:"name"`
+	Points   []DesignPoint `json:"points"`
+	Skipped  []string      `json:"skipped,omitempty"`
+	Frontier *Frontier     `json:"frontier,omitempty"`
 }
 
-// Result converts a completed study into its JSON body form.
+// Result converts a completed study into its JSON body form. When the
+// study declares a Pareto selection, call res.EnsureFrontier first (the
+// writers do); frontier rows are flagged and the frontier block attached.
 func Result(res *core.Results) StudyResult {
-	return StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped}
+	out := StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped}
+	if len(res.Study.Pareto) > 0 && res.Frontier != nil {
+		for _, i := range res.Frontier {
+			out.Points[i].Pareto = true
+		}
+		out.Frontier = &Frontier{Metrics: res.Study.Pareto, Points: res.Frontier}
+	}
+	return out
 }
 
 // WriteJSON writes the study's JSON body (indented, trailing newline) to w.
 // The encoding is deterministic, so any two runs of the same configuration
 // produce byte-identical output regardless of worker count or caching.
 func WriteJSON(w io.Writer, res *core.Results) error {
+	if err := res.EnsureFrontier(); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Result(res))
 }
 
+// ndjsonTrailer is the final NDJSON line of a Pareto-selected study. Rows
+// stream before the full result set — and thus the frontier — is known, so
+// per-row pareto flags are impossible; the frontier arrives as a trailer
+// instead, in both the batch writer and the study service's live stream.
+type ndjsonTrailer struct {
+	Frontier Frontier `json:"frontier"`
+}
+
 // WriteNDJSON writes one DesignPoint JSON object per line to w, in Results
-// order — the batch form of the study service's streamed NDJSON response.
+// order — the batch form of the study service's streamed NDJSON response —
+// followed, for Pareto-selected studies, by one frontier trailer line.
 func WriteNDJSON(w io.Writer, res *core.Results) error {
+	if err := res.EnsureFrontier(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, m := range res.Metrics {
-		if err := enc.Encode(Point(m)); err != nil {
+		if err := enc.Encode(PointOf(m, res.Study)); err != nil {
 			return err
 		}
 	}
+	if err := WriteNDJSONFrontier(bw, res); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// WriteNDJSONFrontier writes the single frontier trailer line of a
+// Pareto-selected study — the piece the study service appends after its
+// live row stream so batch and streamed NDJSON stay byte-identical. It is
+// a no-op when the study declares no selection.
+func WriteNDJSONFrontier(w io.Writer, res *core.Results) error {
+	if len(res.Study.Pareto) == 0 {
+		return nil
+	}
+	if err := res.EnsureFrontier(); err != nil {
+		return err
+	}
+	t := ndjsonTrailer{Frontier: Frontier{Metrics: res.Study.Pareto, Points: res.Frontier}}
+	return json.NewEncoder(w).Encode(t)
 }
 
 // WriteCombinedCSV writes every per-technology table that WriteCSVs would
 // emit as files into a single stream, in first-appearance technology order
 // with a blank line between tables.
 func WriteCombinedCSV(w io.Writer, res *core.Results) error {
+	if err := res.EnsureFrontier(); err != nil {
+		return err
+	}
 	tables, order := techTables(res)
 	for i, techName := range order {
 		if i > 0 {
@@ -158,32 +264,86 @@ func WriteCombinedCSV(w io.Writer, res *core.Results) error {
 	return nil
 }
 
+// WriteDashboardHTML renders the completed study as the self-contained
+// HTML dashboard — tables plus scatter views with any Pareto frontier
+// highlighted — shared byte-for-byte by `nvmexplorer run -format html` and
+// the study service's format=html.
+func WriteDashboardHTML(w io.Writer, res *core.Results) error {
+	if err := res.EnsureFrontier(); err != nil {
+		return err
+	}
+	return res.Dashboard().WriteHTML(w)
+}
+
 // techTables partitions the metrics into one table per technology,
 // preserving first-appearance order — shared by WriteCSVs (files) and
-// WriteCombinedCSV (single stream).
+// WriteCombinedCSV (single stream). Studies that declare extra axes (word
+// bits, write buffers, fault modes) or a Pareto selection gain the matching
+// trailing columns; legacy studies keep the exact historical column set.
 func techTables(res *core.Results) (map[string]*viz.Table, []string) {
+	s := res.Study
+	withWord := s.Declares(core.AxisWordBits)
+	withWB := s.Declares(core.AxisWriteBuffer)
+	withFault := s.Declares(core.AxisFault) || s.Options.Fault != nil
+	withPareto := len(s.Pareto) > 0
+	columns := []string{
+		"Cell", "BitsPerCell", "CapacityBytes", "OptTarget", "Pattern",
+		"ReadLatencyNS", "WriteLatencyNS", "ReadEnergyPJ", "WriteEnergyPJ",
+		"LeakagePowerMW", "AreaMM2", "AreaEfficiency", "DensityMbPerMM2",
+		"TotalPowerMW", "DynamicPowerMW", "MemTimePerSec", "TaskLatencyS",
+		"MeetsTaskRate", "LifetimeYears"}
+	if withWord {
+		columns = append(columns, "WordBits")
+	}
+	if withWB {
+		columns = append(columns, "WriteBuffer")
+	}
+	if withFault {
+		columns = append(columns, "FaultMode", "RawBER", "EffectiveBER")
+	}
+	if withPareto {
+		columns = append(columns, "Pareto")
+	}
+	frontier := map[int]bool{}
+	for _, i := range res.Frontier {
+		frontier[i] = true
+	}
+
 	perTech := map[string]*viz.Table{}
 	var order []string
-	for _, m := range res.Metrics {
+	for mi := range res.Metrics {
+		m := &res.Metrics[mi]
 		techName := m.Array.Cell.Tech.String()
 		t, ok := perTech[techName]
 		if !ok {
-			t = viz.NewTable(techName,
-				"Cell", "BitsPerCell", "CapacityBytes", "OptTarget", "Pattern",
-				"ReadLatencyNS", "WriteLatencyNS", "ReadEnergyPJ", "WriteEnergyPJ",
-				"LeakagePowerMW", "AreaMM2", "AreaEfficiency", "DensityMbPerMM2",
-				"TotalPowerMW", "DynamicPowerMW", "MemTimePerSec", "TaskLatencyS",
-				"MeetsTaskRate", "LifetimeYears")
+			t = viz.NewTable(techName, columns...)
 			perTech[techName] = t
 			order = append(order, techName)
 		}
 		a := m.Array
-		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
+		row := []any{a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
 			fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(), m.Pattern.Name,
 			a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ, a.WriteEnergyPJ,
 			a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency, a.DensityMbPerMM2(),
 			m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.TaskLatencyS,
-			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
+			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears}
+		if withWord {
+			row = append(row, fmt.Sprintf("%d", a.WordBits))
+		}
+		if withWB {
+			row = append(row, m.WriteBuffer.Label())
+		}
+		if withFault {
+			if f := m.Fault; f != nil {
+				row = append(row, f.Mode.String(), f.RawBER, f.EffectiveBER)
+			} else {
+				row = append(row, "none", 0.0, 0.0)
+			}
+		}
+		if withPareto {
+			row = append(row, fmt.Sprintf("%v", frontier[mi]))
+		}
+		t.MustAddRow(row...)
 	}
 	return perTech, order
 }

@@ -47,6 +47,9 @@ func WriteCSVs(res *core.Results, dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
+	if err := res.EnsureFrontier(); err != nil {
+		return nil, err
+	}
 	perTech, order := techTables(res)
 	var paths []string
 	for _, techName := range order {

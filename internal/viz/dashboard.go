@@ -79,6 +79,12 @@ func (s *Scatter) SVG(width, height int) string {
 			if p.Label != "" {
 				title += ": " + p.Label
 			}
+			if p.Emph {
+				// Frontier points: larger, outlined, fully opaque.
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5.5" fill="%s" stroke="#111" stroke-width="1.5"><title>%s (Pareto frontier)</title></circle>`,
+					px, py, color, template.HTMLEscapeString(title))
+				continue
+			}
 			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s" fill-opacity="0.75"><title>%s</title></circle>`,
 				px, py, color, template.HTMLEscapeString(title))
 		}

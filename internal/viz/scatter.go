@@ -11,6 +11,10 @@ import (
 type Point struct {
 	X, Y  float64
 	Label string // optional per-point annotation
+	// Emph marks the point as selected (e.g. on a Pareto frontier): SVG
+	// output draws it larger with an outline, ASCII output overlays it with
+	// the frontier glyph.
+	Emph bool
 }
 
 // Series is one named point set (one technology/flavor in the figures).
@@ -32,6 +36,9 @@ type Scatter struct {
 
 // glyphs assigns one rune per series.
 var glyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&', '^', '~', '$', '='}
+
+// emphGlyph overlays emphasized (frontier) points in ASCII renderings.
+const emphGlyph = '◆'
 
 // Add appends points to a named series, creating it on first use.
 func (s *Scatter) Add(name string, pts ...Point) {
@@ -104,27 +111,47 @@ func (s *Scatter) Render(width, height int) string {
 	for i := range grid {
 		grid[i] = []rune(strings.Repeat(" ", width))
 	}
+	anyEmph := false
+	cellOf := func(p Point) (row, col int, ok bool) {
+		x, y := p.X, p.Y
+		if s.LogX {
+			if x <= 0 {
+				return 0, 0, false
+			}
+			x = math.Log10(x)
+		}
+		if s.LogY {
+			if y <= 0 {
+				return 0, 0, false
+			}
+			y = math.Log10(y)
+		}
+		cx := int(math.Round((x - xLo) / (xHi - xLo) * float64(width-1)))
+		cy := int(math.Round((y - yLo) / (yHi - yLo) * float64(height-1)))
+		return height - 1 - cy, cx, true
+	}
 	for si, ser := range s.Series {
 		g := glyphs[si%len(glyphs)]
 		for _, p := range ser.Points {
-			x, y := p.X, p.Y
-			if s.LogX {
-				if x <= 0 {
-					continue
-				}
-				x = math.Log10(x)
+			row, col, ok := cellOf(p)
+			if !ok {
+				continue
 			}
-			if s.LogY {
-				if y <= 0 {
-					continue
-				}
-				y = math.Log10(y)
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
 			}
-			cx := int(math.Round((x - xLo) / (xHi - xLo) * float64(width-1)))
-			cy := int(math.Round((y - yLo) / (yHi - yLo) * float64(height-1)))
-			row := height - 1 - cy
-			if grid[row][cx] == ' ' {
-				grid[row][cx] = g
+		}
+	}
+	// Emphasized points overlay the grid so a frontier stays visible even
+	// where ordinary points collide with it.
+	for _, ser := range s.Series {
+		for _, p := range ser.Points {
+			if !p.Emph {
+				continue
+			}
+			if row, col, ok := cellOf(p); ok {
+				grid[row][col] = emphGlyph
+				anyEmph = true
 			}
 		}
 	}
@@ -144,6 +171,9 @@ func (s *Scatter) Render(width, height int) string {
 	fmt.Fprintf(&b, " %s (x: %.3g .. %.3g)\n", s.XLabel, axisVal(xLo, s.LogX), axisVal(xHi, s.LogX))
 	for si, ser := range s.Series {
 		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], ser.Name)
+	}
+	if anyEmph {
+		fmt.Fprintf(&b, "  %c Pareto frontier\n", emphGlyph)
 	}
 	return b.String()
 }

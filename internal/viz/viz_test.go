@@ -133,9 +133,9 @@ func TestScatterAddMerges(t *testing.T) {
 }
 
 func TestParetoFront(t *testing.T) {
-	pts := []Point{{1, 5, ""}, {2, 3, ""}, {3, 4, ""}, {4, 1, ""}, {5, 2, ""}}
+	pts := []Point{{X: 1, Y: 5}, {X: 2, Y: 3}, {X: 3, Y: 4}, {X: 4, Y: 1}, {X: 5, Y: 2}}
 	front := ParetoFront(pts)
-	want := []Point{{1, 5, ""}, {2, 3, ""}, {4, 1, ""}}
+	want := []Point{{X: 1, Y: 5}, {X: 2, Y: 3}, {X: 4, Y: 1}}
 	if len(front) != len(want) {
 		t.Fatalf("front = %v", front)
 	}

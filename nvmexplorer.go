@@ -164,13 +164,30 @@ func NVDLA() Accelerator { return traffic.NVDLA() }
 type (
 	// Metrics are application-level results for one (array, traffic) pair.
 	Metrics = eval.Metrics
-	// EvalOptions tunes an evaluation (write buffering, ...).
+	// EvalOptions tunes an evaluation (write buffering, fault handling, ...).
 	EvalOptions = eval.Options
 	// WriteBufferConfig models the Section V-D write cache.
 	WriteBufferConfig = eval.WriteBufferConfig
+	// FaultConfig evaluates design points under a storage fault/ECC mode
+	// with a reproducible injection seed.
+	FaultConfig = eval.FaultConfig
+	// FaultMode selects raw faulty storage, SECDED protection, or none.
+	FaultMode = eval.FaultMode
+	// FaultSummary records the fault view of one evaluated design point.
+	FaultSummary = eval.FaultSummary
 	// IntermittentResult is a daily-energy breakdown at one wake-up rate.
 	IntermittentResult = eval.IntermittentResult
 )
+
+// Fault modes.
+const (
+	FaultNone   = eval.FaultNone
+	FaultRaw    = eval.FaultRaw
+	FaultSECDED = eval.FaultSECDED
+)
+
+// ParseFaultMode resolves a fault-mode name ("none", "raw", "secded").
+func ParseFaultMode(s string) (FaultMode, error) { return eval.ParseFaultMode(s) }
 
 // Evaluate applies the analytical model to one array and pattern.
 func Evaluate(a ArrayResult, p TrafficPattern, opts EvalOptions) (Metrics, error) {
@@ -184,9 +201,19 @@ func IntermittentEnergy(a ArrayResult, readsPerEvent, writesPerEvent, eventsPerD
 
 // Study pipeline and exploration layer.
 type (
-	// Study is one configured design-space exploration.
+	// Study is one configured design-space exploration. Beyond the cell and
+	// capacity axes, the optional BitsPerCell/WordBitsAxis/WriteBuffers/
+	// Faults fields widen the design space; Study.Space enumerates the
+	// cross product as PointSpecs.
 	Study = core.Study
-	// Results holds a completed study.
+	// Axis identifies one design-space dimension.
+	Axis = core.Axis
+	// PointSpec is the coordinate set of one design-space grid point.
+	PointSpec = core.PointSpec
+	// PointResult is one completed grid point streamed by Study.RunStream.
+	PointResult = core.PointResult
+	// Results holds a completed study, including any selected Pareto
+	// frontier (Results.SelectPareto).
 	Results = core.Results
 	// Table is a titled result grid with CSV emission.
 	Table = viz.Table
@@ -198,3 +225,6 @@ type (
 
 // NewStudy creates an empty study.
 func NewStudy(name string) *Study { return core.NewStudy(name) }
+
+// ParetoMetricNames lists the metrics Results.SelectPareto can optimize.
+func ParetoMetricNames() []string { return core.ParetoMetricNames() }

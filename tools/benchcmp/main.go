@@ -1,0 +1,144 @@
+// Command benchcmp compares two `go test -bench` outputs and fails (exit 1)
+// when any benchmark matching -match regressed in ns/op by more than the
+// threshold ratio. CI uses it to gate every commit's engine benchmarks
+// against the previous commit's uploaded bench artifact.
+//
+// Usage:
+//
+//	benchcmp -baseline old.txt -current new.txt [-threshold 1.20] [-match 'Characterize|StudyPipeline']
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate (new benchmarks appear, stale ones retire). When several samples of
+// one benchmark exist (-count > 1), the fastest is used on both sides,
+// which filters scheduler noise on shared CI runners.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkCharacterize2MBSTT-8   1000   1234567 ns/op   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench reads a bench output file into name -> fastest ns/op.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// regression is one gated benchmark that slowed past the threshold.
+type regression struct {
+	name      string
+	base, cur float64
+	ratio     float64
+}
+
+// compare returns the regressions among benchmarks present in both sets
+// and matching the gate expression.
+func compare(base, cur map[string]float64, gate *regexp.Regexp, threshold float64) []regression {
+	var regs []regression
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok || !gate.MatchString(name) || b <= 0 {
+			continue
+		}
+		if ratio := c / b; ratio > threshold {
+			regs = append(regs, regression{name: name, base: b, cur: c, ratio: ratio})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].ratio > regs[j].ratio })
+	return regs
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline bench output file")
+	current := flag.String("current", "", "current bench output file")
+	threshold := flag.Float64("threshold", 1.20, "max allowed current/baseline ns/op ratio")
+	match := flag.String("match", "Characterize|StudyPipeline",
+		"regexp selecting the benchmarks the gate applies to")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: need -baseline and -current")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Println("benchcmp: baseline has no benchmark lines; nothing to gate")
+		return
+	}
+
+	gated := 0
+	var names []string
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := cur[name]
+		if !ok || !gate.MatchString(name) {
+			continue
+		}
+		gated++
+		fmt.Printf("%-44s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			name, base[name], c, (c/base[name]-1)*100)
+	}
+	if gated == 0 {
+		fmt.Printf("benchcmp: no benchmarks matched %q in both files; nothing to gate\n", *match)
+		return
+	}
+
+	regs := compare(base, cur, gate, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("benchcmp: %d gated benchmarks within %.0f%% of baseline\n",
+			gated, (*threshold-1)*100)
+		return
+	}
+	fmt.Printf("\nbenchcmp: %d regression(s) beyond the %.0f%% threshold:\n",
+		len(regs), (*threshold-1)*100)
+	for _, r := range regs {
+		fmt.Printf("  %s: %.0f -> %.0f ns/op (%.2fx)\n", r.name, r.base, r.cur, r.ratio)
+	}
+	os.Exit(1)
+}

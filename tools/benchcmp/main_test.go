@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeBench(t, "bench.txt", `goos: linux
+BenchmarkCharacterize2MBSTT-8   	    1000	   1234.5 ns/op	      12 B/op	       3 allocs/op
+BenchmarkCharacterize2MBSTT-8   	    1200	   1100.0 ns/op
+BenchmarkStudyPipeline-8        	      10	 99999 ns/op
+BenchmarkFig1PublicationSurvey  	       5	   500 ns/op
+PASS
+ok  	repro	1.234s
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// Duplicate samples keep the fastest.
+	if got["BenchmarkCharacterize2MBSTT"] != 1100.0 {
+		t.Errorf("min-aggregation failed: %v", got["BenchmarkCharacterize2MBSTT"])
+	}
+	// No -N suffix also parses.
+	if got["BenchmarkFig1PublicationSurvey"] != 500 {
+		t.Errorf("suffix-free benchmark: %v", got["BenchmarkFig1PublicationSurvey"])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkCharacterize2MBSTT": 1000,
+		"BenchmarkStudyPipeline":      2000,
+		"BenchmarkFaultInjection":     100, // not gated by the match
+		"BenchmarkRetired":            50,  // absent from current
+	}
+	cur := map[string]float64{
+		"BenchmarkCharacterize2MBSTT": 1150, // +15%: within threshold
+		"BenchmarkStudyPipeline":      2600, // +30%: regression
+		"BenchmarkFaultInjection":     900,  // 9x, but outside the gate
+		"BenchmarkBrandNew":           10,
+	}
+	gate := regexp.MustCompile(`Characterize|StudyPipeline`)
+	regs := compare(base, cur, gate, 1.20)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly StudyPipeline", regs)
+	}
+	if regs[0].name != "BenchmarkStudyPipeline" || regs[0].ratio != 1.3 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	if regs := compare(base, cur, gate, 1.50); len(regs) != 0 {
+		t.Errorf("loose threshold should pass, got %+v", regs)
+	}
+}
