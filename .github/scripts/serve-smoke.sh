@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the study service with a persistent store:
+#   1. start `nvmexplorer serve -store`, poll /v1/healthz until ready
+#   2. POST a sync study (capturing its ETag) and revalidate via 304
+#   3. POST the same study async, poll the job to completion, and check
+#      its result matches the sync bytes
+#   4. SIGTERM the server (graceful drain + memo snapshot), restart it on
+#      the same store
+#   5. assert the warm response is byte-identical to the cold one and to
+#      the batch CLI, served entirely from the store (zero characterizations)
+set -euo pipefail
+
+PORT="${PORT:-8731}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+STORE="$WORK/store"
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+go build -o "$WORK/nvmexplorer" ./cmd/nvmexplorer
+
+cat > "$WORK/study.json" <<'JSON'
+{
+  "name": "ci_smoke",
+  "cells": [{"technology": "STT", "flavor": "Opt"},
+            {"technology": "RRAM", "flavor": "Pess"},
+            {"technology": "SRAM", "flavor": "Ref"}],
+  "capacities_bytes": [1048576, 4194304],
+  "opt_targets": ["ReadEDP", "Area"],
+  "traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+               "write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+}
+JSON
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "server never became healthy" >&2
+  return 1
+}
+
+echo "== start server on a cold store"
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$STORE" &
+SERVER_PID=$!
+wait_healthy
+
+echo "== sync study (cold)"
+curl -fsS -X POST --data-binary @"$WORK/study.json" \
+  -D "$WORK/cold.headers" -o "$WORK/cold.json" "$BASE/v1/studies?format=json"
+ETAG=$(awk 'tolower($1)=="etag:" {print $2}' "$WORK/cold.headers" | tr -d '\r')
+if [ -z "$ETAG" ]; then
+  echo "no ETag on the study response" >&2
+  exit 1
+fi
+
+echo "== ETag revalidation answers 304"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary @"$WORK/study.json" -H "If-None-Match: $ETAG" \
+  "$BASE/v1/studies?format=json")
+if [ "$CODE" != "304" ]; then
+  echo "revalidation returned $CODE, want 304" >&2
+  exit 1
+fi
+
+echo "== async job to completion"
+JOB=$(curl -fsS -X POST --data-binary @"$WORK/study.json" \
+  "$BASE/v1/studies?async=1&format=json" | jq -r .job_id)
+if [ -z "$JOB" ] || [ "$JOB" = "null" ]; then
+  echo "async submission returned no job id" >&2
+  exit 1
+fi
+STATE=queued
+for _ in $(seq 1 100); do
+  STATE=$(curl -fsS "$BASE/v1/jobs/$JOB" | jq -r .state)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "job ended $STATE" >&2; exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "$STATE" != "done" ]; then
+  echo "job stuck in state $STATE" >&2
+  exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$JOB/result?format=json" -o "$WORK/job.json"
+cmp "$WORK/cold.json" "$WORK/job.json"
+
+echo "== graceful restart on the same store"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+if [ ! -f "$STORE/memo.gob" ]; then
+  echo "no memo snapshot saved on shutdown" >&2
+  exit 1
+fi
+
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$STORE" &
+SERVER_PID=$!
+wait_healthy
+
+echo "== warm study: byte-identical, zero characterizations"
+curl -fsS -X POST --data-binary @"$WORK/study.json" \
+  -o "$WORK/warm.json" "$BASE/v1/studies?format=json"
+cmp "$WORK/cold.json" "$WORK/warm.json"
+STATS=$(curl -fsS "$BASE/v1/stats")
+echo "$STATS" | jq -e '.store.enabled and .store.hits > 0 and .store.misses == 0' >/dev/null || {
+  echo "warm run was not served from the store: $STATS" >&2
+  exit 1
+}
+echo "$STATS" | jq -e '.memo_cache.misses == 0' >/dev/null || {
+  echo "warm run re-characterized: $STATS" >&2
+  exit 1
+}
+
+echo "== warm response matches the batch CLI"
+"$WORK/nvmexplorer" run "$WORK/study.json" -format json > "$WORK/cli.json"
+cmp "$WORK/warm.json" "$WORK/cli.json"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve smoke OK"

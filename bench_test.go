@@ -213,3 +213,73 @@ func BenchmarkStudyPipeline(b *testing.B) {
 		}
 	}
 }
+
+// tableIIStudy is the Table II-shaped sweep (the case-study cell set at the
+// paper's 2MB working size under mixed traffic) used to measure the
+// persistent store: cold vs warm latency for the same configuration.
+func tableIIStudy(st *Store) *Study {
+	s := NewStudy("warm-store-bench").AddCaseStudyCells().
+		AddCapacity(2 << 20).
+		AddTarget(OptReadEDP).
+		AddPattern(GenericSweep(0.1, 10, 0.001, 1, 3)...)
+	s.Cache = st
+	s.Workers = 1
+	return s
+}
+
+// BenchmarkTableIISweepColdStore measures the no-reuse path: engine memo
+// and store wiped every iteration, so each run characterizes from scratch
+// (the denominator of the EXPERIMENTS.md cold-vs-warm record).
+func BenchmarkTableIISweepColdStore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		st, err := OpenStore("") // memory-only: no disk writes in the timing
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := tableIIStudy(st).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nvsim.ResetMemo()
+}
+
+// BenchmarkTableIISweepWarmStore measures a repeated study against a warm
+// disk-backed store across a simulated restart: each iteration reopens the
+// store with a cold engine and an empty in-memory mirror, so the timing
+// covers key hashing, disk reads, and gob decodes — and zero engine
+// characterizations (asserted). The ratio to the cold benchmark above is
+// the EXPERIMENTS.md cold-vs-warm speedup.
+func BenchmarkTableIISweepWarmStore(b *testing.B) {
+	nvsim.ResetMemo()
+	dir := b.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tableIIStudy(st).Run(); err != nil {
+		b.Fatal(err) // prime the store on disk
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		warm, err := OpenStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := tableIIStudy(warm).Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if hits, misses := nvsim.MemoStats(); hits != 0 || misses != 0 {
+			b.Fatalf("warm iteration characterized: memo hits=%d misses=%d", hits, misses)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}

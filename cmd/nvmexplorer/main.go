@@ -31,6 +31,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/nvsim"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/viz"
 )
@@ -70,20 +71,29 @@ func run(args []string) error {
 func usageError() error {
 	fmt.Fprintln(os.Stderr, `usage:
   nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv|html]
-                    [-pareto metric,metric]  run a JSON design sweep; table (default)
+                    [-pareto metric,metric] [-store dir]
+                                             run a JSON design sweep; table (default)
                                              prints result tables and writes the
                                              per-technology CSVs into -out, the other
                                              formats write the study to stdout with
                                              bytes identical to POST /v1/studies;
-                                             -pareto selects the result frontier
+                                             -pareto selects the result frontier;
+                                             -store reuses (and persists) evaluated
+                                             design points across runs
   nvmexplorer serve [-addr :8080] [-jobs N] [-workers N] [-grace 30s]
-                                             serve studies over HTTP: POST /v1/studies,
+                    [-store dir] [-job-workers N] [-queue N]
+                                             serve studies over HTTP: POST /v1/studies
+                                             (sync, or ?async=1 for 202+job ID),
+                                             GET /v1/jobs, /v1/jobs/{id}[/result],
                                              GET /v1/cells, /v1/experiments,
                                              /v1/experiments/{id}/dashboard.html,
                                              /v1/stats, /v1/healthz; -jobs bounds
                                              concurrent studies, -workers sizes each
-                                             study's worker pool; SIGINT/SIGTERM
-                                             drains in-flight studies for -grace
+                                             study's worker pool, -store persists
+                                             evaluated points across restarts,
+                                             -job-workers/-queue size the async
+                                             subsystem; SIGINT/SIGTERM drains
+                                             in-flight studies for -grace
   nvmexplorer exp <id> [-out dir]            regenerate a paper experiment
   nvmexplorer list                           list experiments
   nvmexplorer cells                          print the cell database
@@ -127,6 +137,8 @@ func runSweepTo(w io.Writer, args []string) error {
 		"output format: table (result tables + CSV files), json, ndjson, csv, or html (stdout)")
 	pareto := fs.String("pareto", "",
 		"comma-separated metrics for Pareto-frontier selection (e.g. total_power_mw,mem_time_per_sec); overrides the config's pareto block")
+	storeDir := fs.String("store", "",
+		"persistent study-store directory: evaluated design points are reused from (and saved to) it, so re-runs and overlapping studies skip characterization")
 	cfgPath, err := parseMixed(fs, args)
 	if err != nil {
 		return fmt.Errorf("run needs exactly one config file: %w", err)
@@ -148,9 +160,25 @@ func runSweepTo(w io.Writer, args []string) error {
 	if p := sweep.ParseParetoList(*pareto); p != nil {
 		cfg.Pareto = p
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		cfg.Cache = st
+	}
 	res, err := sweep.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		// Persist the engine's memo cache too, so future *overlapping*
+		// studies (not just repeats) start warm. The store is an
+		// accelerator: a full or read-only volume must not discard the
+		// computed study, so a snapshot failure only warns.
+		if err := st.SaveMemo(); err != nil {
+			fmt.Fprintln(os.Stderr, "nvmexplorer: warning:", err)
+		}
 	}
 	switch *format {
 	case "json":
@@ -201,13 +229,31 @@ func runServe(args []string) error {
 		"worker-pool size per study when the config doesn't set one (0 = GOMAXPROCS/jobs)")
 	grace := fs.Duration("grace", 30*time.Second,
 		"how long to let in-flight studies drain on SIGINT/SIGTERM before exiting")
+	storeDir := fs.String("store", "",
+		"persistent study-store directory: evaluated design points survive restarts; the engine memo cache is snapshotted there on shutdown")
+	jobWorkers := fs.Int("job-workers", 0, "async job worker-pool size (0 = -jobs)")
+	queue := fs.Int("queue", 0, "async job queue depth beyond running jobs (0 = 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
-	srv := server.New(server.Options{MaxConcurrentStudies: *jobs, StudyWorkers: *workers})
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nvmexplorer: study store at %s\n", *storeDir)
+	}
+	srv := server.New(server.Options{
+		MaxConcurrentStudies: *jobs,
+		StudyWorkers:         *workers,
+		Store:                st,
+		JobWorkers:           *jobWorkers,
+		JobQueueDepth:        *queue,
+	})
 	fmt.Fprintf(os.Stderr, "nvmexplorer: serving studies on %s\n", *addr)
 	hs := &http.Server{
 		Addr:    *addr,
@@ -235,8 +281,18 @@ func runServe(args []string) error {
 		return err
 	}
 	// Signal path: wait for the drain to finish before reporting.
-	if err := <-shutdownDone; err != nil {
-		return fmt.Errorf("serve: shutdown: %w", err)
+	shutdownErr := <-shutdownDone
+	srv.Close() // cancel any remaining async jobs, stop the worker pool
+	if st != nil {
+		// Snapshot the engine memo cache so the next process starts warm
+		// even for studies that only partially overlap the stored points.
+		if err := st.SaveMemo(); err != nil {
+			return fmt.Errorf("serve: saving memo snapshot: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "nvmexplorer: memo snapshot saved")
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("serve: shutdown: %w", shutdownErr)
 	}
 	fmt.Fprintln(os.Stderr, "nvmexplorer: shut down cleanly")
 	return nil

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/nvsim"
 	"repro/internal/server"
 )
 
@@ -224,5 +225,55 @@ func TestCLIParetoFlag(t *testing.T) {
 	}
 	if err := runSweepTo(io.Discard, []string{cfgPath, "-pareto", "bogus"}); err == nil {
 		t.Error("unknown -pareto metric should error")
+	}
+}
+
+// TestRunStoreColdWarmByteIdentical exercises `run -store`: the second run
+// against the same store directory must perform zero engine
+// characterizations and print bytes identical to the first run and to a
+// store-less run.
+func TestRunStoreColdWarmByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "study.json")
+	cfgJSON := `{
+	  "name": "cli_store",
+	  "cells": [{"technology": "STT", "flavor": "Opt"},
+	            {"technology": "RRAM", "flavor": "Pess"}],
+	  "capacities_bytes": [1048576, 2097152],
+	  "opt_targets": ["ReadEDP", "Area"],
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var plain bytes.Buffer
+	if err := runSweepTo(&plain, []string{cfgPath, "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+
+	storeDir := filepath.Join(dir, "store")
+	var cold bytes.Buffer
+	if err := runSweepTo(&cold, []string{cfgPath, "-format", "json", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), plain.Bytes()) {
+		t.Fatal("store-backed run differs from store-less run")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "memo.gob")); err != nil {
+		t.Fatalf("run -store left no memo snapshot: %v", err)
+	}
+
+	// Simulate a fresh process: wipe the engine cache, then re-run warm.
+	nvsim.ResetMemo()
+	var warm bytes.Buffer
+	if err := runSweepTo(&warm, []string{cfgPath, "-format", "json", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm.Bytes(), cold.Bytes()) {
+		t.Fatal("warm run differs from cold run")
+	}
+	if hits, misses := nvsim.MemoStats(); hits != 0 || misses != 0 {
+		t.Fatalf("warm run characterized: memo hits=%d misses=%d, want 0/0", hits, misses)
 	}
 }

@@ -65,6 +65,13 @@ type Study struct {
 	// Results are merged in enumeration order regardless, so the output is
 	// identical at any worker count.
 	Workers int
+
+	// Cache, when non-nil, is consulted before each grid point is
+	// characterized (keyed by PointKey, see key.go) and filled with each
+	// computed point — the hook the persistent study store plugs into. A
+	// cache hit replays the stored point verbatim, so cached and computed
+	// runs are byte-identical. Implementations must be concurrency-safe.
+	Cache PointCache
 }
 
 // NewStudy creates an empty study.
@@ -133,10 +140,32 @@ type gridPoint struct {
 	err     error
 }
 
-// runPoint characterizes one design-space point across all of the study's
-// targets with a single shared-engine call, then evaluates each resulting
-// array against each traffic pattern under the point's own options.
+// runPoint produces one design-space point, consulting the study's point
+// cache first: a hit replays the stored arrays/metrics/skips without
+// touching the characterization engine at all; a miss computes the point
+// and stores it. Failed points are never cached.
 func (s *Study) runPoint(spec PointSpec) gridPoint {
+	if s.Cache == nil {
+		return s.computePoint(spec)
+	}
+	key := s.PointKey(spec)
+	if cp, ok := s.Cache.Get(key); ok {
+		return gridPoint{arrays: cp.Arrays, metrics: cp.Metrics, skipped: cp.Skipped}
+	}
+	pt := s.computePoint(spec)
+	if pt.err == nil {
+		s.Cache.Put(key, CachedPoint{
+			Arrays: pt.arrays, Metrics: pt.metrics, Skipped: pt.skipped,
+		})
+	}
+	return pt
+}
+
+// computePoint characterizes one design-space point across all of the
+// study's targets with a single shared-engine call, then evaluates each
+// resulting array against each traffic pattern under the point's own
+// options.
+func (s *Study) computePoint(spec PointSpec) gridPoint {
 	var pt gridPoint
 	arrs, errs := nvsim.CharacterizeTargets(nvsim.Config{
 		Cell:             spec.Cell,

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"repro/internal/cell"
+	"repro/internal/eval"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+// Point identity. The persistent study store (internal/store) keys every
+// evaluated grid point by a canonical serialization of everything that
+// determines its result: the cell definition (which carries bits per cell),
+// capacity, word width, the study's target list, constraints, traffic
+// patterns, and the point's resolved evaluation options (write buffer,
+// fault mode with its per-point seed). Two studies that overlap — the same
+// cells at the same capacities under the same traffic, wrapped in different
+// study names or submitted months apart — produce identical point keys and
+// reuse each other's work; anything that would change a single output byte
+// of the point (even a pattern's display name) changes the key.
+//
+// The study name is deliberately excluded: it labels the result envelope,
+// not the computation.
+
+// pointKeyVersion stamps every key. Bump it whenever the result schema
+// changes (fields added to eval.Metrics or nvsim.Result, model revisions),
+// so stale store entries become unreachable instead of wrong.
+const pointKeyVersion = "nvmx-point/v1"
+
+// PointCache is the per-point result cache Study.RunStream consults before
+// characterizing a grid point and fills after computing one. Implementations
+// (internal/store) must be safe for concurrent use: the worker pool calls
+// Get and Put from many goroutines.
+type PointCache interface {
+	// Get returns the cached result for a key produced by Study.PointKey.
+	Get(key string) (CachedPoint, bool)
+	// Put stores a computed point. Implementations own the durability
+	// policy; Put must not mutate the slices it is handed.
+	Put(key string, pt CachedPoint)
+}
+
+// CachedPoint is the stored form of one completed grid point: exactly what
+// Study.runPoint produced, so replaying it into a Results is
+// indistinguishable from recomputing it.
+type CachedPoint struct {
+	Arrays  []nvsim.Result
+	Metrics []eval.Metrics
+	Skipped []string
+}
+
+// PointKey returns the canonical identity of one grid point under this
+// study. The serialization is versioned, order-fixed, and exact (floats in
+// hexadecimal notation); the store hashes it to address the entry.
+func (s *Study) PointKey(spec PointSpec) string {
+	b := make([]byte, 0, 512)
+	b = append(b, pointKeyVersion...)
+	b = append(b, '\n')
+	b = appendCellKey(b, &spec.Cell)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, spec.CapacityBytes, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(spec.WordBits), 10)
+	b = append(b, '\n')
+	// RunStream defaults an empty target list to ReadEDP; key the effective
+	// list so a pre-run Fingerprint matches the points the run will store.
+	targets := s.Targets
+	if len(targets) == 0 {
+		targets = []nvsim.OptTarget{nvsim.OptReadEDP}
+	}
+	for _, t := range targets {
+		b = strconv.AppendInt(b, int64(t), 10)
+		b = append(b, ',')
+	}
+	b = append(b, '\n')
+	b = appendKeyFloat(b, s.MaxAreaMM2)
+	b = append(b, ',')
+	b = appendKeyFloat(b, s.MaxReadLatencyNS)
+	b = append(b, '\n')
+	for i := range s.Patterns {
+		b = appendPatternKey(b, &s.Patterns[i])
+		b = append(b, '\n')
+	}
+	opts := spec.options(s.Options)
+	b = opts.AppendKey(b)
+	return string(b)
+}
+
+// Fingerprint returns the study-level identity: a hash covering the name,
+// any Pareto selection, which axes the study declares, and every grid
+// point's key, in enumeration order. Two configurations with equal
+// fingerprints produce byte-identical study bodies in every format, which
+// is what the service's ETag and async singleflight deduplication rely on.
+// The axis-declaration flags matter even when the enumerated points are
+// identical: output writers gate columns on Declares (a study-wide
+// word_bits and a single-valued word_bits_axis enumerate the same specs
+// but render different rows). It fails only when the design space itself
+// cannot be enumerated.
+func (s *Study) Fingerprint() (string, error) {
+	specs, err := s.Space()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("nvmx-study/v1\n"))
+	h.Write([]byte(s.Name))
+	h.Write([]byte{'\n'})
+	for _, m := range s.Pareto {
+		h.Write([]byte(m))
+		h.Write([]byte{','})
+	}
+	h.Write([]byte{'\n'})
+	for a := Axis(0); a < numAxes; a++ {
+		if s.Declares(a) {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	h.Write([]byte{'\n'})
+	for i := range specs {
+		h.Write([]byte(s.PointKey(specs[i])))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// appendKeyFloat mirrors eval's canonical float notation for the
+// characterization-side fields.
+func appendKeyFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'x', -1, 64)
+}
+
+// appendCellKey serializes every cell.Definition field. The explicit field
+// list is deliberate: a new Definition field must be added here (and the
+// key version bumped) before the store can be trusted with it.
+func appendCellKey(b []byte, d *cell.Definition) []byte {
+	b = append(b, "cell:"...)
+	b = append(b, d.Name...)
+	b = append(b, 0)
+	b = strconv.AppendInt(b, int64(d.Tech), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(d.Flavor), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(d.BitsPerCell), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(d.Sense), 10)
+	for _, v := range [...]float64{
+		d.AreaF2, d.NodeNM,
+		d.ReadLatencyNS, d.WriteLatencyNS, d.ReadEnergyPJ, d.WriteEnergyPJ,
+		d.EnduranceCycles, d.RetentionS,
+		d.ResOnOhm, d.ResOffOhm, d.ReadVoltage, d.WriteVoltage,
+		d.CellLeakagePW, d.RefreshPeriodS, d.DtoDSigma,
+	} {
+		b = append(b, ',')
+		b = appendKeyFloat(b, v)
+	}
+	return b
+}
+
+// appendPatternKey serializes every traffic.Pattern field, name included —
+// the name appears in result rows, so it is part of the point's identity.
+func appendPatternKey(b []byte, p *traffic.Pattern) []byte {
+	b = append(b, "pat:"...)
+	b = append(b, p.Name...)
+	b = append(b, 0)
+	for _, v := range [...]float64{
+		p.ReadsPerSec, p.WritesPerSec, p.ReadsPerTask, p.WritesPerTask,
+		p.TasksPerSec,
+	} {
+		b = appendKeyFloat(b, v)
+		b = append(b, ',')
+	}
+	b = strconv.AppendInt(b, p.FootprintBytes, 10)
+	return b
+}

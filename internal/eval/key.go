@@ -1,0 +1,69 @@
+package eval
+
+import "strconv"
+
+// Canonical key serialization. The persistent study store (internal/store)
+// addresses every evaluated design point by a hash of its full
+// configuration, and the evaluation-side knobs — write buffer and fault
+// handling — are part of that identity: change either and Evaluate produces
+// different metrics, so the point must re-key. These helpers render the
+// knobs canonically: fixed field order, exact hexadecimal float notation
+// (no precision loss, no locale), and a stable marker for nil, so two
+// configurations serialize identically exactly when they evaluate
+// identically. core.Study.PointKey composes them with the
+// characterization-side coordinates.
+
+// appendKeyFloat appends v in exact hexadecimal notation ('x', shortest).
+// Non-finite values render as +Inf/-Inf/NaN, which is fine for a key.
+func appendKeyFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'x', -1, 64)
+}
+
+// appendKeyBool appends a bool as 0/1.
+func appendKeyBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
+
+// AppendKey appends the write-buffer configuration's canonical key form.
+// A nil receiver (no buffer) appends a distinct marker.
+func (w *WriteBufferConfig) AppendKey(b []byte) []byte {
+	if w == nil {
+		return append(b, "wb:nil"...)
+	}
+	b = append(b, "wb:"...)
+	b = appendKeyBool(b, w.MaskLatency)
+	b = append(b, ',')
+	b = appendKeyFloat(b, w.BufferLatencyNS)
+	b = append(b, ',')
+	b = appendKeyFloat(b, w.TrafficReduction)
+	return b
+}
+
+// AppendKey appends the fault configuration's canonical key form, including
+// the (already per-point-derived) seed: two points differing only in seed
+// evaluate to different injection probes and must not share a store entry.
+func (f *FaultConfig) AppendKey(b []byte) []byte {
+	if f == nil {
+		return append(b, "fault:nil"...)
+	}
+	b = append(b, "fault:"...)
+	b = strconv.AppendInt(b, int64(f.Mode), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, f.Seed, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(f.ProbeBytes), 10)
+	return b
+}
+
+// AppendKey appends the full evaluation options in canonical form. Every
+// Options field must flow through here: a field that affects Evaluate but
+// not the key would let the store serve stale results.
+func (o Options) AppendKey(b []byte) []byte {
+	b = o.WriteBuffer.AppendKey(b)
+	b = append(b, ';')
+	b = o.Fault.AppendKey(b)
+	return b
+}

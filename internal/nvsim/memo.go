@@ -54,6 +54,10 @@ type memoEntry struct {
 	once  sync.Once
 	cands []Result
 	err   error
+	// ready flips true once the once has completed, so the snapshot writer
+	// (snapshot.go) can tell a finished entry from one still computing
+	// without blocking on the once itself.
+	ready atomic.Bool
 }
 
 var memo = struct {
@@ -85,6 +89,7 @@ func memoizedCandidates(cfg Config) ([]Result, error) {
 	if ok {
 		memoHits.Add(1)
 		e.once.Do(func() { e.cands, e.err = evaluateCandidates(cfg) })
+		e.ready.Store(true)
 		return e.cands, e.err
 	}
 	memoMisses.Add(1)
@@ -92,6 +97,7 @@ func memoizedCandidates(cfg Config) ([]Result, error) {
 		return evaluateCandidates(cfg)
 	}
 	e.once.Do(func() { e.cands, e.err = evaluateCandidates(cfg) })
+	e.ready.Store(true)
 	return e.cands, e.err
 }
 

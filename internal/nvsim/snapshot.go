@@ -1,0 +1,115 @@
+package nvsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Memo-cache snapshots. The persistent study store (internal/store)
+// snapshots the memo cache to disk on shutdown and reloads it on startup,
+// so a restarted process answers *partially overlapping* studies — new
+// traffic over already-characterized arrays, a new optimization target over
+// a cached candidate set — without re-running the engine. (Fully repeated
+// points never reach the memo at all: the per-point store serves them.)
+//
+// The wire format is gob with an explicit version string. gob tolerates
+// schema drift by silently zero-filling, which here would mean silently
+// wrong physics — so SnapshotVersion must be bumped whenever Config,
+// Result, Organization, or cell.Definition change shape, and RestoreMemo
+// rejects any snapshot that doesn't match exactly.
+
+// SnapshotVersion identifies the memo snapshot schema.
+const SnapshotVersion = "nvmx-memo/v1"
+
+// memoSnapshot is the on-disk form: each entry carries the normalized
+// Config the candidates were evaluated for (the memo key is re-derived from
+// it on restore) and the admissible candidate set itself.
+type memoSnapshot struct {
+	Version string
+	Entries []memoSnapshotEntry
+}
+
+type memoSnapshotEntry struct {
+	Config Config
+	Cands  []Result
+}
+
+// SnapshotMemo writes every completed, successful memo entry to w. Entries
+// still being computed by another goroutine and entries that failed are
+// skipped — they re-compute (or re-fail) naturally after a restore.
+func SnapshotMemo(w io.Writer) error {
+	type kv struct {
+		key memoKey
+		e   *memoEntry
+	}
+	memo.mu.Lock()
+	all := make([]kv, 0, len(memo.m))
+	for k, e := range memo.m {
+		all = append(all, kv{k, e})
+	}
+	memo.mu.Unlock()
+
+	snap := memoSnapshot{Version: SnapshotVersion}
+	for _, it := range all {
+		if !it.e.ready.Load() || it.e.err != nil {
+			continue
+		}
+		snap.Entries = append(snap.Entries, memoSnapshotEntry{
+			Config: Config{
+				Cell:             it.key.cell,
+				CapacityBytes:    it.key.capacityBytes,
+				WordBits:         it.key.wordBits,
+				MaxAreaMM2:       it.key.maxAreaMM2,
+				MaxReadLatencyNS: it.key.maxReadLatencyNS,
+				MaxLeakageMW:     it.key.maxLeakageMW,
+				ForceBanks:       it.key.forceBanks,
+			},
+			Cands: it.e.cands,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("nvsim: encoding memo snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreMemo merges a snapshot written by SnapshotMemo into the memo
+// cache, returning how many entries were inserted. Keys already present
+// keep their live value; the cache capacity still applies. A snapshot from
+// a different schema version is rejected whole.
+func RestoreMemo(r io.Reader) (int, error) {
+	var snap memoSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("nvsim: decoding memo snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return 0, fmt.Errorf("nvsim: memo snapshot version %q, want %q",
+			snap.Version, SnapshotVersion)
+	}
+	n := 0
+	for i := range snap.Entries {
+		cands := snap.Entries[i].Cands
+		if len(cands) == 0 {
+			continue
+		}
+		key := snap.Entries[i].Config.memoKey()
+		e := &memoEntry{}
+		e.once.Do(func() { e.cands = cands })
+		e.ready.Store(true)
+		memo.mu.Lock()
+		if _, ok := memo.m[key]; !ok && len(memo.m) < memoMaxEntries {
+			memo.m[key] = e
+			n++
+		}
+		memo.mu.Unlock()
+	}
+	return n, nil
+}
+
+// MemoLen reports how many candidate sets the cache currently holds.
+func MemoLen() int {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	return len(memo.m)
+}

@@ -1,0 +1,114 @@
+package nvsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func snapshotConfigs() []Config {
+	return []Config{
+		{Cell: cell.MustTentpole(cell.STT, cell.Optimistic), CapacityBytes: 1 << 21},
+		{Cell: cell.MustTentpole(cell.RRAM, cell.Pessimistic), CapacityBytes: 1 << 22, MaxAreaMM2: 10},
+	}
+}
+
+func TestMemoSnapshotRoundTrip(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	cfgs := snapshotConfigs()
+	targets := []OptTarget{OptReadEDP, OptWriteLatency}
+	want := make([][]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		rs, errs := CharacterizeTargets(cfg, targets)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		want[i] = rs
+	}
+
+	var buf bytes.Buffer
+	if err := SnapshotMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetMemo()
+	n, err := RestoreMemo(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(cfgs) {
+		t.Fatalf("restored %d entries, want %d", n, len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		rs, errs := CharacterizeTargets(cfg, targets)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(rs, want[i]) {
+			t.Fatalf("config %d: restored characterization differs", i)
+		}
+	}
+	if hits, misses := MemoStats(); hits != int64(len(cfgs)) || misses != 0 {
+		t.Fatalf("after restore: hits=%d misses=%d, want %d/0", hits, misses, len(cfgs))
+	}
+}
+
+func TestMemoSnapshotRestoreIsIdempotent(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	if _, errs := CharacterizeTargets(snapshotConfigs()[0], []OptTarget{OptReadEDP}); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	var buf bytes.Buffer
+	if err := SnapshotMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring over live entries inserts nothing and clobbers nothing.
+	if n, err := RestoreMemo(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("restore over live cache: n=%d err=%v, want 0/nil", n, err)
+	}
+	if MemoLen() != 1 {
+		t.Fatalf("MemoLen = %d, want 1", MemoLen())
+	}
+}
+
+func TestMemoSnapshotRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&memoSnapshot{Version: "nvmx-memo/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreMemo(&buf); err == nil {
+		t.Fatal("RestoreMemo accepted a wrong-version snapshot")
+	}
+	if _, err := RestoreMemo(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("RestoreMemo accepted garbage")
+	}
+}
+
+func TestMemoSnapshotSkipsFailedEntries(t *testing.T) {
+	ResetMemo()
+	defer ResetMemo()
+	// An infeasible configuration caches an error entry; it must not be
+	// snapshotted (it would restore as an empty candidate set).
+	bad := Config{Cell: cell.MustTentpole(cell.STT, cell.Optimistic),
+		CapacityBytes: 1 << 21, MaxAreaMM2: 1e-9}
+	if _, errs := CharacterizeTargets(bad, []OptTarget{OptReadEDP}); errs[0] == nil {
+		t.Fatal("expected constraint failure")
+	}
+	var buf bytes.Buffer
+	if err := SnapshotMemo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ResetMemo()
+	if n, err := RestoreMemo(&buf); err != nil || n != 0 {
+		t.Fatalf("restore: n=%d err=%v, want 0/nil", n, err)
+	}
+}

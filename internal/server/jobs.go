@@ -1,0 +1,371 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// errQueueFull reports a submission bounced off the bounded job queue;
+// callers answer 503 so load balancers can retry elsewhere.
+var errQueueFull = errors.New("job queue full")
+
+// testHookJobRunning, when non-nil, runs after a job transitions to
+// running and before its study executes. Tests install a blocking hook to
+// hold a worker deterministically (set before the server is created, so
+// the write happens-before every worker read).
+var testHookJobRunning func(*job)
+
+// maxFinishedJobs bounds how many terminal jobs (and their retained
+// Results) the registry keeps: past the cap, the oldest terminal jobs are
+// evicted at submission time, so a long-lived server under steady async
+// traffic holds a sliding window of recent results instead of growing
+// without bound. Queued and running jobs are never evicted.
+const maxFinishedJobs = 128
+
+// The async job subsystem. POST /v1/studies?async=1 turns a study into a
+// job: the request returns 202 with a job ID immediately, a fixed worker
+// pool runs the study in the background (each running job still counts
+// against the server's study semaphore, so sync and async work share one
+// concurrency budget), and GET /v1/jobs/{id} reports queued → running (with
+// completed/total grid-point progress) → done|failed|canceled. Identical
+// configurations submitted while one is queued or running deduplicate onto
+// the same job (study-level singleflight keyed by core.Study.Fingerprint);
+// the queue is bounded, and DELETE /v1/jobs/{id} cancels.
+//
+// Completed jobs keep their Results in memory and render them on demand at
+// GET /v1/jobs/{id}/result?format=json|ndjson|csv|html, through the same
+// sweep writers as the sync path — so an async study's bytes are identical
+// to the sync response and to the batch CLI.
+
+// JobState is the lifecycle phase of an async study job.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// job is one async study.
+type job struct {
+	id          string
+	study       *core.Study
+	studyName   string
+	fingerprint string
+	format      string // format requested at submission; result default
+	total       int    // grid points in the study's design space
+	completed   atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu    sync.Mutex
+	state JobState
+	res   *core.Results
+	err   error
+}
+
+// setState transitions the job; terminal states close done exactly once.
+func (j *job) setState(st JobState, res *core.Results, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		return
+	}
+	j.state = st
+	j.res = res
+	j.err = err
+	if st == JobDone || st == JobFailed || st == JobCanceled {
+		close(j.done)
+	}
+}
+
+// snapshot reads the job's externally visible state in one shot.
+func (j *job) snapshot() (st JobState, res *core.Results, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.res, j.err
+}
+
+// jobManager owns the async worker pool, the job registry, and the
+// in-flight singleflight index.
+type jobManager struct {
+	srv   *Server
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*job
+	order    []*job
+	inflight map[string]*job // fingerprint -> queued/running job
+
+	closeOnce sync.Once
+
+	submitted    atomic.Int64
+	deduplicated atomic.Int64
+}
+
+func newJobManager(srv *Server, workers, queueDepth int) *jobManager {
+	m := &jobManager{
+		srv:      srv,
+		queue:    make(chan *job, queueDepth),
+		quit:     make(chan struct{}),
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit registers a study as a job, deduplicating against identical
+// in-flight configurations. The returned bool reports whether an existing
+// job was reused. Errors: a full queue (callers answer 503).
+func (m *jobManager) submit(study *core.Study, format string) (*job, bool, error) {
+	fp, err := study.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.inflight[fp]; ok {
+		m.deduplicated.Add(1)
+		return j, true, nil
+	}
+	specs, err := study.Space()
+	if err != nil {
+		return nil, false, err
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:          fmt.Sprintf("job-%d", m.seq),
+		study:       study,
+		studyName:   study.Name,
+		fingerprint: fp,
+		format:      format,
+		total:       len(specs),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       JobQueued,
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq--
+		cancel()
+		return nil, false, fmt.Errorf("%w (%d queued)", errQueueFull, cap(m.queue))
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.inflight[fp] = j
+	m.submitted.Add(1)
+	m.pruneLocked()
+	return j, false, nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond maxFinishedJobs.
+// Caller holds m.mu.
+func (m *jobManager) pruneLocked() {
+	terminal := func(j *job) bool {
+		switch st, _, _ := j.snapshot(); st {
+		case JobDone, JobFailed, JobCanceled:
+			return true
+		}
+		return false
+	}
+	finished := 0
+	for _, j := range m.order {
+		if terminal(j) {
+			finished++
+		}
+	}
+	if finished <= maxFinishedJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, j := range m.order {
+		if finished > maxFinishedJobs && terminal(j) {
+			delete(m.jobs, j.id)
+			finished--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	m.order = kept
+}
+
+// get looks a job up by ID.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list returns every job in submission order.
+func (m *jobManager) list() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*job(nil), m.order...)
+}
+
+// settle removes a job from the in-flight index once it is terminal.
+func (m *jobManager) settle(j *job) {
+	m.mu.Lock()
+	if m.inflight[j.fingerprint] == j {
+		delete(m.inflight, j.fingerprint)
+	}
+	m.mu.Unlock()
+}
+
+// counts reports (queued+running, finished) job totals.
+func (m *jobManager) counts() (active, finished int64) {
+	for _, j := range m.list() {
+		switch st, _, _ := j.snapshot(); st {
+		case JobQueued, JobRunning:
+			active++
+		default:
+			finished++
+		}
+	}
+	return active, finished
+}
+
+// worker drains the queue, running one job at a time under the server's
+// study semaphore.
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *jobManager) run(j *job) {
+	defer m.settle(j)
+	if j.ctx.Err() != nil { // canceled while queued
+		j.setState(JobCanceled, nil, j.ctx.Err())
+		return
+	}
+	// Share the sync path's concurrency budget; a cancellation (or manager
+	// shutdown, which cancels every job) unblocks the wait.
+	select {
+	case m.srv.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		j.setState(JobCanceled, nil, j.ctx.Err())
+		return
+	}
+	defer func() { <-m.srv.sem }()
+	m.srv.inFlight.Add(1)
+	defer m.srv.inFlight.Add(-1)
+
+	j.setState(JobRunning, nil, nil)
+	if h := testHookJobRunning; h != nil {
+		h(j)
+	}
+	res, err := j.study.RunStream(j.ctx, func(core.PointResult) error {
+		j.completed.Add(1)
+		return nil
+	})
+	// Materialize any Pareto frontier now, while this worker is the only
+	// owner: once the job is done, concurrent result renders share res and
+	// must find it read-only.
+	if err == nil {
+		err = res.EnsureFrontier()
+	}
+	switch {
+	case j.ctx.Err() != nil:
+		// Deliberate cancellation is neither a completion nor a failure.
+		j.setState(JobCanceled, nil, j.ctx.Err())
+	case err != nil:
+		m.srv.failed.Add(1)
+		j.setState(JobFailed, nil, err)
+	default:
+		// points_served counts rendered responses; it accrues when the
+		// result is actually fetched (handleJobResult), not here.
+		m.srv.completed.Add(1)
+		j.setState(JobDone, res, nil)
+	}
+}
+
+// close cancels every non-terminal job and stops the workers. Used by
+// Server.Close on shutdown and by tests; safe to call more than once.
+func (m *jobManager) close() {
+	m.closeOnce.Do(m.closeAll)
+}
+
+func (m *jobManager) closeAll() {
+	close(m.quit)
+	for _, j := range m.list() {
+		j.cancel()
+	}
+	// Mark still-queued jobs canceled so waiters unblock; running jobs
+	// settle through their worker.
+	for {
+		select {
+		case j := <-m.queue:
+			j.setState(JobCanceled, nil, context.Canceled)
+			m.settle(j)
+			continue
+		default:
+		}
+		break
+	}
+	m.wg.Wait()
+}
+
+// JobStatus is the JSON shape of one job on /v1/jobs and /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Study string   `json:"study"`
+	State JobState `json:"state"`
+	// Progress counts completed design-space grid points.
+	Progress struct {
+		Completed int `json:"completed"`
+		Total     int `json:"total"`
+	} `json:"progress"`
+	// Format is the output format requested at submission (the result
+	// endpoint's default).
+	Format string `json:"format"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the result URL, present once the job is done.
+	Result string `json:"result,omitempty"`
+}
+
+// status renders a job's externally visible state.
+func (j *job) status() JobStatus {
+	st, _, err := j.snapshot()
+	s := JobStatus{ID: j.id, Study: j.studyName, State: st, Format: j.format}
+	s.Progress.Completed = int(j.completed.Load())
+	s.Progress.Total = j.total
+	switch st {
+	case JobDone:
+		s.Result = "/v1/jobs/" + j.id + "/result"
+		s.Progress.Completed = j.total
+	case JobFailed:
+		if err != nil {
+			s.Error = err.Error()
+		}
+	}
+	return s
+}

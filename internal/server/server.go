@@ -8,31 +8,47 @@
 // Endpoints (all under /v1):
 //
 //	POST /v1/studies                        run a sweep.Config; ?format=json|ndjson|csv|html
-//	                                        and ?pareto=metric,metric for frontier selection
+//	                                        and ?pareto=metric,metric for frontier selection;
+//	                                        ?async=1 queues the study and answers 202+job ID
+//	GET  /v1/jobs                           every async job, submission order
+//	GET  /v1/jobs/{id}                      one job: state + completed/total progress
+//	GET  /v1/jobs/{id}/result               a done job's study body (?format= as above)
+//	DELETE /v1/jobs/{id}                    cancel a queued or running job
 //	GET  /v1/cells                          the canonical tentpole cell database
 //	GET  /v1/experiments                    the paper-experiment registry
 //	GET  /v1/experiments/{id}/dashboard.html  one experiment rendered as an HTML dashboard
-//	GET  /v1/stats                          memo-cache and job counters
+//	GET  /v1/stats                          memo-cache, study-store, and job counters
 //	GET  /v1/healthz                        liveness/readiness (503 while draining)
 //
 // Responses for a given configuration are byte-identical to the batch CLI
 // (`nvmexplorer run -format json|ndjson|csv`): both sides render through
 // the same sweep writers, and study output is deterministic at any worker
-// count. A bounded job semaphore (Options.MaxConcurrentStudies) keeps
-// concurrent studies from oversubscribing the per-study worker pools.
+// count. That determinism is also why study responses carry a strong ETag
+// derived from the configuration fingerprint: a client that replays a
+// configuration with If-None-Match gets 304 without the study running at
+// all. A bounded job semaphore (Options.MaxConcurrentStudies) keeps
+// concurrent studies — sync and async alike — from oversubscribing the
+// per-study worker pools, and Options.Store plugs the persistent
+// point-level study store (internal/store) under every run.
 package server
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/nvsim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/viz"
 )
@@ -50,13 +66,25 @@ type Options struct {
 	// configuration doesn't set its own. 0 divides GOMAXPROCS evenly
 	// across MaxConcurrentStudies. Worker count never changes output.
 	StudyWorkers int
+	// Store, when non-nil, is attached to every study as its per-point
+	// result cache, so repeated and overlapping studies replay stored
+	// points instead of re-characterizing (see internal/store).
+	Store *store.Store
+	// JobWorkers sizes the async worker pool. 0 means
+	// MaxConcurrentStudies. Running async jobs still count against the
+	// study semaphore.
+	JobWorkers int
+	// JobQueueDepth bounds how many async jobs may wait beyond the ones
+	// running; submissions past it answer 503. 0 means 16.
+	JobQueueDepth int
 }
 
 // Server is the study service. Create with New; it is safe for concurrent
-// use by the HTTP stack.
+// use by the HTTP stack. Call Close when done to stop the async workers.
 type Server struct {
 	opts Options
 	sem  chan struct{} // bounded job semaphore
+	jobs *jobManager
 
 	inFlight  atomic.Int64
 	completed atomic.Int64
@@ -65,7 +93,7 @@ type Server struct {
 	draining  atomic.Bool  // set by Drain; flips /v1/healthz to 503
 }
 
-// New creates a Server.
+// New creates a Server and starts its async worker pool.
 func New(opts Options) *Server {
 	if opts.MaxConcurrentStudies <= 0 {
 		opts.MaxConcurrentStudies = runtime.GOMAXPROCS(0)
@@ -76,13 +104,29 @@ func New(opts Options) *Server {
 			opts.StudyWorkers = 1
 		}
 	}
-	return &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = opts.MaxConcurrentStudies
+	}
+	if opts.JobQueueDepth <= 0 {
+		opts.JobQueueDepth = 16
+	}
+	s := &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
+	s.jobs = newJobManager(s, opts.JobWorkers, opts.JobQueueDepth)
+	return s
 }
+
+// Close cancels every outstanding async job and stops the worker pool.
+// In-flight synchronous requests are the HTTP server's to drain.
+func (s *Server) Close() { s.jobs.close() }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/cells", s.handleCells)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/experiments/{id}/dashboard.html", s.handleDashboard)
@@ -161,30 +205,84 @@ func studyPareto(r *http.Request, cfg *sweep.Config) {
 	}
 }
 
-// handleStudies runs one sweep configuration. JSON and CSV responses are
-// rendered after the run completes; NDJSON streams one DesignPoint per
-// line, flushed as the worker pool finishes grid points (in deterministic
-// declaration order, so the concatenated stream is byte-identical to the
-// batch writer's output).
-func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+// etagFor derives the strong ETag of a study response: study responses are
+// deterministic functions of (configuration fingerprint, format), so the
+// hash of that pair identifies the exact bytes without rendering them.
+func etagFor(fingerprint, format string) string {
+	sum := sha256.Sum256([]byte(fingerprint + "\x00" + format))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// ifNoneMatchHits reports whether an If-None-Match header value matches the
+// ETag (RFC 9110 §13.1.2: a comma-separated list or "*"; weak-compare).
+func ifNoneMatchHits(header, etag string) bool {
+	for _, v := range strings.Split(header, ",") {
+		v = strings.TrimSpace(v)
+		v = strings.TrimPrefix(v, "W/")
+		if v == etag || v == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// buildStudy expands a request body into a runnable study with the server's
+// store attached and the default worker-pool size applied.
+func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study, string, bool) {
 	cfg, err := sweep.Parse(http.MaxBytesReader(w, r.Body, maxConfigBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, "", false
 	}
 	studyPareto(r, cfg)
+	if s.opts.Store != nil {
+		cfg.Cache = s.opts.Store
+	}
 	study, err := cfg.Study()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, "", false
 	}
 	format, err := studyFormat(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, "", false
 	}
 	if study.Workers == 0 {
 		study.Workers = s.opts.StudyWorkers
+	}
+	return study, format, true
+}
+
+// handleStudies runs one sweep configuration. JSON and CSV responses are
+// rendered after the run completes; NDJSON streams one DesignPoint per
+// line, flushed as the worker pool finishes grid points (in deterministic
+// declaration order, so the concatenated stream is byte-identical to the
+// batch writer's output). ?async=1 queues the study as a job and answers
+// 202 immediately; a matching If-None-Match answers 304 without running.
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	study, format, ok := s.buildStudy(w, r)
+	if !ok {
+		return
+	}
+	switch r.URL.Query().Get("async") {
+	case "", "0", "false":
+	default:
+		s.submitAsync(w, study, format)
+		return
+	}
+	// Deterministic responses make request-identity ETags exact: compute it
+	// before running so a revalidation never costs a study.
+	fp, err := study.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	etag := etagFor(fp, format)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchHits(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
 	if !s.acquire(r) {
 		return // client gone while queued
@@ -203,6 +301,7 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		w.Header().Set("ETag", etag)
 		switch format {
 		case "json":
 			w.Header().Set("Content-Type", "application/json")
@@ -225,6 +324,7 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 
 	// NDJSON: commit to 200 and stream rows as grid points complete.
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("ETag", etag)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -254,6 +354,138 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.completed.Add(1)
+}
+
+// asyncAccepted is the 202 body of an async submission.
+type asyncAccepted struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	URL   string   `json:"url"`
+	// Deduplicated reports that an identical configuration was already
+	// queued or running, and this submission joined it.
+	Deduplicated bool `json:"deduplicated,omitempty"`
+}
+
+// submitAsync queues a study as a background job and answers 202 with the
+// job's ID — or the ID of an identical in-flight job (singleflight dedup).
+func (s *Server) submitAsync(w http.ResponseWriter, study *core.Study, format string) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	j, dedup, err := s.jobs.submit(study, format)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, errQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	st, _, _ := j.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(asyncAccepted{
+		JobID: j.id, State: st, URL: "/v1/jobs/" + j.id, Deduplicated: dedup,
+	})
+}
+
+// handleJobs lists every async job in submission order.
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.jobs.list()
+	rows := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		rows = append(rows, j.status())
+	}
+	writeJSON(w, rows)
+}
+
+// handleJob reports one job's state and grid-point progress.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, j.status())
+}
+
+// handleJobResult renders a done job's study body. The format defaults to
+// the one requested at submission and can be overridden with ?format=; the
+// bytes are identical to the sync response and the batch CLI for the same
+// configuration, and carry the same ETag.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	st, res, jerr := j.snapshot()
+	switch st {
+	case JobQueued, JobRunning:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no result yet", j.id, st))
+		return
+	case JobCanceled:
+		httpError(w, http.StatusGone, fmt.Errorf("job %s was canceled", j.id))
+		return
+	case JobFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %v", j.id, jerr))
+		return
+	}
+	format := j.format
+	if f := r.URL.Query().Get("format"); f != "" {
+		var err error
+		if format, err = studyFormat(r); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	etag := etagFor(j.fingerprint, format)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchHits(inm, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	var err error
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = sweep.WriteJSON(w, res)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		err = sweep.WriteNDJSON(w, res)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		err = sweep.WriteCombinedCSV(w, res)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err = sweep.WriteDashboardHTML(w, res)
+	}
+	if err == nil {
+		s.points.Add(int64(len(res.Metrics)))
+	}
+}
+
+// handleJobCancel cancels a queued or running job. Terminal jobs are left
+// as they are; either way the job's current status is returned.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	// A job still waiting in the queue settles here; a running one settles
+	// in its worker when RunStream observes the cancellation.
+	if st, _, _ := j.snapshot(); st == JobQueued {
+		j.setState(JobCanceled, nil, context.Canceled)
+		s.jobs.settle(j)
+	}
+	writeJSON(w, j.status())
 }
 
 // cellRow is one /v1/cells entry in engineering units.
@@ -359,6 +591,14 @@ type Stats struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"memo_cache"`
+	// Store reports the persistent point store, when one is attached: a
+	// hit is a design point served without touching the engine at all.
+	Store struct {
+		Enabled bool   `json:"enabled"`
+		Dir     string `json:"dir,omitempty"`
+		Hits    int64  `json:"hits"`
+		Misses  int64  `json:"misses"`
+	} `json:"store"`
 	Jobs struct {
 		InFlight      int64 `json:"in_flight"`
 		MaxConcurrent int   `json:"max_concurrent"`
@@ -367,18 +607,37 @@ type Stats struct {
 		Failed        int64 `json:"failed"`
 		PointsServed  int64 `json:"points_served"`
 	} `json:"jobs"`
+	// Async reports the background job subsystem.
+	Async struct {
+		Workers      int   `json:"workers"`
+		QueueDepth   int   `json:"queue_depth"`
+		Submitted    int64 `json:"submitted"`
+		Deduplicated int64 `json:"deduplicated"`
+		Active       int64 `json:"active"`
+		Finished     int64 `json:"finished"`
+	} `json:"async"`
 }
 
 // Snapshot returns the current counters (also served at /v1/stats).
 func (s *Server) Snapshot() Stats {
 	var st Stats
 	st.Memo.Hits, st.Memo.Misses = nvsim.MemoStats()
+	if s.opts.Store != nil {
+		st.Store.Enabled = true
+		st.Store.Dir = s.opts.Store.Dir()
+		st.Store.Hits, st.Store.Misses = s.opts.Store.Stats()
+	}
 	st.Jobs.InFlight = s.inFlight.Load()
 	st.Jobs.MaxConcurrent = s.opts.MaxConcurrentStudies
 	st.Jobs.StudyWorkers = s.opts.StudyWorkers
 	st.Jobs.Completed = s.completed.Load()
 	st.Jobs.Failed = s.failed.Load()
 	st.Jobs.PointsServed = s.points.Load()
+	st.Async.Workers = s.opts.JobWorkers
+	st.Async.QueueDepth = s.opts.JobQueueDepth
+	st.Async.Submitted = s.jobs.submitted.Load()
+	st.Async.Deduplicated = s.jobs.deduplicated.Load()
+	st.Async.Active, st.Async.Finished = s.jobs.counts()
 	return st
 }
 
@@ -390,11 +649,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `NVMExplorer-Go study service
   POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv|html,
-                                            ?pareto=metric,metric for frontier selection)
+                                            ?pareto=metric,metric for frontier selection,
+                                            ?async=1 to queue a job; ETag/If-None-Match honored)
+  GET  /v1/jobs                             every async job, submission order
+  GET  /v1/jobs/{id}                        one job: state + completed/total progress
+  GET  /v1/jobs/{id}/result                 a done job's study body (?format= as above)
+  DELETE /v1/jobs/{id}                      cancel a queued or running job
   GET  /v1/cells                            canonical tentpole cell database
   GET  /v1/experiments                      paper-experiment registry
   GET  /v1/experiments/{id}/dashboard.html  live HTML dashboard for one experiment
-  GET  /v1/stats                            memo-cache and job counters
+  GET  /v1/stats                            memo-cache, study-store, and job counters
   GET  /v1/healthz                          liveness/readiness (503 while draining)
 `)
 }

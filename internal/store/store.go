@@ -1,0 +1,230 @@
+// Package store is NVMExplorer-Go's persistent, content-addressed study
+// store: the durable layer under the characterization pipeline that lets
+// repeated and partially overlapping studies reuse prior work across
+// process restarts (`nvmexplorer run -store DIR`, `nvmexplorer serve
+// -store DIR`).
+//
+// The store holds one entry per evaluated design point, addressed by the
+// SHA-256 of the point's canonical key (core.Study.PointKey): the cell
+// definition, capacity, word bits, bits per cell, targets, constraints,
+// traffic, and the resolved per-point evaluation options. Any study whose
+// grid contains a stored point — same study or a different one submitted
+// later — replays it verbatim, so a fully warm study performs zero engine
+// characterizations and returns bytes identical to a cold run.
+//
+// Entries live in memory (bounded) and, when a directory is configured, on
+// disk as one gob file per point under DIR/points/, written atomically
+// (temp file + rename) so a crash never leaves a torn entry. The store also
+// snapshots the nvsim memo cache to DIR/memo.gob (SaveMemo, reloaded by
+// Open) so partially overlapping studies skip re-characterization too.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/nvsim"
+)
+
+// recordVersion stamps every point file; entries from other schema versions
+// read as misses and are overwritten on the next Put.
+const recordVersion = "nvmx-store/v1"
+
+// memCacheMax bounds the in-memory mirror of the store. Past the cap, Get
+// still reads disk and Put still writes it; the entries just aren't kept
+// resident.
+const memCacheMax = 16384
+
+// record is the on-disk form of one point. The full canonical key is
+// stored alongside the payload and verified on read, so a hash collision
+// or a foreign file in the directory reads as a miss, never a wrong result.
+type record struct {
+	Version string
+	Key     string
+	Point   core.CachedPoint
+}
+
+// Store is a persistent point cache. It implements core.PointCache and is
+// safe for concurrent use. The zero value is not usable; call Open.
+type Store struct {
+	dir string // "" = memory-only
+
+	mu  sync.Mutex
+	mem map[string]core.CachedPoint
+
+	hits, misses atomic.Int64
+}
+
+// Open creates or reopens a store. dir == "" builds a memory-only store
+// (no persistence, no memo snapshot). Otherwise the directory is created
+// as needed and a memo snapshot left by SaveMemo is reloaded into the
+// characterization engine; a missing, stale, or corrupt snapshot is
+// ignored — it only costs recomputation.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, mem: make(map[string]core.CachedPoint)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "points"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if f, err := os.Open(s.memoPath()); err == nil {
+		_, _ = nvsim.RestoreMemo(f) // best effort; see doc comment
+		f.Close()
+	}
+	return s, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) memoPath() string { return filepath.Join(s.dir, "memo.gob") }
+
+// pointPath shards point files by the first hash byte to keep directory
+// listings manageable under large campaigns.
+func (s *Store) pointPath(sum string) string {
+	return filepath.Join(s.dir, "points", sum[:2], sum+".gob")
+}
+
+// addr content-addresses a canonical point key.
+func addr(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get implements core.PointCache: memory first, then disk. A disk hit is
+// re-cached in memory (within the bound).
+func (s *Store) Get(key string) (core.CachedPoint, bool) {
+	s.mu.Lock()
+	cp, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return cp, true
+	}
+	if s.dir != "" {
+		if cp, ok = s.readPoint(key); ok {
+			s.mu.Lock()
+			if len(s.mem) < memCacheMax {
+				s.mem[key] = cp
+			}
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return cp, true
+		}
+	}
+	s.misses.Add(1)
+	return core.CachedPoint{}, false
+}
+
+// readPoint loads and verifies one point file. Any failure — absent file,
+// torn write, schema drift, hash collision — is a miss.
+func (s *Store) readPoint(key string) (core.CachedPoint, bool) {
+	f, err := os.Open(s.pointPath(addr(key)))
+	if err != nil {
+		return core.CachedPoint{}, false
+	}
+	defer f.Close()
+	var rec record
+	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
+		return core.CachedPoint{}, false
+	}
+	if rec.Version != recordVersion || rec.Key != key {
+		return core.CachedPoint{}, false
+	}
+	return rec.Point, true
+}
+
+// Put implements core.PointCache: write-through to memory and, when
+// configured, disk. Disk errors are swallowed — the store is an
+// accelerator, and a read-only or full volume must not fail the study.
+func (s *Store) Put(key string, pt core.CachedPoint) {
+	s.mu.Lock()
+	if len(s.mem) < memCacheMax {
+		s.mem[key] = pt
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return
+	}
+	_ = s.writePoint(key, pt)
+}
+
+func (s *Store) writePoint(key string, pt core.CachedPoint) error {
+	path := s.pointPath(addr(key))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	rec := record{Version: recordVersion, Key: key, Point: pt}
+	if err := gob.NewEncoder(tmp).Encode(&rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// SaveMemo snapshots the engine's memo cache into the store directory
+// (atomic replace of DIR/memo.gob), so the next Open warms the engine for
+// partially overlapping studies. Memory-only stores no-op.
+func (s *Store) SaveMemo() error {
+	if s.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, ".memo-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := nvsim.SnapshotMemo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.memoPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Stats reports how many point lookups hit (served without touching the
+// characterization engine) versus missed since the store was opened.
+func (s *Store) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// ResetStats zeroes the hit/miss counters (tests and benchmarks).
+func (s *Store) ResetStats() {
+	s.hits.Store(0)
+	s.misses.Store(0)
+}
+
+// Len reports how many points are resident in memory. Disk may hold more.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

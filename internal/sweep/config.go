@@ -59,6 +59,11 @@ type Config struct {
 	// 0 uses all CPUs, 1 forces sequential execution. Output is identical
 	// at any worker count.
 	Workers int `json:"workers,omitempty"`
+
+	// Cache is the per-point result cache the expanded study runs against
+	// (the persistent store behind `run -store` / `serve -store`). It is a
+	// process-side attachment, never part of the JSON schema.
+	Cache core.PointCache `json:"-"`
 }
 
 // FaultConfig is the storage fault/ECC axis of a sweep: each mode ("none",
@@ -192,6 +197,7 @@ func (c *Config) Study() (*core.Study, error) {
 	s.MaxAreaMM2 = c.MaxAreaMM2
 	s.MaxReadLatencyNS = c.MaxReadLatencyNS
 	s.Workers = c.Workers
+	s.Cache = c.Cache
 
 	bits := c.BitsPerCell
 	if len(bits) == 0 {

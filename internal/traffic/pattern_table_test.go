@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge-case coverage for the Pattern primitives — the
+// complement of the scenario tests in traffic_test.go.
+
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Pattern
+		ok   bool
+	}{
+		{"zero pattern", Pattern{}, true},
+		{"rates only", Pattern{ReadsPerSec: 1e6, WritesPerSec: 1e3}, true},
+		{"task shaped", Pattern{ReadsPerTask: 100, WritesPerTask: 10, TasksPerSec: 60}, true},
+		{"footprint", Pattern{FootprintBytes: 1 << 20}, true},
+		{"negative reads", Pattern{ReadsPerSec: -1}, false},
+		{"negative writes", Pattern{WritesPerSec: -0.001}, false},
+		{"negative reads per task", Pattern{ReadsPerTask: -1}, false},
+		{"negative writes per task", Pattern{WritesPerTask: -1}, false},
+		{"negative task rate", Pattern{TasksPerSec: -60}, false},
+		{"negative footprint", Pattern{FootprintBytes: -1}, false},
+		{"NaN reads", Pattern{ReadsPerSec: math.NaN()}, false},
+		{"NaN task rate", Pattern{TasksPerSec: math.NaN()}, false},
+		{"+Inf writes", Pattern{WritesPerSec: math.Inf(1)}, false},
+		{"-Inf reads per task", Pattern{ReadsPerTask: math.Inf(-1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.p.Name = tc.name
+			if err := tc.p.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDeriveTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		p          Pattern
+		wantReads  float64
+		wantWrites float64
+	}{
+		{"task shaped fills both",
+			Pattern{ReadsPerTask: 1000, WritesPerTask: 10, TasksPerSec: 60}, 60000, 600},
+		{"explicit reads preserved",
+			Pattern{ReadsPerSec: 5, ReadsPerTask: 1000, WritesPerTask: 10, TasksPerSec: 60}, 5, 600},
+		{"explicit writes preserved",
+			Pattern{WritesPerSec: 7, ReadsPerTask: 1000, TasksPerSec: 60}, 60000, 7},
+		{"no task rate passes through",
+			Pattern{ReadsPerTask: 1000, WritesPerTask: 10}, 0, 0},
+		{"zero task rate derives nothing",
+			Pattern{ReadsPerTask: 1000, TasksPerSec: 0}, 0, 0},
+		{"rates only unchanged",
+			Pattern{ReadsPerSec: 3, WritesPerSec: 4}, 3, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.p.Derive()
+			if got.ReadsPerSec != tc.wantReads || got.WritesPerSec != tc.wantWrites {
+				t.Errorf("Derive() rates = %g/%g, want %g/%g",
+					got.ReadsPerSec, got.WritesPerSec, tc.wantReads, tc.wantWrites)
+			}
+			// Derive never mutates the per-task structure.
+			if got.ReadsPerTask != tc.p.ReadsPerTask || got.WritesPerTask != tc.p.WritesPerTask {
+				t.Error("Derive() changed per-task counts")
+			}
+		})
+	}
+}
+
+func TestScaleTable(t *testing.T) {
+	base := Pattern{Name: "b", ReadsPerSec: 100, WritesPerSec: 50,
+		ReadsPerTask: 10, WritesPerTask: 5, TasksPerSec: 2, FootprintBytes: 64}
+	cases := []struct {
+		name         string
+		readF, writF float64
+		wantR, wantW float64 // per-second expectations
+	}{
+		{"identity", 1, 1, 100, 50},
+		{"halve writes", 1, 0.5, 100, 25},
+		{"zero reads", 0, 1, 0, 50},
+		{"zero both", 0, 0, 0, 0},
+		{"amplify", 3, 2, 300, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := base.Scale(tc.readF, tc.writF)
+			if got.ReadsPerSec != tc.wantR || got.WritesPerSec != tc.wantW {
+				t.Errorf("Scale rates = %g/%g, want %g/%g",
+					got.ReadsPerSec, got.WritesPerSec, tc.wantR, tc.wantW)
+			}
+			if got.ReadsPerTask != base.ReadsPerTask*tc.readF ||
+				got.WritesPerTask != base.WritesPerTask*tc.writF {
+				t.Error("per-task counts not scaled")
+			}
+			if got.TasksPerSec != base.TasksPerSec || got.FootprintBytes != base.FootprintBytes {
+				t.Error("Scale must not touch task rate or footprint")
+			}
+			if got.Name == base.Name {
+				t.Error("scaled pattern should be renamed")
+			}
+		})
+	}
+	if base.ReadsPerSec != 100 || base.Name != "b" {
+		t.Error("Scale mutated its receiver")
+	}
+}
+
+func TestGenericSweepTable(t *testing.T) {
+	cases := []struct {
+		name                   string
+		rLo, rHi, wLo, wHi     float64
+		points                 int
+		wantLen                int
+		flatReads, flatWrites  bool // every point pinned at the lo bound
+		firstReads, firstWrite float64
+	}{
+		{"normal grid", 1, 10, 0.001, 0.1, 3, 9, false, false, 1, 0.001},
+		{"zero points clamps to 2", 1, 10, 0.01, 0.1, 0, 4, false, false, 1, 0.01},
+		{"negative points clamps to 2", 1, 10, 0.01, 0.1, -7, 4, false, false, 1, 0.01},
+		{"one point clamps to 2", 2, 4, 0.01, 0.02, 1, 4, false, false, 2, 0.01},
+		{"inverted read range repeats lo", 10, 1, 0.001, 0.1, 3, 9, true, false, 10, 0.001},
+		{"inverted write range repeats lo", 1, 10, 0.1, 0.001, 3, 9, false, true, 1, 0.1},
+		{"flat ranges repeat the bound", 2, 2, 0.01, 0.01, 3, 9, true, true, 2, 0.01},
+		{"zero lower bound stays put", 0, 10, 0.01, 0.1, 2, 4, true, false, 0, 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pats := GenericSweep(tc.rLo, tc.rHi, tc.wLo, tc.wHi, tc.points)
+			if len(pats) != tc.wantLen {
+				t.Fatalf("len = %d, want %d", len(pats), tc.wantLen)
+			}
+			const tol = 1e-9
+			if math.Abs(pats[0].ReadBandwidthGBs()-tc.firstReads) > tol ||
+				math.Abs(pats[0].WriteBandwidthGBs()-tc.firstWrite) > tol {
+				t.Errorf("first point %g/%g GB/s, want %g/%g",
+					pats[0].ReadBandwidthGBs(), pats[0].WriteBandwidthGBs(),
+					tc.firstReads, tc.firstWrite)
+			}
+			for _, p := range pats {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("sweep produced invalid pattern: %v", err)
+				}
+				if tc.flatReads && math.Abs(p.ReadBandwidthGBs()-tc.rLo) > tol {
+					t.Errorf("read bandwidth %g, want pinned at %g", p.ReadBandwidthGBs(), tc.rLo)
+				}
+				if tc.flatWrites && math.Abs(p.WriteBandwidthGBs()-tc.wLo) > tol {
+					t.Errorf("write bandwidth %g, want pinned at %g", p.WriteBandwidthGBs(), tc.wLo)
+				}
+			}
+			// Names are unique within a normal grid (rows label themselves).
+			seen := map[string]bool{}
+			for _, p := range pats {
+				seen[p.Name] = true
+			}
+			if !tc.flatReads && !tc.flatWrites && len(seen) != len(pats) {
+				t.Errorf("duplicate pattern names in sweep: %d unique of %d", len(seen), len(pats))
+			}
+		})
+	}
+}

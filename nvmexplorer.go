@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/nvsim"
+	"repro/internal/store"
 	"repro/internal/traffic"
 	"repro/internal/viz"
 )
@@ -228,3 +229,19 @@ func NewStudy(name string) *Study { return core.NewStudy(name) }
 
 // ParetoMetricNames lists the metrics Results.SelectPareto can optimize.
 func ParetoMetricNames() []string { return core.ParetoMetricNames() }
+
+// Persistence layer.
+type (
+	// PointCache is the per-point result cache a Study consults via its
+	// Cache field: hits replay stored grid points without characterizing.
+	PointCache = core.PointCache
+	// Store is the persistent, content-addressed study store — the
+	// PointCache behind `nvmexplorer run/serve -store`.
+	Store = store.Store
+)
+
+// OpenStore opens (or creates) a persistent study store rooted at dir and
+// warms the characterization engine from its memo snapshot; dir == ""
+// yields a memory-only store. Attach it with Study.Cache = store, and call
+// Store.SaveMemo before exiting to persist the engine cache too.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }

@@ -11,12 +11,19 @@
 // gate (new benchmarks appear, stale ones retire). When several samples of
 // one benchmark exist (-count > 1), the fastest is used on both sides,
 // which filters scheduler noise on shared CI runners.
+//
+// A missing baseline file is not a failure: the first run on a fresh
+// fork/branch (or after artifact expiry) has nothing to compare against,
+// so the gate reports that and passes. A missing *current* file is still
+// an error — that means the benchmarks themselves didn't run.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"regexp"
 	"sort"
@@ -78,35 +85,37 @@ func compare(base, cur map[string]float64, gate *regexp.Regexp, threshold float6
 	return regs
 }
 
-func main() {
-	baseline := flag.String("baseline", "", "baseline bench output file")
-	current := flag.String("current", "", "current bench output file")
-	threshold := flag.Float64("threshold", 1.20, "max allowed current/baseline ns/op ratio")
-	match := flag.String("match", "Characterize|StudyPipeline",
-		"regexp selecting the benchmarks the gate applies to")
-	flag.Parse()
-	if *baseline == "" || *current == "" {
+// gate runs the comparison and returns the process exit code: 0 pass (or
+// nothing to gate, including a missing baseline), 1 regression, 2 usage or
+// I/O error. Messages go to stdout/stderr as in a normal run.
+func gate(baseline, current string, threshold float64, match string) int {
+	if baseline == "" || current == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: need -baseline and -current")
-		os.Exit(2)
+		return 2
 	}
-	gate, err := regexp.Compile(*match)
+	gateRE, err := regexp.Compile(match)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
-		os.Exit(2)
+		return 2
 	}
-	base, err := parseBench(*baseline)
+	base, err := parseBench(baseline)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Printf("benchcmp: no baseline at %s (first run on this branch?); skipping gate\n",
+			baseline)
+		return 0
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
-		os.Exit(2)
+		return 2
 	}
-	cur, err := parseBench(*current)
+	cur, err := parseBench(current)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
-		os.Exit(2)
+		return 2
 	}
 	if len(base) == 0 {
 		fmt.Println("benchcmp: baseline has no benchmark lines; nothing to gate")
-		return
+		return 0
 	}
 
 	gated := 0
@@ -117,7 +126,7 @@ func main() {
 	sort.Strings(names)
 	for _, name := range names {
 		c, ok := cur[name]
-		if !ok || !gate.MatchString(name) {
+		if !ok || !gateRE.MatchString(name) {
 			continue
 		}
 		gated++
@@ -125,20 +134,30 @@ func main() {
 			name, base[name], c, (c/base[name]-1)*100)
 	}
 	if gated == 0 {
-		fmt.Printf("benchcmp: no benchmarks matched %q in both files; nothing to gate\n", *match)
-		return
+		fmt.Printf("benchcmp: no benchmarks matched %q in both files; nothing to gate\n", match)
+		return 0
 	}
 
-	regs := compare(base, cur, gate, *threshold)
+	regs := compare(base, cur, gateRE, threshold)
 	if len(regs) == 0 {
 		fmt.Printf("benchcmp: %d gated benchmarks within %.0f%% of baseline\n",
-			gated, (*threshold-1)*100)
-		return
+			gated, (threshold-1)*100)
+		return 0
 	}
 	fmt.Printf("\nbenchcmp: %d regression(s) beyond the %.0f%% threshold:\n",
-		len(regs), (*threshold-1)*100)
+		len(regs), (threshold-1)*100)
 	for _, r := range regs {
 		fmt.Printf("  %s: %.0f -> %.0f ns/op (%.2fx)\n", r.name, r.base, r.cur, r.ratio)
 	}
-	os.Exit(1)
+	return 1
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline bench output file")
+	current := flag.String("current", "", "current bench output file")
+	threshold := flag.Float64("threshold", 1.20, "max allowed current/baseline ns/op ratio")
+	match := flag.String("match", "Characterize|StudyPipeline",
+		"regexp selecting the benchmarks the gate applies to")
+	flag.Parse()
+	os.Exit(gate(*baseline, *current, *threshold, *match))
 }

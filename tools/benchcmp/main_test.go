@@ -67,3 +67,35 @@ func TestCompare(t *testing.T) {
 		t.Errorf("loose threshold should pass, got %+v", regs)
 	}
 }
+
+func TestGateExitCodes(t *testing.T) {
+	const fast = "BenchmarkStudyPipeline-8  10  1000 ns/op\n"
+	const slow = "BenchmarkStudyPipeline-8  10  2000 ns/op\n"
+	baseline := writeBench(t, "base.txt", fast)
+	within := writeBench(t, "within.txt", fast)
+	regressed := writeBench(t, "regressed.txt", slow)
+	missing := filepath.Join(t.TempDir(), "does-not-exist.txt")
+
+	cases := []struct {
+		name          string
+		baseline, cur string
+		threshold     float64
+		want          int
+	}{
+		{"within threshold", baseline, within, 1.20, 0},
+		{"regression", baseline, regressed, 1.20, 1},
+		// The first run on a fork/branch has no artifact to compare
+		// against; the gate must degrade gracefully, not fail.
+		{"missing baseline skips gate", missing, within, 1.20, 0},
+		{"missing current is an error", baseline, missing, 1.20, 2},
+		{"missing flags are an error", "", within, 1.20, 2},
+		{"empty baseline gates nothing", writeBench(t, "empty.txt", "PASS\n"), within, 1.20, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := gate(tc.baseline, tc.cur, tc.threshold, "StudyPipeline"); got != tc.want {
+				t.Errorf("gate() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
