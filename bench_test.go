@@ -13,16 +13,19 @@ package nvmexplorer
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/cell"
+	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/nvsim"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -137,9 +140,11 @@ func BenchmarkBFSSocialGraph(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var s graph.Scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := graph.BFS(g, 0); err != nil {
+		if _, _, err := s.BFS(g, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,9 +155,11 @@ func BenchmarkPageRank(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var s graph.Scratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := graph.PageRank(g, 0.85, 1e-6, 10); err != nil {
+		if _, _, err := s.PageRank(g, 0.85, 1e-6, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,14 +208,100 @@ func BenchmarkDNNTrafficModel(b *testing.B) {
 }
 
 func BenchmarkStudyPipeline(b *testing.B) {
+	// Construction (cell lookups, pattern generation) is hoisted out of the
+	// timed loop: the benchmark measures Run, not the builder.
+	study := NewStudy("bench").
+		AddTentpole(STT, Optimistic).
+		AddTentpole(FeFET, Optimistic).
+		AddCapacity(2 << 20).
+		AddTarget(OptReadEDP).
+		AddPattern(GenericSweep(1, 10, 0.001, 0.1, 3)...)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		study := NewStudy("bench").
-			AddTentpole(STT, Optimistic).
-			AddTentpole(FeFET, Optimistic).
-			AddCapacity(2 << 20).
-			AddTarget(OptReadEDP).
-			AddPattern(GenericSweep(1, 10, 0.001, 0.1, 3)...)
 		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gridColdStudy is the planner's showcase shape: a write-buffer × fault
+// grid whose 16 points share just 2 unique characterizations, so the plan
+// pass characterizes twice and the evaluation pass fans the rest out as
+// pure float math.
+func gridColdStudy() *Study {
+	s := NewStudy("grid-cold-bench").
+		AddTentpole(STT, Optimistic).
+		AddTentpole(FeFET, Optimistic).
+		AddCapacity(2 << 20).
+		AddTarget(OptReadEDP).
+		AddPattern(GenericSweep(1, 10, 0.001, 0.1, 2)...)
+	s.WriteBuffers = []*WriteBufferConfig{
+		nil,
+		{MaskLatency: true, BufferLatencyNS: 1},
+		{TrafficReduction: 0.5},
+		{MaskLatency: true, BufferLatencyNS: 1, TrafficReduction: 0.25},
+	}
+	s.Faults = []*FaultConfig{nil, {Mode: FaultRaw, Seed: 9, ProbeBytes: 256}}
+	s.Workers = 1
+	return s
+}
+
+// BenchmarkStudyGridCold measures a cold multi-axis grid per iteration:
+// the memo cache is wiped, so the timing covers the plan pass (unique-
+// config dedup + characterization) plus the batched evaluation/emission of
+// every grid point.
+func BenchmarkStudyGridCold(b *testing.B) {
+	study := gridColdStudy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		b.StartTimer()
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}
+
+// BenchmarkEvaluateBatch measures the zero-alloc analytical hot loop: one
+// characterized array against a 9-pattern sweep per iteration.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	arr, err := nvsim.Characterize(nvsim.Config{
+		Cell: cell.MustTentpole(cell.STT, cell.Optimistic), CapacityBytes: 2 << 20,
+		Target: nvsim.OptReadEDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := traffic.GenericSweep(0.1, 10, 0.001, 1, 3)
+	opts := eval.Options{WriteBuffer: &eval.WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 1}}
+	dst := make([]eval.Metrics, 0, len(patterns))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = eval.EvaluateBatch(arr, patterns, opts, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNDJSONEmit measures the streaming row emitter: one Table II-
+// shaped study rendered as NDJSON per iteration through the reused
+// RowEncoder (the study service's per-row hot path).
+func BenchmarkNDJSONEmit(b *testing.B) {
+	res, err := tableIIStudy(nil).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep.WriteNDJSON(io.Discard, res); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,7 +315,9 @@ func tableIIStudy(st *Store) *Study {
 		AddCapacity(2 << 20).
 		AddTarget(OptReadEDP).
 		AddPattern(GenericSweep(0.1, 10, 0.001, 1, 3)...)
-	s.Cache = st
+	if st != nil {
+		s.Cache = st
+	}
 	s.Workers = 1
 	return s
 }
@@ -231,6 +326,7 @@ func tableIIStudy(st *Store) *Study {
 // and store wiped every iteration, so each run characterizes from scratch
 // (the denominator of the EXPERIMENTS.md cold-vs-warm record).
 func BenchmarkTableIISweepColdStore(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		nvsim.ResetMemo()
@@ -253,6 +349,7 @@ func BenchmarkTableIISweepColdStore(b *testing.B) {
 // characterizations (asserted). The ratio to the cold benchmark above is
 // the EXPERIMENTS.md cold-vs-warm speedup.
 func BenchmarkTableIISweepWarmStore(b *testing.B) {
+	b.ReportAllocs()
 	nvsim.ResetMemo()
 	dir := b.TempDir()
 	st, err := OpenStore(dir)

@@ -291,3 +291,40 @@ func TestCacheConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNewLLCRejectsNonPowerOfTwo pins the shift/mask contract: every
+// geometry parameter must be a power of two.
+func TestNewLLCRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := NewLLC(48<<10, 16, 48); err == nil {
+		t.Error("non-power-of-two line size must be rejected")
+	}
+	if _, err := NewLLC(12<<20, 12, 64); err == nil {
+		t.Error("non-power-of-two associativity must be rejected")
+	}
+	if _, err := NewLLC(16<<20, 16, 64); err != nil {
+		t.Errorf("study geometry rejected: %v", err)
+	}
+}
+
+// TestTouchShiftMaskMatchesDivMod replays a mixed stream through the
+// simulator and an explicit divide/modulo reference for the line/set
+// decomposition, ensuring the shift/mask fast path indexes identically.
+func TestTouchShiftMaskMatchesDivMod(t *testing.T) {
+	c, err := NewLLC(1<<20, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x12345)
+	for i := 0; i < 10000; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407 // LCG walk
+		line := addr / 64
+		set := int(line % uint64(c.Sets()))
+		if got := int((addr >> c.lineShift) & c.setMask); got != set {
+			t.Fatalf("addr %#x: shift/mask set %d, div/mod set %d", addr, got, set)
+		}
+		c.Touch(Access{Addr: addr, Write: i%3 == 0})
+	}
+	if s := c.Stats(); s.Lookups != 10000 || s.Hits+s.Misses != s.Lookups {
+		t.Fatalf("inconsistent stats after stream: %+v", s)
+	}
+}

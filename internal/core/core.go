@@ -13,8 +13,6 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/eval"
@@ -130,71 +128,6 @@ type Results struct {
 	Frontier []int
 }
 
-// gridPoint is the independent unit of study work: one PointSpec,
-// characterized for every target in a single engine pass and evaluated
-// against every traffic pattern.
-type gridPoint struct {
-	arrays  []nvsim.Result
-	metrics []eval.Metrics
-	skipped []string
-	err     error
-}
-
-// runPoint produces one design-space point, consulting the study's point
-// cache first: a hit replays the stored arrays/metrics/skips without
-// touching the characterization engine at all; a miss computes the point
-// and stores it. Failed points are never cached.
-func (s *Study) runPoint(spec PointSpec) gridPoint {
-	if s.Cache == nil {
-		return s.computePoint(spec)
-	}
-	key := s.PointKey(spec)
-	if cp, ok := s.Cache.Get(key); ok {
-		return gridPoint{arrays: cp.Arrays, metrics: cp.Metrics, skipped: cp.Skipped}
-	}
-	pt := s.computePoint(spec)
-	if pt.err == nil {
-		s.Cache.Put(key, CachedPoint{
-			Arrays: pt.arrays, Metrics: pt.metrics, Skipped: pt.skipped,
-		})
-	}
-	return pt
-}
-
-// computePoint characterizes one design-space point across all of the
-// study's targets with a single shared-engine call, then evaluates each
-// resulting array against each traffic pattern under the point's own
-// options.
-func (s *Study) computePoint(spec PointSpec) gridPoint {
-	var pt gridPoint
-	arrs, errs := nvsim.CharacterizeTargets(nvsim.Config{
-		Cell:             spec.Cell,
-		CapacityBytes:    spec.CapacityBytes,
-		WordBits:         spec.WordBits,
-		MaxAreaMM2:       s.MaxAreaMM2,
-		MaxReadLatencyNS: s.MaxReadLatencyNS,
-	}, s.Targets)
-	opts := spec.options(s.Options)
-	for i, target := range s.Targets {
-		if errs[i] != nil {
-			pt.skipped = append(pt.skipped,
-				fmt.Sprintf("%s@%d/%s: %v", spec.Cell.Name, spec.CapacityBytes, target, errs[i]))
-			continue
-		}
-		arr := arrs[i]
-		pt.arrays = append(pt.arrays, arr)
-		for _, p := range s.Patterns {
-			m, err := eval.Evaluate(arr, p, opts)
-			if err != nil {
-				pt.err = fmt.Errorf("core: evaluating %s on %s: %w", spec.Cell.Name, p.Name, err)
-				return pt
-			}
-			pt.metrics = append(pt.metrics, m)
-		}
-	}
-	return pt
-}
-
 // PointResult is one completed design-space grid point as delivered to a
 // RunStream callback: the point's coordinates plus every target's
 // characterized array and every (array, pattern) evaluation, in the same
@@ -218,18 +151,21 @@ func (s *Study) Run() (*Results, error) {
 	return s.RunStream(context.Background(), nil)
 }
 
-// RunStream is the context-aware, streaming form of Run. Grid points still
-// fan out across Workers goroutines, but instead of collecting everything
-// before returning, each completed point is handed to emit — in declaration
-// order, as soon as it and every earlier point have finished — so callers
-// (e.g. an NDJSON HTTP response) can flush rows while later points are
-// still being characterized. The accumulated Results are returned as well
-// and are byte-identical to Run's for the same study.
+// RunStream is the context-aware, streaming form of Run. The run is
+// executed as a two-phase plan (see plan.go): the plan phase dedupes the
+// grid's unique characterization configs, probes the point cache, and
+// characterizes each needed config exactly once across Workers goroutines;
+// the evaluation phase then walks the grid in declaration order, handing
+// each completed point to emit — so callers (e.g. an NDJSON HTTP response)
+// can flush rows as points are evaluated. The accumulated Results are
+// returned as well and are byte-identical to Run's for the same study at
+// any worker count.
 //
 // emit may be nil. It is called from the calling goroutine only, never
-// concurrently. A non-nil error from emit, a point-evaluation error, or
-// ctx cancellation stops the remaining work promptly and is returned
-// (wrapped in ctx.Err()'s case).
+// concurrently; the slices handed to it are views into the accumulated
+// Results and must be treated as read-only. A non-nil error from emit, a
+// point-evaluation error, or ctx cancellation stops the remaining work
+// promptly and is returned (wrapped in ctx.Err()'s case).
 func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*Results, error) {
 	if len(s.Targets) == 0 {
 		s.Targets = []nvsim.OptTarget{nvsim.OptReadEDP}
@@ -241,91 +177,88 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 	if err != nil {
 		return nil, err
 	}
-	grid := len(specs)
-	pts := make([]gridPoint, grid)
-
-	res := &Results{Study: s}
-	// deliver merges point i into res and streams it; errors stop the run.
-	deliver := func(i int) error {
-		if pts[i].err != nil {
-			return pts[i].err
-		}
-		res.Arrays = append(res.Arrays, pts[i].arrays...)
-		res.Metrics = append(res.Metrics, pts[i].metrics...)
-		res.Skipped = append(res.Skipped, pts[i].skipped...)
-		if emit != nil {
-			return emit(PointResult{
-				Spec:    specs[i],
-				Arrays:  pts[i].arrays,
-				Metrics: pts[i].metrics,
-				Skipped: pts[i].skipped,
-			})
-		}
-		return nil
-	}
-
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > grid {
-		workers = grid
+
+	// Phase 1: the plan pass. All engine work happens here, deduped to one
+	// characterization per unique config; only cancellation can fail it.
+	plan, err := s.plan(ctx, specs, workers)
+	if err != nil {
+		return nil, err
 	}
-	if workers <= 1 {
-		for i := range pts {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+
+	// Phase 2: the evaluation pass. Points are evaluated and emitted in
+	// declaration order into exactly-sized result buffers; per-point work is
+	// cheap float math (eval.EvaluateBatch), so this phase stays on the
+	// calling goroutine. Cache fills — the one potentially I/O-bound
+	// per-point step (a disk-backed store gob-encodes and renames a file per
+	// point) — are handed to a background putter so they overlap with
+	// evaluation and emission; every fill completes before RunStream
+	// returns.
+	res := &Results{Study: s}
+	totalArrays, totalMetrics := plan.totals(len(s.Patterns))
+	res.Arrays = make([]nvsim.Result, 0, totalArrays)
+	res.Metrics = make([]eval.Metrics, 0, totalMetrics)
+	putter := startCachePutter(s.Cache)
+	defer putter.wait()
+	for i := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+		}
+		aStart, mStart := len(res.Arrays), len(res.Metrics)
+		var skipped []string
+		if plan.hit != nil && plan.hit[i] {
+			cp := plan.cached[i]
+			res.Arrays = append(res.Arrays, cp.Arrays...)
+			res.Metrics = append(res.Metrics, cp.Metrics...)
+			skipped = cp.Skipped
+		} else {
+			pc := &plan.configs[plan.cfgOf[i]]
+			opts := specs[i].options(s.Options)
+			for t := range s.Targets {
+				if pc.errs[t] != nil {
+					continue
+				}
+				res.Arrays = append(res.Arrays, pc.arrays[t])
+				before := len(res.Metrics)
+				res.Metrics, err = eval.EvaluateBatch(pc.arrays[t], s.Patterns, opts, res.Metrics)
+				if err != nil {
+					// EvaluateBatch appends up to the failing pattern, which
+					// identifies it for the error message (guarded: study
+					// validation makes a pre-pattern failure unreachable).
+					name := "options"
+					if n := len(res.Metrics) - before; n < len(s.Patterns) {
+						name = s.Patterns[n].Name
+					}
+					return nil, fmt.Errorf("core: evaluating %s on %s: %w",
+						specs[i].Cell.Name, name, err)
+				}
 			}
-			pts[i] = s.runPoint(specs[i])
-			if err := deliver(i); err != nil {
+			skipped = pc.skipped
+			if s.Cache != nil {
+				// Cached points own their slices: the run's shared result
+				// buffers must not be pinned by (or aliased into) a
+				// long-lived store, so the point's rows are copied out.
+				cp := CachedPoint{
+					Arrays:  append([]nvsim.Result(nil), res.Arrays[aStart:]...),
+					Metrics: append([]eval.Metrics(nil), res.Metrics[mStart:]...),
+					Skipped: skipped,
+				}
+				putter.put(plan.keys[i], cp)
+			}
+		}
+		res.Skipped = append(res.Skipped, skipped...)
+		if emit != nil {
+			if err := emit(PointResult{
+				Spec:    specs[i],
+				Arrays:  res.Arrays[aStart:len(res.Arrays):len(res.Arrays)],
+				Metrics: res.Metrics[mStart:len(res.Metrics):len(res.Metrics)],
+				Skipped: skipped,
+			}); err != nil {
 				return nil, err
 			}
-		}
-	} else {
-		ctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		completed := make(chan int, grid)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= grid || ctx.Err() != nil {
-						return
-					}
-					pts[i] = s.runPoint(specs[i])
-					completed <- i
-				}
-			}()
-		}
-		go func() { wg.Wait(); close(completed) }()
-		// Merge in declaration order: advance a frontier over the done set,
-		// delivering each ready point exactly once.
-		done := make([]bool, grid)
-		frontier := 0
-		var runErr error
-	merge:
-		for i := range completed {
-			done[i] = true
-			for frontier < grid && done[frontier] {
-				if err := deliver(frontier); err != nil {
-					runErr = err
-					cancel()
-					break merge
-				}
-				frontier++
-			}
-		}
-		for range completed { // drain if we broke early
-		}
-		if runErr != nil {
-			return nil, runErr
-		}
-		if err := ctx.Err(); err != nil && frontier < grid {
-			return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
 		}
 	}
 	if len(res.Arrays) == 0 {
@@ -385,10 +318,11 @@ func (r *Results) ArrayTable() *viz.Table {
 		"ReadPJ", "WritePJ", "LeakMW", "AreaMM2", "AreaEff", "MbPerMM2")
 	for i := range r.Arrays {
 		a := &r.Arrays[i]
-		t.MustAddRow(a.Cell.Name, fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(),
-			a.Org.String(), a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ,
-			a.WriteEnergyPJ, a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency,
-			a.DensityMbPerMM2())
+		t.Row().Str(a.Cell.Name).Int(a.CapacityBytes).Str(a.Target.String()).
+			Str(a.Org.String()).Float(a.ReadLatencyNS).Float(a.WriteLatencyNS).
+			Float(a.ReadEnergyPJ).Float(a.WriteEnergyPJ).Float(a.LeakagePowerMW).
+			Float(a.AreaMM2).Float(a.AreaEfficiency).Float(a.DensityMbPerMM2()).
+			MustAdd()
 	}
 	return t
 }
@@ -406,9 +340,10 @@ func (r *Results) MetricsTable() *viz.Table {
 		return rows[i].Array.Cell.Name < rows[j].Array.Cell.Name
 	})
 	for _, m := range rows {
-		t.MustAddRow(m.Array.Cell.Name, m.Pattern.Name, m.TotalPowerMW,
-			m.DynamicPowerMW, m.LeakagePowerMW, m.MemoryTimePerSec,
-			m.TaskLatencyS, fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears)
+		t.Row().Str(m.Array.Cell.Name).Str(m.Pattern.Name).Float(m.TotalPowerMW).
+			Float(m.DynamicPowerMW).Float(m.LeakagePowerMW).Float(m.MemoryTimePerSec).
+			Float(m.TaskLatencyS).Bool(m.MeetsTaskRate).Float(m.LifetimeYears).
+			MustAdd()
 	}
 	return t
 }

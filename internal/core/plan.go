@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cell"
+	"repro/internal/nvsim"
+)
+
+// The execution plan. A study grid often contains many PointSpecs that
+// share one characterization: write-buffer and fault axes change only how a
+// point is *evaluated*, never the (cell, capacity, word width) the engine
+// characterizes. RunStream therefore splits a run into two phases. The plan
+// phase dedupes the grid's unique characterization configs, probes the
+// point cache, and characterizes each needed config exactly once per run —
+// in parallel across the study's workers — into a local plan table: the
+// global memo/singleflight mutex is touched once per unique config instead
+// of once per point, and selectBest runs once per (config, target) instead
+// of once per (point, target). The evaluation phase then walks the grid in
+// declaration order, replaying cached points and driving eval.EvaluateBatch
+// over the plan table into preallocated result buffers, emitting each point
+// as it completes. Output is byte-identical to the previous point-at-a-time
+// execution at any worker count.
+
+// charKey identifies one unique characterization within a study: every
+// PointSpec coordinate the engine sees. Constraints are study-wide, so they
+// need no per-config key fields.
+type charKey struct {
+	cell          cell.Definition
+	capacityBytes int64
+	wordBits      int
+}
+
+// planConfig is one unique characterization in the plan table.
+type planConfig struct {
+	// needed is set when at least one cache-missing point requires this
+	// config; unneeded configs (fully cache-hit) are never characterized,
+	// preserving the warm store's zero-characterization guarantee.
+	needed bool
+	// arrays and errs are parallel to the study's targets, as returned by
+	// nvsim.CharacterizeTargets.
+	arrays []nvsim.Result
+	errs   []error
+	// skipped holds the rendered skip lines of the failed targets, in
+	// target order; every point sharing the config reports the same lines.
+	skipped []string
+	// ok counts successful targets, sizing the evaluation-phase buffers.
+	ok int
+}
+
+// execPlan is the planned form of one study run.
+type execPlan struct {
+	specs   []PointSpec
+	cfgOf   []int        // spec index -> plan table index
+	configs []planConfig // the plan table, in first-use order
+	reps    []int        // plan table index -> representative spec index
+
+	// Cache probe results, present only when the study has a point cache.
+	keys   []string
+	cached []CachedPoint
+	hit    []bool
+}
+
+// totals sizes the evaluation phase's result buffers exactly: arrays and
+// metrics per point are known once the plan table is characterized.
+func (p *execPlan) totals(patterns int) (arrays, metrics int) {
+	for i := range p.specs {
+		if p.hit != nil && p.hit[i] {
+			arrays += len(p.cached[i].Arrays)
+			metrics += len(p.cached[i].Metrics)
+			continue
+		}
+		ok := p.configs[p.cfgOf[i]].ok
+		arrays += ok
+		metrics += ok * patterns
+	}
+	return arrays, metrics
+}
+
+// cachePutter drains point-cache fills on a background goroutine so a
+// disk-backed store's per-point gob encode + atomic rename overlaps with
+// the evaluation pass instead of stalling the emit loop. wait blocks until
+// every queued fill has landed, so store durability is unchanged: by the
+// time RunStream returns, all computed points are stored.
+type cachePutter struct {
+	ch   chan cachePut
+	done chan struct{}
+}
+
+type cachePut struct {
+	key string
+	pt  CachedPoint
+}
+
+// startCachePutter returns a putter for the cache; a nil cache yields an
+// inert putter whose methods are no-ops.
+func startCachePutter(cache PointCache) *cachePutter {
+	if cache == nil {
+		return &cachePutter{}
+	}
+	p := &cachePutter{ch: make(chan cachePut, 64), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		for cp := range p.ch {
+			cache.Put(cp.key, cp.pt)
+		}
+	}()
+	return p
+}
+
+func (p *cachePutter) put(key string, pt CachedPoint) {
+	if p.ch != nil {
+		p.ch <- cachePut{key: key, pt: pt}
+	}
+}
+
+// wait flushes the queue and stops the putter. It is idempotent.
+func (p *cachePutter) wait() {
+	if p.ch != nil {
+		close(p.ch)
+		<-p.done
+		p.ch = nil
+	}
+}
+
+// parallelIndex runs f(0..n-1) across at most workers goroutines, stopping
+// early (without running every index) once ctx is canceled. Each index runs
+// exactly once; f must only touch index-disjoint state.
+func parallelIndex(ctx context.Context, workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// plan builds the execution plan for one run: dedupe unique configs, probe
+// the point cache, and characterize every needed config once. Only context
+// cancellation fails the plan — characterization errors become per-point
+// skips, exactly as the point-at-a-time path reported them.
+func (s *Study) plan(ctx context.Context, specs []PointSpec, workers int) (*execPlan, error) {
+	p := &execPlan{specs: specs, cfgOf: make([]int, len(specs))}
+	idx := make(map[charKey]int, len(specs))
+	for i := range specs {
+		k := charKey{specs[i].Cell, specs[i].CapacityBytes, specs[i].WordBits}
+		ci, ok := idx[k]
+		if !ok {
+			ci = len(p.reps)
+			idx[k] = ci
+			p.reps = append(p.reps, i)
+		}
+		p.cfgOf[i] = ci
+	}
+	p.configs = make([]planConfig, len(p.reps))
+
+	if s.Cache != nil {
+		p.keys = make([]string, len(specs))
+		p.cached = make([]CachedPoint, len(specs))
+		p.hit = make([]bool, len(specs))
+		parallelIndex(ctx, workers, len(specs), func(i int) {
+			p.keys[i] = s.PointKey(specs[i])
+			p.cached[i], p.hit[i] = s.Cache.Get(p.keys[i])
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+		}
+	}
+
+	// A config is characterized only when some cache-missing point needs it.
+	var needed []int
+	for i := range specs {
+		if p.hit != nil && p.hit[i] {
+			continue
+		}
+		if ci := p.cfgOf[i]; !p.configs[ci].needed {
+			p.configs[ci].needed = true
+			needed = append(needed, ci)
+		}
+	}
+	parallelIndex(ctx, workers, len(needed), func(n int) {
+		ci := needed[n]
+		spec := &specs[p.reps[ci]]
+		pc := &p.configs[ci]
+		pc.arrays, pc.errs = nvsim.CharacterizeTargets(nvsim.Config{
+			Cell:             spec.Cell,
+			CapacityBytes:    spec.CapacityBytes,
+			WordBits:         spec.WordBits,
+			MaxAreaMM2:       s.MaxAreaMM2,
+			MaxReadLatencyNS: s.MaxReadLatencyNS,
+		}, s.Targets)
+		for t, target := range s.Targets {
+			if pc.errs[t] != nil {
+				pc.skipped = append(pc.skipped, fmt.Sprintf("%s@%d/%s: %v",
+					spec.Cell.Name, spec.CapacityBytes, target, pc.errs[t]))
+				continue
+			}
+			pc.ok++
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+	}
+	return p, nil
+}

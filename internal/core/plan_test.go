@@ -1,0 +1,155 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/eval"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+// axisStudy builds a grid whose points share characterizations: 2 cells ×
+// 1 capacity × 3 write buffers × 2 fault modes = 12 points over exactly 2
+// unique (cell, capacity, word-width) configs.
+func axisStudy(workers int) *Study {
+	s := NewStudy("plan-dedup")
+	s.AddTentpole(cell.STT, cell.Optimistic)
+	s.AddTentpole(cell.FeFET, cell.Optimistic)
+	s.AddCapacity(1 << 20)
+	s.AddTarget(nvsim.OptReadEDP, nvsim.OptArea)
+	s.AddPattern(traffic.GenericSweep(1, 10, 0.01, 0.1, 2)...)
+	s.WriteBuffers = []*eval.WriteBufferConfig{
+		nil,
+		{MaskLatency: true, BufferLatencyNS: 1},
+		{TrafficReduction: 0.5},
+	}
+	s.Faults = []*eval.FaultConfig{nil, {Mode: eval.FaultRaw, Seed: 3, ProbeBytes: 256}}
+	s.Workers = workers
+	return s
+}
+
+// TestPlanDedupesUniqueConfigs is the planner's headline property: a grid
+// whose points differ only in evaluation axes characterizes each unique
+// config exactly once per run — one memo lookup per config, not per point.
+func TestPlanDedupesUniqueConfigs(t *testing.T) {
+	nvsim.ResetMemo()
+	res, err := axisStudy(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := nvsim.MemoStats()
+	if misses != 2 || hits != 0 {
+		t.Errorf("cold run: memo hits=%d misses=%d, want 0/2 (one per unique config, 12 grid points)",
+			hits, misses)
+	}
+	specs, err := axisStudy(1).Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 12 {
+		t.Fatalf("grid = %d points, want 12", len(specs))
+	}
+	if want := len(specs) * 2 /* targets */ * 4; /* patterns */ len(res.Metrics) != want {
+		t.Fatalf("metrics = %d, want %d", len(res.Metrics), want)
+	}
+}
+
+// TestPlannerMatchesAcrossWorkers pins planner output equality between the
+// sequential and parallel plan passes, fault axes included (per-point
+// seeds must land on the same points regardless of worker count).
+func TestPlannerMatchesAcrossWorkers(t *testing.T) {
+	seq, err := axisStudy(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := axisStudy(8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Arrays, par.Arrays) ||
+		!reflect.DeepEqual(seq.Metrics, par.Metrics) ||
+		!reflect.DeepEqual(seq.Skipped, par.Skipped) {
+		t.Fatal("Workers=8 results diverge from Workers=1")
+	}
+}
+
+// countingCache wraps an in-memory PointCache with Get/Put counters.
+type countingCache struct {
+	mu         sync.Mutex
+	m          map[string]CachedPoint
+	gets, puts int
+}
+
+func (c *countingCache) Get(key string) (CachedPoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	cp, ok := c.m[key]
+	return cp, ok
+}
+
+func (c *countingCache) Put(key string, pt CachedPoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = pt
+}
+
+// TestPlanCacheInterplay checks the plan pass against the point cache: a
+// cold run probes and fills every point; a warm run probes every point,
+// characterizes nothing, and stores nothing new.
+func TestPlanCacheInterplay(t *testing.T) {
+	cache := &countingCache{m: map[string]CachedPoint{}}
+	s := axisStudy(4)
+	s.Cache = cache
+	cold, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.gets != 12 || cache.puts != 12 {
+		t.Fatalf("cold run: gets=%d puts=%d, want 12/12", cache.gets, cache.puts)
+	}
+
+	nvsim.ResetMemo()
+	s2 := axisStudy(4)
+	s2.Cache = cache
+	warm, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.gets != 24 || cache.puts != 12 {
+		t.Fatalf("warm run: gets=%d puts=%d, want 24/12 (no new stores)", cache.gets, cache.puts)
+	}
+	if hits, misses := nvsim.MemoStats(); hits != 0 || misses != 0 {
+		t.Fatalf("warm run characterized: memo hits=%d misses=%d, want 0/0", hits, misses)
+	}
+	if !reflect.DeepEqual(cold.Metrics, warm.Metrics) || !reflect.DeepEqual(cold.Arrays, warm.Arrays) {
+		t.Fatal("warm replay diverges from cold computation")
+	}
+}
+
+// TestPlanSharedSkips checks that a config excluded by constraints skips
+// identically on every grid point sharing it, in declaration order.
+func TestPlanSharedSkips(t *testing.T) {
+	s := NewStudy("plan-skips")
+	s.AddTentpole(cell.SRAM, cell.Reference) // 146F² SRAM: excluded by the tight area budget
+	s.AddTentpole(cell.STT, cell.Optimistic)
+	s.AddCapacity(4 << 20)
+	s.AddPattern(traffic.Pattern{Name: "p", ReadsPerSec: 1e6})
+	s.WriteBuffers = []*eval.WriteBufferConfig{nil, {TrafficReduction: 0.25}}
+	s.MaxAreaMM2 = 0.9
+	s.Workers = 2
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) != 2 {
+		t.Fatalf("skipped = %v, want the SRAM config skipped once per sharing point", res.Skipped)
+	}
+	if res.Skipped[0] != res.Skipped[1] {
+		t.Fatalf("points sharing a config must report identical skip lines: %v", res.Skipped)
+	}
+}

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/nvsim"
+	"repro/internal/traffic"
+)
+
+// batchArrays characterizes a spread of cells (volatile SRAM, finite-
+// endurance eNVMs, a low-retention pessimistic RRAM that exercises the
+// scrub terms) so the batch-vs-scalar comparison covers every lifetime and
+// refresh branch.
+func batchArrays(t *testing.T) []nvsim.Result {
+	t.Helper()
+	var arrays []nvsim.Result
+	for _, d := range []cell.Definition{
+		cell.MustTentpole(cell.SRAM, cell.Reference),
+		cell.MustTentpole(cell.STT, cell.Optimistic),
+		cell.MustTentpole(cell.RRAM, cell.Pessimistic),
+		cell.MustTentpole(cell.FeFET, cell.Optimistic),
+	} {
+		r, err := nvsim.Characterize(nvsim.Config{
+			Cell: d, CapacityBytes: 1 << 20, Target: nvsim.OptReadEDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays = append(arrays, r)
+	}
+	return arrays
+}
+
+// batchPatterns covers rate-shaped, task-shaped, write-free, and idle
+// traffic.
+func batchPatterns() []traffic.Pattern {
+	ps := traffic.GenericSweep(0.1, 10, 0.001, 1, 3)
+	ps = append(ps,
+		traffic.Pattern{Name: "task", ReadsPerTask: 1e6, WritesPerTask: 2e5, TasksPerSec: 60},
+		traffic.Pattern{Name: "task-best-effort", ReadsPerTask: 1e4, WritesPerTask: 1e3},
+		traffic.Pattern{Name: "read-only", ReadsPerSec: 5e8},
+		traffic.Pattern{Name: "idle"},
+	)
+	return ps
+}
+
+// TestEvaluateBatchMatchesEvaluate requires EvaluateBatch to be exactly —
+// field for field, bit for bit — the concatenation of per-pattern Evaluate
+// calls, across write-buffer and fault option combinations.
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	arrays := batchArrays(t)
+	patterns := batchPatterns()
+	optsList := []Options{
+		{},
+		{WriteBuffer: &WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 1.2}},
+		{WriteBuffer: &WriteBufferConfig{TrafficReduction: 0.5}},
+		{WriteBuffer: &WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 0.9, TrafficReduction: 0.25}},
+		{Fault: &FaultConfig{Mode: FaultRaw, Seed: 42}},
+		{Fault: &FaultConfig{Mode: FaultSECDED, Seed: 7}},
+		{WriteBuffer: &WriteBufferConfig{TrafficReduction: 0.3},
+			Fault: &FaultConfig{Mode: FaultSECDED, Seed: 11, ProbeBytes: 1024}},
+	}
+	for oi, opts := range optsList {
+		for _, arr := range arrays {
+			var want []Metrics
+			for _, p := range patterns {
+				m, err := Evaluate(arr, p, opts)
+				if err != nil {
+					t.Fatalf("opts %d: %v", oi, err)
+				}
+				want = append(want, m)
+			}
+			got, err := EvaluateBatch(arr, patterns, opts, nil)
+			if err != nil {
+				t.Fatalf("opts %d: EvaluateBatch: %v", oi, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("opts %d %s: %d metrics, want %d", oi, arr.Cell.Name, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("opts %d %s pattern %q: batch metrics diverge\n got %+v\nwant %+v",
+						oi, arr.Cell.Name, patterns[i].Name, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchAppends checks the append contract: dst grows in place
+// and partial results survive an error, identifying the failing pattern.
+func TestEvaluateBatchAppends(t *testing.T) {
+	arr := batchArrays(t)[1]
+	good := traffic.Pattern{Name: "ok", ReadsPerSec: 1e6}
+	bad := traffic.Pattern{Name: "bad", ReadsPerSec: -1}
+
+	dst := make([]Metrics, 0, 8)
+	dst, err := EvaluateBatch(arr, []traffic.Pattern{good, good}, Options{}, dst)
+	if err != nil || len(dst) != 2 {
+		t.Fatalf("len=%d err=%v, want 2 metrics", len(dst), err)
+	}
+	out, err := EvaluateBatch(arr, []traffic.Pattern{good, bad, good}, Options{}, dst)
+	if err == nil {
+		t.Fatal("invalid pattern must error")
+	}
+	if len(out)-len(dst) != 1 {
+		t.Fatalf("appended %d metrics before the error, want 1 (identifies failing pattern)", len(out)-len(dst))
+	}
+	if bad := (&WriteBufferConfig{TrafficReduction: -1}); true {
+		if _, err := EvaluateBatch(arr, []traffic.Pattern{good}, Options{WriteBuffer: bad}, nil); err == nil {
+			t.Fatal("invalid write buffer must error")
+		}
+	}
+}
+
+// TestEvaluateBatchAllocs is the hot-path allocation ratchet: with a warm
+// destination buffer and no fault probe, batch evaluation must not allocate
+// at all.
+func TestEvaluateBatchAllocs(t *testing.T) {
+	arr := batchArrays(t)[1]
+	patterns := batchPatterns()
+	opts := Options{WriteBuffer: &WriteBufferConfig{MaskLatency: true, BufferLatencyNS: 1}}
+	dst := make([]Metrics, 0, len(patterns))
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = EvaluateBatch(arr, patterns, opts, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EvaluateBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

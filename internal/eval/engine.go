@@ -214,6 +214,105 @@ func lifetimeYears(array nvsim.Result, writesPerSec float64) float64 {
 	return seconds / units.SecondsPerYear
 }
 
+// EvaluateBatch runs the analytical model over one array and many traffic
+// patterns, appending one Metrics per pattern to dst (which may be nil or a
+// preallocated buffer) and returning the extended slice. It produces
+// bit-identical Metrics to calling Evaluate per pattern, but hoists every
+// pattern-invariant term out of the inner loop: write-buffer validation and
+// derations, the ECC energy/traffic factor, the retention scrub and refresh
+// terms, the lifetime denominators, and — because the fault view depends
+// only on the cell — a single seeded injection probe shared by every
+// pattern's FaultSummary. With a warm dst capacity and no fault mode the
+// per-pattern cost is pure float math with zero allocations.
+//
+// On error the slice extended so far is returned with the error: the number
+// of Metrics appended for this call identifies the failing pattern.
+func EvaluateBatch(array nvsim.Result, patterns []traffic.Pattern, opts Options, dst []Metrics) ([]Metrics, error) {
+	writeLatNS := array.WriteLatencyNS
+	writeEnergyPJ := array.WriteEnergyPJ
+	effWriteLatNS := writeLatNS
+	writeFactor := 1.0
+	if wb := opts.WriteBuffer; wb != nil {
+		if err := wb.Validate(); err != nil {
+			return dst, err
+		}
+		writeFactor = 1 - wb.TrafficReduction
+		if wb.MaskLatency {
+			effWriteLatNS = wb.BufferLatencyNS
+		}
+	}
+	// ECC storage overhead: SECDED moves 72 bits per 64 data bits, scaling
+	// access energy and the cell-wearing write stream (fault.go).
+	eccFactor := opts.Fault.eccFactor()
+
+	// Array-invariant power and lifetime terms.
+	leakMW := array.LeakagePowerMW
+	refreshMW := RefreshPowerMW(array)
+	scrubWPS := ScrubWritesPerSec(array)
+	infEndurance := math.IsInf(array.Cell.EnduranceCycles, 1)
+	totalBits := float64(array.CapacityBytes) * 8
+	wordBits := float64(array.WordBits)
+
+	// One fault summary serves the whole batch: the probe is seeded from the
+	// point's config and reads only the cell, so every pattern of this array
+	// evaluates to the identical summary Evaluate would attach.
+	var faultSum *FaultSummary
+	if f := opts.Fault; f != nil && f.Mode != FaultNone {
+		if err := f.Validate(); err != nil {
+			return dst, err
+		}
+		var err error
+		if faultSum, err = f.summary(array.Cell); err != nil {
+			return dst, err
+		}
+	}
+
+	for i := range patterns {
+		p := patterns[i].Derive()
+		if err := p.Validate(); err != nil {
+			return dst, err
+		}
+		readsPerSec := p.ReadsPerSec
+		writesPerSec := p.WritesPerSec * writeFactor
+
+		m := Metrics{Array: array, Pattern: p, WriteBuffer: opts.WriteBuffer}
+		m.DynamicPowerMW = (readsPerSec*array.ReadEnergyPJ + writesPerSec*writeEnergyPJ) * eccFactor * 1e-9
+		m.LeakagePowerMW = leakMW
+		m.RefreshPowerMW = refreshMW
+		m.TotalPowerMW = m.DynamicPowerMW + m.LeakagePowerMW + m.RefreshPowerMW
+
+		m.MemoryTimePerSec = (readsPerSec*array.ReadLatencyNS + writesPerSec*effWriteLatNS) * 1e-9
+		m.Slowdown = math.Max(1, m.MemoryTimePerSec)
+
+		if p.TasksPerSec > 0 || p.ReadsPerTask+p.WritesPerTask > 0 {
+			writesPerTask := p.WritesPerTask * writeFactor
+			m.TaskLatencyS = (p.ReadsPerTask*array.ReadLatencyNS + writesPerTask*effWriteLatNS) * 1e-9
+			m.EnergyPerTaskMJ = (p.ReadsPerTask*array.ReadEnergyPJ + writesPerTask*writeEnergyPJ) * eccFactor * 1e-9
+			if p.TasksPerSec > 0 {
+				m.MeetsTaskRate = m.TaskLatencyS <= 1/p.TasksPerSec && m.MemoryTimePerSec <= 1
+			} else {
+				m.MeetsTaskRate = true
+			}
+		} else {
+			m.MeetsTaskRate = m.MemoryTimePerSec <= 1
+		}
+
+		// lifetimeYears with its array-invariant pieces hoisted.
+		m.LifetimeYears = math.Inf(1)
+		if !infEndurance {
+			writtenBitsPerSec := (writesPerSec*eccFactor + scrubWPS) * wordBits
+			if writtenBitsPerSec > 0 {
+				cellWritesPerSec := writtenBitsPerSec / totalBits
+				seconds := array.Cell.EnduranceCycles / cellWritesPerSec * WearLevelingEfficiency
+				m.LifetimeYears = seconds / units.SecondsPerYear
+			}
+		}
+		m.Fault = faultSum
+		dst = append(dst, m)
+	}
+	return dst, nil
+}
+
 // EvaluateSweep runs the analytical model over many (array, pattern)
 // combinations, returning one Metrics per pair in deterministic order.
 func EvaluateSweep(arrays []nvsim.Result, patterns []traffic.Pattern, opts Options) ([]Metrics, error) {

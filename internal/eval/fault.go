@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 
+	"repro/internal/cell"
 	"repro/internal/fault"
 )
 
@@ -116,7 +117,20 @@ func applyFault(m *Metrics, f *FaultConfig) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	rawBER := fault.Model{Cell: m.Array.Cell}.BER()
+	sum, err := f.summary(m.Array.Cell)
+	if err != nil {
+		return err
+	}
+	m.Fault = sum
+	return nil
+}
+
+// summary computes the fault view of one evaluated cell: the modeled error
+// rates plus one seeded injection probe. The result depends only on (cell,
+// config), never on the traffic pattern or the selected organization, so
+// batch evaluation shares one summary across every pattern of an array.
+func (f *FaultConfig) summary(c cell.Definition) (*FaultSummary, error) {
+	rawBER := fault.Model{Cell: c}.BER()
 	sum := &FaultSummary{Mode: f.Mode, Seed: f.Seed, RawBER: rawBER}
 	probe := f.ProbeBytes
 	if probe == 0 {
@@ -128,7 +142,7 @@ func applyFault(m *Metrics, f *FaultConfig) error {
 		sum.EffectiveBER = rawBER
 		flips, err := fault.Inject(buf, rawBER, f.Seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sum.InjectedFlips = flips
 	case FaultSECDED:
@@ -137,19 +151,18 @@ func applyFault(m *Metrics, f *FaultConfig) error {
 		in := fault.NewInjector(f.Seed)
 		dataFlips, err := in.Inject(buf, rawBER)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		parityFlips, err := in.Inject(parity, rawBER)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sum.InjectedFlips = dataFlips + parityFlips
 		st, err := fault.Correct(buf, parity)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sum.CorrectedWords, sum.UncorrectableWords = st.Corrected, st.Uncorrectable
 	}
-	m.Fault = sum
-	return nil
+	return sum, nil
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -278,5 +279,49 @@ func TestBFSTriangleInequalityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestScratchReuseMatchesFreshCalls runs the kernels repeatedly through one
+// Scratch and requires results identical to the allocating package-level
+// functions on every call — stale buffer contents must never leak into a
+// later traversal.
+func TestScratchReuseMatchesFreshCalls(t *testing.T) {
+	small, err := RMAT(DefaultRMAT(8, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RMAT(DefaultRMAT(10, 8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scratch
+	// Alternate graph sizes so the buffers both grow and shrink.
+	for trial, g := range []*CSR{big, small, big, small} {
+		wantDepth, wantStats, err := BFS(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDepth, gotStats, err := s.BFS(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotDepth, wantDepth) || gotStats != wantStats {
+			t.Fatalf("trial %d: scratch BFS diverges from fresh BFS", trial)
+		}
+		wantRank, wantPRStats, err := PageRank(g, 0.85, 1e-7, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRank, gotPRStats, err := s.PageRank(g, 0.85, 1e-7, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRank, wantRank) || gotPRStats != wantPRStats {
+			t.Fatalf("trial %d: scratch PageRank diverges from fresh PageRank", trial)
+		}
+	}
+	if _, _, err := s.BFS(small, -1); err == nil {
+		t.Error("out-of-range root must error")
 	}
 }

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/traffic"
 )
@@ -25,96 +24,20 @@ type AccessStats struct {
 func lines(bytes int64) int64 { return (bytes + 63) / 64 }
 
 // BFS runs breadth-first search from root and returns the depth array plus
-// access statistics. Accounting per frontier vertex: one offsets line read,
-// its adjacency lines read, and per discovered vertex one depth-line read
-// (check) and one write (update).
+// access statistics. It is the convenience form of Scratch.BFS (scratch.go)
+// with per-call buffers; loops over many kernel runs should hold a Scratch
+// and reuse its allocations instead.
 func BFS(g *CSR, root int) ([]int32, AccessStats, error) {
-	if root < 0 || root >= g.N {
-		return nil, AccessStats{}, fmt.Errorf("graph: BFS root %d out of range", root)
-	}
-	depth := make([]int32, g.N)
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[root] = 0
-	frontier := []int32{int32(root)}
-	st := AccessStats{Kernel: "BFS"}
-	for len(frontier) > 0 {
-		st.Iterations++
-		var next []int32
-		for _, u := range frontier {
-			st.Reads += lines(16) // offsets pair
-			nbrs := g.Neighbors(int(u))
-			st.Reads += lines(int64(len(nbrs)) * 4) // adjacency
-			st.EdgesSeen += int64(len(nbrs))
-			for _, v := range nbrs {
-				st.Reads++ // depth check
-				if depth[v] == -1 {
-					depth[v] = depth[u] + 1
-					st.Writes++ // depth update
-					next = append(next, v)
-				}
-			}
-		}
-		frontier = next
-	}
-	return depth, st, nil
+	var s Scratch
+	return s.BFS(g, root)
 }
 
 // PageRank runs the canonical iteration until the L1 delta falls below tol
-// or maxIter is reached. Per edge: one rank read; per vertex per iteration:
-// offsets + adjacency reads and one rank write.
+// or maxIter is reached. It is the convenience form of Scratch.PageRank
+// with per-call buffers.
 func PageRank(g *CSR, damping float64, tol float64, maxIter int) ([]float64, AccessStats, error) {
-	if damping <= 0 || damping >= 1 {
-		return nil, AccessStats{}, fmt.Errorf("graph: damping %g outside (0,1)", damping)
-	}
-	n := g.N
-	rank := make([]float64, n)
-	next := make([]float64, n)
-	for i := range rank {
-		rank[i] = 1 / float64(n)
-	}
-	st := AccessStats{Kernel: "PageRank"}
-	for it := 0; it < maxIter; it++ {
-		st.Iterations++
-		// Dangling vertices redistribute their rank uniformly so the rank
-		// mass stays conserved at 1.
-		dangling := 0.0
-		for u := 0; u < n; u++ {
-			if g.Degree(u) == 0 {
-				dangling += rank[u]
-			}
-		}
-		base := (1-damping)/float64(n) + damping*dangling/float64(n)
-		for i := range next {
-			next[i] = base
-		}
-		for u := 0; u < n; u++ {
-			st.Reads += lines(16)
-			nbrs := g.Neighbors(u)
-			st.Reads += lines(int64(len(nbrs)) * 4)
-			st.EdgesSeen += int64(len(nbrs))
-			if len(nbrs) == 0 {
-				continue
-			}
-			share := damping * rank[u] / float64(len(nbrs))
-			st.Reads++ // rank[u]
-			for _, v := range nbrs {
-				next[v] += share
-				st.Reads++ // next[v] accumulate (read-modify-write)
-				st.Writes++
-			}
-		}
-		delta := 0.0
-		for i := range rank {
-			delta += math.Abs(next[i] - rank[i])
-		}
-		rank, next = next, rank
-		if delta < tol {
-			break
-		}
-	}
-	return rank, st, nil
+	var s Scratch
+	return s.PageRank(g, damping, tol, maxIter)
 }
 
 // ConnectedComponents runs label propagation to convergence and returns

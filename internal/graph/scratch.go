@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scratch holds the per-vertex working buffers the traversal kernels need
+// (frontiers, depth/rank arrays), so repeated kernel invocations — a
+// benchmark loop, a traffic-sweep service characterizing many engines over
+// one graph — reuse the same allocations instead of re-growing them per
+// call. The zero value is ready to use; a Scratch is not safe for
+// concurrent use.
+//
+// Result slices returned by Scratch methods are owned by the Scratch and
+// remain valid only until its next kernel call; callers that need to keep
+// them must copy. The package-level BFS and PageRank wrappers allocate a
+// fresh Scratch per call and so still return caller-owned slices.
+type Scratch struct {
+	depth    []int32
+	frontier []int32
+	next     []int32
+	rank     []float64
+	rankNext []float64
+}
+
+// int32s returns a length-n slice reusing buf's storage when possible.
+func int32s(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func float64s(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// BFS runs breadth-first search from root and returns the depth array plus
+// access statistics, reusing the scratch buffers. Accounting per frontier
+// vertex: one offsets line read, its adjacency lines read, and per
+// discovered vertex one depth-line read (check) and one write (update).
+func (s *Scratch) BFS(g *CSR, root int) ([]int32, AccessStats, error) {
+	if root < 0 || root >= g.N {
+		return nil, AccessStats{}, fmt.Errorf("graph: BFS root %d out of range", root)
+	}
+	s.depth = int32s(s.depth, g.N)
+	depth := s.depth
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[root] = 0
+	frontier := append(s.frontier[:0], int32(root))
+	next := s.next[:0]
+	st := AccessStats{Kernel: "BFS"}
+	for len(frontier) > 0 {
+		st.Iterations++
+		next = next[:0]
+		for _, u := range frontier {
+			st.Reads += lines(16) // offsets pair
+			nbrs := g.Neighbors(int(u))
+			st.Reads += lines(int64(len(nbrs)) * 4) // adjacency
+			st.EdgesSeen += int64(len(nbrs))
+			for _, v := range nbrs {
+				st.Reads++ // depth check
+				if depth[v] == -1 {
+					depth[v] = depth[u] + 1
+					st.Writes++ // depth update
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	// Keep the (possibly re-grown) buffers for the next call.
+	s.frontier, s.next = frontier, next
+	return depth, st, nil
+}
+
+// PageRank runs the canonical iteration until the L1 delta falls below tol
+// or maxIter is reached, reusing the scratch rank buffers. Per edge: one
+// rank read; per vertex per iteration: offsets + adjacency reads and one
+// rank write.
+func (s *Scratch) PageRank(g *CSR, damping float64, tol float64, maxIter int) ([]float64, AccessStats, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, AccessStats{}, fmt.Errorf("graph: damping %g outside (0,1)", damping)
+	}
+	n := g.N
+	rank := float64s(s.rank, n)
+	next := float64s(s.rankNext, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	st := AccessStats{Kernel: "PageRank"}
+	for it := 0; it < maxIter; it++ {
+		st.Iterations++
+		// Dangling vertices redistribute their rank uniformly so the rank
+		// mass stays conserved at 1.
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if g.Degree(u) == 0 {
+				dangling += rank[u]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			st.Reads += lines(16)
+			nbrs := g.Neighbors(u)
+			st.Reads += lines(int64(len(nbrs)) * 4)
+			st.EdgesSeen += int64(len(nbrs))
+			if len(nbrs) == 0 {
+				continue
+			}
+			share := damping * rank[u] / float64(len(nbrs))
+			st.Reads++ // rank[u]
+			for _, v := range nbrs {
+				next[v] += share
+				st.Reads++ // next[v] accumulate (read-modify-write)
+				st.Writes++
+			}
+		}
+		delta := 0.0
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < tol {
+			break
+		}
+	}
+	s.rank, s.rankNext = rank, next
+	return rank, st, nil
+}

@@ -30,8 +30,9 @@ func evaluateCandidates(cfg Config) ([]Result, error) {
 	node := nodeAt(cfg.Cell.NodeNM)
 	results := make([]Result, 0, len(orgs))
 	var m model
+	m.initCell(cfg.Cell, node, cfg.WordBits, &defaultCal)
 	for _, org := range orgs {
-		m.init(cfg.Cell, node, org, cfg.WordBits, &defaultCal)
+		m.setOrg(org)
 		r := Result{
 			Cell:           cfg.Cell,
 			CapacityBytes:  cfg.CapacityBytes,

@@ -23,8 +23,9 @@ func seedCharacterize(t *testing.T, cfg Config) Result {
 	node := nodeAt(cfg.Cell.NodeNM)
 	var results []Result
 	var m model
+	m.initCell(cfg.Cell, node, cfg.WordBits, &defaultCal)
 	for _, org := range orgs {
-		m.init(cfg.Cell, node, org, cfg.WordBits, &defaultCal)
+		m.setOrg(org)
 		r := Result{
 			Cell: cfg.Cell, CapacityBytes: cfg.CapacityBytes,
 			WordBits: cfg.WordBits, Target: cfg.Target, Org: org,

@@ -59,6 +59,13 @@ var nodeTable = []techNode{
 	{130, 1.30, 0.0520, 0.20, 0.25, 1.4, 0.6},
 }
 
+// node22 is the 22nm reference node several calibration constants are
+// quoted against. The interpolation is deterministic, so computing it once
+// at init keeps every later use bit-identical while taking the exp/log
+// work out of the per-candidate scoring loop (it used to be re-derived via
+// nodeAt(22) on every sense-amp and precharge term).
+var node22 = nodeAt(22)
+
 // nodeAt returns technology parameters for an arbitrary feature size by
 // log-linear interpolation over the anchor table, clamping outside it
 // (research-scale "1000nm" devices evaluate with 130nm-class periphery —

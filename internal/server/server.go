@@ -322,15 +322,20 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// NDJSON: commit to 200 and stream rows as grid points complete.
+	// NDJSON: commit to 200 and stream rows as the run's evaluation pass
+	// emits grid points (characterization happens up front in the plan
+	// pass, so rows arrive after it completes — see core.Study.RunStream).
+	// Rows render through a reused sweep.RowEncoder — the same zero-alloc
+	// emit path as the batch writer, so the streamed bytes stay identical
+	// to it.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("ETag", etag)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	var enc sweep.RowEncoder
 	res, err := study.RunStream(ctx, func(pt core.PointResult) error {
-		for _, m := range pt.Metrics {
-			if err := enc.Encode(sweep.PointOf(m, study)); err != nil {
+		for i := range pt.Metrics {
+			if err := enc.Encode(w, &pt.Metrics[i], study); err != nil {
 				return err
 			}
 			s.points.Add(1)
@@ -349,7 +354,7 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		s.failed.Add(1)
 		if ctx.Err() == nil {
 			// Headers are gone; surface the failure as a trailing error row.
-			_ = enc.Encode(map[string]string{"error": err.Error()})
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		}
 		return
 	}

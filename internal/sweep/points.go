@@ -101,7 +101,7 @@ func Point(m eval.Metrics) DesignPoint { return PointOf(m, nil) }
 // axis, and fault columns whenever the point was evaluated under a fault
 // mode. A nil study emits the legacy column set only.
 func PointOf(m eval.Metrics, s *core.Study) DesignPoint {
-	p := basePoint(m)
+	p := basePoint(&m)
 	if s != nil {
 		if s.Declares(core.AxisWordBits) {
 			p.WordBits = m.Array.WordBits
@@ -121,8 +121,8 @@ func PointOf(m eval.Metrics, s *core.Study) DesignPoint {
 	return p
 }
 
-func basePoint(m eval.Metrics) DesignPoint {
-	a := m.Array
+func basePoint(m *eval.Metrics) DesignPoint {
+	a := &m.Array
 	return DesignPoint{
 		Cell:            a.Cell.Name,
 		Technology:      a.Cell.Tech.String(),
@@ -211,14 +211,16 @@ type ndjsonTrailer struct {
 // WriteNDJSON writes one DesignPoint JSON object per line to w, in Results
 // order — the batch form of the study service's streamed NDJSON response —
 // followed, for Pareto-selected studies, by one frontier trailer line.
+// Rows render through a RowEncoder, so emission allocates (almost) nothing
+// per row.
 func WriteNDJSON(w io.Writer, res *core.Results) error {
 	if err := res.EnsureFrontier(); err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, m := range res.Metrics {
-		if err := enc.Encode(PointOf(m, res.Study)); err != nil {
+	var enc RowEncoder
+	for i := range res.Metrics {
+		if err := enc.Encode(bw, &res.Metrics[i], res.Study); err != nil {
 			return err
 		}
 	}
@@ -311,6 +313,7 @@ func techTables(res *core.Results) (map[string]*viz.Table, []string) {
 
 	perTech := map[string]*viz.Table{}
 	var order []string
+	var wbLabels wbLabelCache
 	for mi := range res.Metrics {
 		m := &res.Metrics[mi]
 		techName := m.Array.Cell.Tech.String()
@@ -320,30 +323,32 @@ func techTables(res *core.Results) (map[string]*viz.Table, []string) {
 			perTech[techName] = t
 			order = append(order, techName)
 		}
-		a := m.Array
-		row := []any{a.Cell.Name, fmt.Sprintf("%d", a.Cell.BitsPerCell),
-			fmt.Sprintf("%d", a.CapacityBytes), a.Target.String(), m.Pattern.Name,
-			a.ReadLatencyNS, a.WriteLatencyNS, a.ReadEnergyPJ, a.WriteEnergyPJ,
-			a.LeakagePowerMW, a.AreaMM2, a.AreaEfficiency, a.DensityMbPerMM2(),
-			m.TotalPowerMW, m.DynamicPowerMW, m.MemoryTimePerSec, m.TaskLatencyS,
-			fmt.Sprintf("%v", m.MeetsTaskRate), m.LifetimeYears}
+		a := &m.Array
+		row := t.Row().
+			Str(a.Cell.Name).Int(int64(a.Cell.BitsPerCell)).
+			Int(a.CapacityBytes).Str(a.Target.String()).Str(m.Pattern.Name).
+			Float(a.ReadLatencyNS).Float(a.WriteLatencyNS).Float(a.ReadEnergyPJ).
+			Float(a.WriteEnergyPJ).Float(a.LeakagePowerMW).Float(a.AreaMM2).
+			Float(a.AreaEfficiency).Float(a.DensityMbPerMM2()).
+			Float(m.TotalPowerMW).Float(m.DynamicPowerMW).Float(m.MemoryTimePerSec).
+			Float(m.TaskLatencyS).Bool(m.MeetsTaskRate).Float(m.LifetimeYears)
 		if withWord {
-			row = append(row, fmt.Sprintf("%d", a.WordBits))
+			row.Int(int64(a.WordBits))
 		}
 		if withWB {
-			row = append(row, m.WriteBuffer.Label())
+			row.Str(wbLabels.label(m.WriteBuffer))
 		}
 		if withFault {
 			if f := m.Fault; f != nil {
-				row = append(row, f.Mode.String(), f.RawBER, f.EffectiveBER)
+				row.Str(f.Mode.String()).Float(f.RawBER).Float(f.EffectiveBER)
 			} else {
-				row = append(row, "none", 0.0, 0.0)
+				row.Str("none").Float(0).Float(0)
 			}
 		}
 		if withPareto {
-			row = append(row, fmt.Sprintf("%v", frontier[mi]))
+			row.Bool(frontier[mi])
 		}
-		t.MustAddRow(row...)
+		row.MustAdd()
 	}
 	return perTech, order
 }

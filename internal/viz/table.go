@@ -10,6 +10,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -19,6 +20,10 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+
+	// rb is the reused typed row builder returned by Row; one per table is
+	// enough because rows are always built sequentially.
+	rb RowBuilder
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -62,16 +67,95 @@ func formatCell(v any) string {
 	}
 }
 
-func formatFloat(x float64) string {
+func formatFloat(x float64) string { return string(appendCellFloat(nil, x)) }
+
+// appendCellFloat renders a float the way table cells always have — "0",
+// "NaN", and %.3g/%.4g by magnitude — via strconv.AppendFloat instead of
+// fmt, producing identical bytes without fmt's interface boxing and
+// verb-parsing overhead.
+func appendCellFloat(b []byte, x float64) []byte {
 	switch {
 	case x == 0:
-		return "0"
+		return append(b, '0')
 	case x != x: // NaN
-		return "NaN"
+		return append(b, "NaN"...)
 	case x >= 1e5 || x <= -1e5 || (x < 1e-3 && x > -1e-3):
-		return fmt.Sprintf("%.3g", x)
+		return strconv.AppendFloat(b, x, 'g', 3, 64)
 	default:
-		return fmt.Sprintf("%.4g", x)
+		return strconv.AppendFloat(b, x, 'g', 4, 64)
+	}
+}
+
+// RowBuilder accumulates one row's cells over a reused byte buffer: every
+// cell is appended with a typed method (no fmt, no interface boxing), and
+// Add materializes the whole row with a single backing string plus one
+// cell-slice allocation. Obtain one with Table.Row; it must not be retained
+// across rows.
+type RowBuilder struct {
+	t    *Table
+	buf  []byte
+	ends []int
+}
+
+// Row starts a new row, returning the table's reused builder.
+func (t *Table) Row() *RowBuilder {
+	t.rb.t = t
+	t.rb.buf = t.rb.buf[:0]
+	t.rb.ends = t.rb.ends[:0]
+	return &t.rb
+}
+
+func (r *RowBuilder) mark() *RowBuilder {
+	r.ends = append(r.ends, len(r.buf))
+	return r
+}
+
+// Str appends a string cell.
+func (r *RowBuilder) Str(s string) *RowBuilder {
+	r.buf = append(r.buf, s...)
+	return r.mark()
+}
+
+// Int appends an integer cell, rendered as %d would.
+func (r *RowBuilder) Int(v int64) *RowBuilder {
+	r.buf = strconv.AppendInt(r.buf, v, 10)
+	return r.mark()
+}
+
+// Float appends a float cell with the table's compact float rendering.
+func (r *RowBuilder) Float(x float64) *RowBuilder {
+	r.buf = appendCellFloat(r.buf, x)
+	return r.mark()
+}
+
+// Bool appends a bool cell ("true"/"false", as %v renders it).
+func (r *RowBuilder) Bool(v bool) *RowBuilder {
+	r.buf = strconv.AppendBool(r.buf, v)
+	return r.mark()
+}
+
+// Add finishes the row: cells are sliced out of one shared backing string
+// and appended to the table. Rows with the wrong cell count are rejected.
+func (r *RowBuilder) Add() error {
+	if len(r.ends) != len(r.t.Columns) {
+		return fmt.Errorf("viz: row has %d cells, table %q has %d columns",
+			len(r.ends), r.t.Title, len(r.t.Columns))
+	}
+	backing := string(r.buf)
+	cells := make([]string, len(r.ends))
+	start := 0
+	for i, end := range r.ends {
+		cells[i] = backing[start:end]
+		start = end
+	}
+	r.t.Rows = append(r.t.Rows, cells)
+	return nil
+}
+
+// MustAdd is Add that panics on arity mistakes (programmer error).
+func (r *RowBuilder) MustAdd() {
+	if err := r.Add(); err != nil {
+		panic(err)
 	}
 }
 

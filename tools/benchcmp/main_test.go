@@ -32,45 +32,80 @@ ok  	repro	1.234s
 	if len(got) != 3 {
 		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
 	}
-	// Duplicate samples keep the fastest.
-	if got["BenchmarkCharacterize2MBSTT"] != 1100.0 {
-		t.Errorf("min-aggregation failed: %v", got["BenchmarkCharacterize2MBSTT"])
+	// Duplicate samples keep the fastest ns/op while retaining the allocs
+	// column from the -benchmem sample.
+	c := got["BenchmarkCharacterize2MBSTT"]
+	if c.ns != 1100.0 {
+		t.Errorf("min-aggregation failed: %+v", c)
 	}
-	// No -N suffix also parses.
-	if got["BenchmarkFig1PublicationSurvey"] != 500 {
-		t.Errorf("suffix-free benchmark: %v", got["BenchmarkFig1PublicationSurvey"])
+	if !c.hasAllocs || c.allocs != 3 {
+		t.Errorf("allocs column lost across samples: %+v", c)
+	}
+	// No -N suffix also parses; no -benchmem columns means no alloc gate.
+	if s := got["BenchmarkFig1PublicationSurvey"]; s.ns != 500 || s.hasAllocs {
+		t.Errorf("suffix-free benchmark: %+v", s)
 	}
 }
 
 func TestCompare(t *testing.T) {
-	base := map[string]float64{
-		"BenchmarkCharacterize2MBSTT": 1000,
-		"BenchmarkStudyPipeline":      2000,
-		"BenchmarkFaultInjection":     100, // not gated by the match
-		"BenchmarkRetired":            50,  // absent from current
+	base := map[string]sample{
+		"BenchmarkCharacterize2MBSTT": {ns: 1000},
+		"BenchmarkStudyPipeline":      {ns: 2000},
+		"BenchmarkFaultInjection":     {ns: 100}, // not gated by the match
+		"BenchmarkRetired":            {ns: 50},  // absent from current
 	}
-	cur := map[string]float64{
-		"BenchmarkCharacterize2MBSTT": 1150, // +15%: within threshold
-		"BenchmarkStudyPipeline":      2600, // +30%: regression
-		"BenchmarkFaultInjection":     900,  // 9x, but outside the gate
-		"BenchmarkBrandNew":           10,
+	cur := map[string]sample{
+		"BenchmarkCharacterize2MBSTT": {ns: 1150}, // +15%: within threshold
+		"BenchmarkStudyPipeline":      {ns: 2600}, // +30%: regression
+		"BenchmarkFaultInjection":     {ns: 900},  // 9x, but outside the gate
+		"BenchmarkBrandNew":           {ns: 10},
 	}
-	gate := regexp.MustCompile(`Characterize|StudyPipeline`)
-	regs := compare(base, cur, gate, 1.20)
+	gateRE := regexp.MustCompile(`Characterize|StudyPipeline`)
+	regs := compare(base, cur, gateRE, 1.20, 1.20)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %+v, want exactly StudyPipeline", regs)
 	}
-	if regs[0].name != "BenchmarkStudyPipeline" || regs[0].ratio != 1.3 {
+	if regs[0].name != "BenchmarkStudyPipeline" || regs[0].ratio != 1.3 || regs[0].metric != "ns/op" {
 		t.Errorf("regression = %+v", regs[0])
 	}
-	if regs := compare(base, cur, gate, 1.50); len(regs) != 0 {
+	if regs := compare(base, cur, gateRE, 1.50, 1.20); len(regs) != 0 {
 		t.Errorf("loose threshold should pass, got %+v", regs)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	gateRE := regexp.MustCompile(`EvaluateBatch|NDJSON|LLC`)
+	base := map[string]sample{
+		"BenchmarkEvaluateBatch": {ns: 400, allocs: 0, hasAllocs: true},
+		"BenchmarkNDJSONEmit":    {ns: 1000, allocs: 10, hasAllocs: true},
+		"BenchmarkLLCSimulator":  {ns: 5000, allocs: 0, hasAllocs: true},
+		"BenchmarkNoMem":         {ns: 100},
+	}
+	// Zero-alloc baselines are ratchets: a single new alloc fails.
+	cur := map[string]sample{
+		"BenchmarkEvaluateBatch": {ns: 410, allocs: 1, hasAllocs: true},
+		"BenchmarkNDJSONEmit":    {ns: 1010, allocs: 11, hasAllocs: true}, // +10%: within
+		"BenchmarkLLCSimulator":  {ns: 5100, allocs: 0, hasAllocs: true},
+		"BenchmarkNoMem":         {ns: 105, allocs: 99, hasAllocs: true}, // baseline lacks column
+	}
+	regs := compare(base, cur, gateRE, 1.20, 1.20)
+	if len(regs) != 1 || regs[0].name != "BenchmarkEvaluateBatch" || regs[0].metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want the EvaluateBatch alloc ratchet only", regs)
+	}
+	// A big alloc regression trips even when ns/op stays flat.
+	cur["BenchmarkEvaluateBatch"] = sample{ns: 400, allocs: 0, hasAllocs: true}
+	cur["BenchmarkNDJSONEmit"] = sample{ns: 1000, allocs: 25, hasAllocs: true}
+	regs = compare(base, cur, gateRE, 1.20, 1.20)
+	if len(regs) != 1 || regs[0].name != "BenchmarkNDJSONEmit" || regs[0].ratio != 2.5 {
+		t.Fatalf("regressions = %+v, want the NDJSONEmit 2.5x alloc regression", regs)
 	}
 }
 
 func TestGateExitCodes(t *testing.T) {
 	const fast = "BenchmarkStudyPipeline-8  10  1000 ns/op\n"
 	const slow = "BenchmarkStudyPipeline-8  10  2000 ns/op\n"
+	const lean = "BenchmarkStudyPipeline-8  10  1000 ns/op  128 B/op  0 allocs/op\n"
+	const leaky = "BenchmarkStudyPipeline-8  10  1000 ns/op  4096 B/op  64 allocs/op\n"
 	baseline := writeBench(t, "base.txt", fast)
 	within := writeBench(t, "within.txt", fast)
 	regressed := writeBench(t, "regressed.txt", slow)
@@ -90,10 +125,12 @@ func TestGateExitCodes(t *testing.T) {
 		{"missing current is an error", baseline, missing, 1.20, 2},
 		{"missing flags are an error", "", within, 1.20, 2},
 		{"empty baseline gates nothing", writeBench(t, "empty.txt", "PASS\n"), within, 1.20, 0},
+		{"alloc ratchet trips", writeBench(t, "lean.txt", lean), writeBench(t, "leaky.txt", leaky), 1.20, 1},
+		{"alloc ratchet holds", writeBench(t, "lean2.txt", lean), writeBench(t, "lean3.txt", lean), 1.20, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := gate(tc.baseline, tc.cur, tc.threshold, "StudyPipeline"); got != tc.want {
+			if got := gate(tc.baseline, tc.cur, tc.threshold, 1.20, "StudyPipeline"); got != tc.want {
 				t.Errorf("gate() = %d, want %d", got, tc.want)
 			}
 		})
