@@ -8,6 +8,12 @@
 #      the same store
 #   5. assert the warm response is byte-identical to the cold one and to
 #      the batch CLI, served entirely from the store (zero characterizations)
+#   6. submit a fresh async job and kill -9 the server mid-flight; assert
+#      the job journal survived, the restarted server resumes the job under
+#      the same ID, and its result is byte-identical to the batch CLI
+#   7. run `nvmexplorer fsck` over the store: clean scan passes, a corrupted
+#      point file fails the scan, -repair quarantines it, and the re-scan
+#      is clean again
 set -euo pipefail
 
 PORT="${PORT:-8731}"
@@ -118,7 +124,86 @@ echo "== warm response matches the batch CLI"
 "$WORK/nvmexplorer" run "$WORK/study.json" -format json > "$WORK/cli.json"
 cmp "$WORK/warm.json" "$WORK/cli.json"
 
+echo "== crash recovery: kill -9 mid-job, the journal resumes it"
+# The analytical model finishes a 12-point study in ~10ms — far too fast to
+# kill mid-flight from a shell. Restart the server with the NVMX_POINT_DELAY
+# test seam so each grid point takes 250ms and the job is provably in
+# progress when SIGKILL lands.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
+env NVMX_POINT_DELAY=250ms \
+  "$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$STORE" &
+SERVER_PID=$!
+wait_healthy
+cat > "$WORK/crash.json" <<'JSON'
+{
+  "name": "ci_crash",
+  "cells": [{"technology": "STT", "flavor": "Opt"},
+            {"technology": "FeFET", "flavor": "Opt"},
+            {"technology": "PCM", "flavor": "Opt"},
+            {"technology": "RRAM", "flavor": "Opt"}],
+  "capacities_bytes": [8388608, 16777216, 33554432],
+  "opt_targets": ["ReadEDP", "Area"],
+  "traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+               "write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+}
+JSON
+JOB2=$(curl -fsS -X POST --data-binary @"$WORK/crash.json" \
+  "$BASE/v1/studies?async=1&format=json" | jq -r .job_id)
+if [ -z "$JOB2" ] || [ "$JOB2" = "null" ]; then
+  echo "crash-study submission returned no job id" >&2
+  exit 1
+fi
+sleep 0.6 # let a couple of points complete and journal before the crash
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+if ! ls "$STORE/jobs/"*.job >/dev/null 2>&1; then
+  echo "no job journal survived the kill -9" >&2
+  exit 1
+fi
+
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$STORE" &
+SERVER_PID=$!
+wait_healthy
+STATE=queued
+for _ in $(seq 1 300); do
+  STATE=$(curl -fsS "$BASE/v1/jobs/$JOB2" | jq -r .state)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "resumed job ended $STATE" >&2; exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "$STATE" != "done" ]; then
+  echo "resumed job stuck in state $STATE" >&2
+  exit 1
+fi
+curl -fsS "$BASE/v1/stats" | jq -e '.async.resumed == 1' >/dev/null || {
+  echo "server did not report a resumed job" >&2
+  exit 1
+}
+curl -fsS "$BASE/v1/jobs/$JOB2/result?format=json" -o "$WORK/crash_resumed.json"
+"$WORK/nvmexplorer" run "$WORK/crash.json" -format json > "$WORK/crash_cli.json"
+cmp "$WORK/crash_resumed.json" "$WORK/crash_cli.json"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "== fsck: clean scan, corruption detection, repair"
+"$WORK/nvmexplorer" fsck "$STORE"
+POINT=$(ls "$STORE"/points/*/*.gob | head -1)
+echo "bitrot" > "$POINT"
+if "$WORK/nvmexplorer" fsck "$STORE" >/dev/null 2>&1; then
+  echo "fsck passed a corrupted store" >&2
+  exit 1
+fi
+"$WORK/nvmexplorer" fsck -repair "$STORE"
+"$WORK/nvmexplorer" fsck "$STORE"
+if ! ls "$STORE/.corrupt/"* >/dev/null 2>&1; then
+  echo "repair did not quarantine the corrupted point" >&2
+  exit 1
+fi
 echo "serve smoke OK"

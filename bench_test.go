@@ -12,8 +12,10 @@ package nvmexplorer
 // engines are visible.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"testing"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/nvsim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
@@ -339,6 +342,48 @@ func BenchmarkTableIISweepColdStore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	nvsim.ResetMemo()
+}
+
+// BenchmarkTableIISweepDisk measures a cold Table II sweep writing through
+// a fresh disk-backed store each iteration. With NVMX_BENCH_JOURNAL=1 the
+// same run is wrapped in the write-ahead job journal (one job record up
+// front, one completion record per grid point, cleanup at the end) — the
+// shape every async job takes on a journaled server. Comparing the two
+// settings with tools/benchcmp gates the journal's overhead on the hot
+// path (the EXPERIMENTS.md budget is <5%).
+func BenchmarkTableIISweepDisk(b *testing.B) {
+	journal := os.Getenv("NVMX_BENCH_JOURNAL") == "1"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		st, err := OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := tableIIStudy(st)
+		b.StartTimer()
+		if journal {
+			id := fmt.Sprintf("job-%d", i)
+			if err := st.JournalJob(store.JobRecord{
+				ID: id, Fingerprint: "bench", Name: s.Name, Format: "json",
+				Config: []byte(`{"name":"bench"}`)}); err != nil {
+				b.Fatal(err)
+			}
+			_, err = s.RunStream(context.Background(), func(pr PointResult) error {
+				st.JournalPoint(id, pr.Spec.Index)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.JournalDone(id)
+		} else if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
 	nvsim.ResetMemo()
 }
 

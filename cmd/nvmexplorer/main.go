@@ -9,6 +9,7 @@
 //	nvmexplorer serve [-addr :8080] [-jobs N] [-workers N]
 //	                                           serve studies over HTTP (see internal/server)
 //	nvmexplorer exp <id> [-out dir]            regenerate a paper experiment (fig1..fig14, table1..table3)
+//	nvmexplorer fsck <store-dir> [-repair]     scan (and repair) a study-store directory
 //	nvmexplorer list                           list available experiments
 //	nvmexplorer cells                          print the canonical tentpole cell database
 package main
@@ -54,6 +55,8 @@ func run(args []string) error {
 		return runServe(args[1:])
 	case "exp":
 		return runExperiment(args[1:])
+	case "fsck":
+		return runFsck(os.Stdout, args[1:])
 	case "list":
 		return listExperiments()
 	case "cells":
@@ -82,6 +85,7 @@ func usageError() error {
                                              design points across runs
   nvmexplorer serve [-addr :8080] [-jobs N] [-workers N] [-grace 30s]
                     [-store dir] [-job-workers N] [-queue N]
+                    [-sync-wait 0] [-study-timeout 0]
                                              serve studies over HTTP: POST /v1/studies
                                              (sync, or ?async=1 for 202+job ID),
                                              GET /v1/jobs, /v1/jobs/{id}[/result],
@@ -90,11 +94,20 @@ func usageError() error {
                                              /v1/stats, /v1/healthz; -jobs bounds
                                              concurrent studies, -workers sizes each
                                              study's worker pool, -store persists
-                                             evaluated points across restarts,
+                                             evaluated points (and async jobs: a
+                                             killed server resumes them on restart),
                                              -job-workers/-queue size the async
-                                             subsystem; SIGINT/SIGTERM drains
-                                             in-flight studies for -grace
+                                             subsystem, -sync-wait sheds sync load
+                                             with 429 past the wait, -study-timeout
+                                             bounds one sync study (503 past it);
+                                             SIGINT/SIGTERM drains in-flight
+                                             studies for -grace
   nvmexplorer exp <id> [-out dir]            regenerate a paper experiment
+  nvmexplorer fsck <store-dir> [-repair]     verify a study store: checksum every
+                                             point file, the memo snapshot, and the
+                                             job journal; -repair quarantines corrupt
+                                             files into .corrupt/ and rewrites
+                                             legacy-format points
   nvmexplorer list                           list experiments
   nvmexplorer cells                          print the cell database
   nvmexplorer validate                       tentpole-vs-published-array validation`)
@@ -233,6 +246,10 @@ func runServe(args []string) error {
 		"persistent study-store directory: evaluated design points survive restarts; the engine memo cache is snapshotted there on shutdown")
 	jobWorkers := fs.Int("job-workers", 0, "async job worker-pool size (0 = -jobs)")
 	queue := fs.Int("queue", 0, "async job queue depth beyond running jobs (0 = 16)")
+	syncWait := fs.Duration("sync-wait", 0,
+		"max time a sync study request waits for a slot before a 429 with Retry-After (0 = wait as long as the client)")
+	studyTimeout := fs.Duration("study-timeout", 0,
+		"execution budget for one sync study; past it the run is canceled and answered 503 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,7 +270,12 @@ func runServe(args []string) error {
 		Store:                st,
 		JobWorkers:           *jobWorkers,
 		JobQueueDepth:        *queue,
+		SyncWait:             *syncWait,
+		StudyTimeout:         *studyTimeout,
 	})
+	if n := srv.ResumedJobs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "nvmexplorer: resumed %d journaled job(s)\n", n)
+	}
 	fmt.Fprintf(os.Stderr, "nvmexplorer: serving studies on %s\n", *addr)
 	hs := &http.Server{
 		Addr:    *addr,
@@ -295,6 +317,29 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: shutdown: %w", shutdownErr)
 	}
 	fmt.Fprintln(os.Stderr, "nvmexplorer: shut down cleanly")
+	return nil
+}
+
+// runFsck implements `nvmexplorer fsck`: verify every file of a study
+// store the way the live store would read it, report, and (with -repair)
+// quarantine corrupt files and upgrade legacy-format points. Exit status is
+// nonzero when problems remain un-repaired.
+func runFsck(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	repair := fs.Bool("repair", false,
+		"quarantine corrupt files into .corrupt/, rewrite legacy-format point files, and remove orphan journal progress files")
+	dir, err := parseMixed(fs, args)
+	if err != nil {
+		return fmt.Errorf("fsck needs exactly one store directory: %w", err)
+	}
+	rep, err := store.Fsck(dir, *repair)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fsck %s\n%s", dir, rep.Summary())
+	if !rep.Clean() && !*repair {
+		return fmt.Errorf("store has problems (re-run with -repair to fix)")
+	}
 	return nil
 }
 

@@ -126,6 +126,32 @@ type Results struct {
 	// selection (set by SelectPareto / EnsureFrontier, pareto.go); nil
 	// until a selection runs. Scatter views highlight these points.
 	Frontier []int
+	// FailedPoints lists grid points whose characterization or evaluation
+	// panicked. A panic is isolated to its point: the rest of the grid
+	// completes, and the failure is reported structurally here (and as a
+	// failed_points block in study output) instead of crashing the run.
+	// Failed points are never cached, so they retry on the next run.
+	FailedPoints []FailedPoint
+}
+
+// FailedPoint is the structured record of one grid point lost to a panic.
+type FailedPoint struct {
+	// Index is the point's position in the study's enumeration order
+	// (PointSpec.Index).
+	Index         int    `json:"index"`
+	Cell          string `json:"cell"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Err           string `json:"error"`
+}
+
+// failPoint records one panicked grid point.
+func (r *Results) failPoint(spec PointSpec, err error) {
+	r.FailedPoints = append(r.FailedPoints, FailedPoint{
+		Index:         spec.Index,
+		Cell:          spec.Cell.Name,
+		CapacityBytes: spec.CapacityBytes,
+		Err:           err.Error(),
+	})
 }
 
 // PointResult is one completed design-space grid point as delivered to a
@@ -140,6 +166,12 @@ type PointResult struct {
 	Metrics []eval.Metrics
 	Skipped []string
 }
+
+// testHookEvaluate, when non-nil, runs just before each cache-missing
+// point's evaluation, inside the evaluation phase's panic guard.
+// Fault-isolation tests install a panicking hook to simulate an evaluation
+// crash on a chosen point.
+var testHookEvaluate func(spec *PointSpec)
 
 // Run executes the study: enumerate the design space (Space), characterize
 // each grid point across every target — sharing one organization-space
@@ -214,39 +246,63 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 			res.Arrays = append(res.Arrays, cp.Arrays...)
 			res.Metrics = append(res.Metrics, cp.Metrics...)
 			skipped = cp.Skipped
+		} else if pc := &plan.configs[plan.cfgOf[i]]; pc.failed != nil {
+			// The plan phase recovered a characterization panic on this
+			// point's config: record the loss and keep walking the grid.
+			res.failPoint(specs[i], pc.failed)
 		} else {
-			pc := &plan.configs[plan.cfgOf[i]]
-			opts := specs[i].options(s.Options)
-			for t := range s.Targets {
-				if pc.errs[t] != nil {
-					continue
-				}
-				res.Arrays = append(res.Arrays, pc.arrays[t])
-				before := len(res.Metrics)
-				res.Metrics, err = eval.EvaluateBatch(pc.arrays[t], s.Patterns, opts, res.Metrics)
-				if err != nil {
-					// EvaluateBatch appends up to the failing pattern, which
-					// identifies it for the error message (guarded: study
-					// validation makes a pre-pattern failure unreachable).
-					name := "options"
-					if n := len(res.Metrics) - before; n < len(s.Patterns) {
-						name = s.Patterns[n].Name
+			var evalErr error
+			// A panic while evaluating one point is isolated the same way:
+			// the point's partially appended rows are rolled back, the
+			// failure is recorded, and the rest of the grid completes.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						res.Arrays = res.Arrays[:aStart]
+						res.Metrics = res.Metrics[:mStart]
+						skipped = nil
+						res.failPoint(specs[i], fmt.Errorf("evaluation panic: %v", r))
 					}
-					return nil, fmt.Errorf("core: evaluating %s on %s: %w",
-						specs[i].Cell.Name, name, err)
+				}()
+				if h := testHookEvaluate; h != nil {
+					h(&specs[i])
 				}
-			}
-			skipped = pc.skipped
-			if s.Cache != nil {
-				// Cached points own their slices: the run's shared result
-				// buffers must not be pinned by (or aliased into) a
-				// long-lived store, so the point's rows are copied out.
-				cp := CachedPoint{
-					Arrays:  append([]nvsim.Result(nil), res.Arrays[aStart:]...),
-					Metrics: append([]eval.Metrics(nil), res.Metrics[mStart:]...),
-					Skipped: skipped,
+				opts := specs[i].options(s.Options)
+				for t := range s.Targets {
+					if pc.errs[t] != nil {
+						continue
+					}
+					res.Arrays = append(res.Arrays, pc.arrays[t])
+					before := len(res.Metrics)
+					res.Metrics, err = eval.EvaluateBatch(pc.arrays[t], s.Patterns, opts, res.Metrics)
+					if err != nil {
+						// EvaluateBatch appends up to the failing pattern, which
+						// identifies it for the error message (guarded: study
+						// validation makes a pre-pattern failure unreachable).
+						name := "options"
+						if n := len(res.Metrics) - before; n < len(s.Patterns) {
+							name = s.Patterns[n].Name
+						}
+						evalErr = fmt.Errorf("core: evaluating %s on %s: %w",
+							specs[i].Cell.Name, name, err)
+						return
+					}
 				}
-				putter.put(plan.keys[i], cp)
+				skipped = pc.skipped
+				if s.Cache != nil {
+					// Cached points own their slices: the run's shared result
+					// buffers must not be pinned by (or aliased into) a
+					// long-lived store, so the point's rows are copied out.
+					cp := CachedPoint{
+						Arrays:  append([]nvsim.Result(nil), res.Arrays[aStart:]...),
+						Metrics: append([]eval.Metrics(nil), res.Metrics[mStart:]...),
+						Skipped: skipped,
+					}
+					putter.put(plan.keys[i], cp)
+				}
+			}()
+			if evalErr != nil {
+				return nil, evalErr
 			}
 		}
 		res.Skipped = append(res.Skipped, skipped...)
@@ -262,6 +318,10 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 		}
 	}
 	if len(res.Arrays) == 0 {
+		if n := len(res.FailedPoints); n > 0 {
+			return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped, %d failed)",
+				s.Name, len(res.Skipped), n)
+		}
 		return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped)",
 			s.Name, len(res.Skipped))
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/nvsim"
+)
+
+// mapCache is a minimal PointCache for fault tests.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]CachedPoint
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]CachedPoint{}} }
+
+func (c *mapCache) Get(key string) (CachedPoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp, ok := c.m[key]
+	return cp, ok
+}
+
+func (c *mapCache) Put(key string, pt CachedPoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = pt
+}
+
+func (c *mapCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func panicOnTech(tech cell.Technology) func(cfg nvsim.Config) {
+	return func(cfg nvsim.Config) {
+		if cfg.Cell.Tech == tech {
+			panic("injected engine crash")
+		}
+	}
+}
+
+func TestCharacterizationPanicIsolatedToPoint(t *testing.T) {
+	testHookCharacterize = panicOnTech(cell.FeFET)
+	t.Cleanup(func() { testHookCharacterize = nil })
+
+	cache := newMapCache()
+	s := demoStudy()
+	s.Cache = cache
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedPoints) != 1 {
+		t.Fatalf("FailedPoints = %+v, want exactly one", res.FailedPoints)
+	}
+	fp := res.FailedPoints[0]
+	if !strings.Contains(fp.Err, "characterization panic") {
+		t.Errorf("Err = %q, want a characterization panic", fp.Err)
+	}
+	if fp.CapacityBytes != 1<<20 || !strings.Contains(fp.Cell, "FeFET") {
+		t.Errorf("failed point coordinates: %+v", fp)
+	}
+	// The rest of the grid completed, and only the surviving point cached.
+	if len(res.Arrays) != 1 || res.Arrays[0].Cell.Tech != cell.STT {
+		t.Fatalf("surviving arrays: %+v", res.Arrays)
+	}
+	if len(res.Metrics) != 1 {
+		t.Fatalf("metrics = %d, want 1", len(res.Metrics))
+	}
+	if cache.len() != 1 {
+		t.Errorf("cache holds %d points, want 1 (failed points must not cache)", cache.len())
+	}
+
+	// With the fault cleared, the failed point recomputes cleanly on the
+	// next run over the same cache.
+	testHookCharacterize = nil
+	res2, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.FailedPoints) != 0 || len(res2.Arrays) != 2 {
+		t.Fatalf("retry run: %d failed, %d arrays, want 0/2", len(res2.FailedPoints), len(res2.Arrays))
+	}
+}
+
+func TestEvaluationPanicRollsBackPartialRows(t *testing.T) {
+	testHookEvaluate = func(spec *PointSpec) {
+		if spec.Cell.Tech == cell.FeFET {
+			panic("injected evaluation crash")
+		}
+	}
+	t.Cleanup(func() { testHookEvaluate = nil })
+
+	res, err := demoStudy().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedPoints) != 1 {
+		t.Fatalf("FailedPoints = %+v, want exactly one", res.FailedPoints)
+	}
+	if !strings.Contains(res.FailedPoints[0].Err, "evaluation panic") {
+		t.Errorf("Err = %q, want an evaluation panic", res.FailedPoints[0].Err)
+	}
+	// The rollback left no partial rows behind: the surviving point's
+	// arrays and metrics line up exactly.
+	if len(res.Arrays) != 1 || len(res.Metrics) != 1 {
+		t.Fatalf("arrays = %d, metrics = %d, want 1/1 after rollback", len(res.Arrays), len(res.Metrics))
+	}
+	if res.Arrays[0].Cell.Tech != cell.STT || res.Metrics[0].Array.Cell.Tech != cell.STT {
+		t.Fatalf("rolled-back rows leaked: %+v", res.Arrays)
+	}
+}
+
+func TestAllPointsFailedErrors(t *testing.T) {
+	testHookCharacterize = func(nvsim.Config) { panic("total engine failure") }
+	t.Cleanup(func() { testHookCharacterize = nil })
+
+	_, err := demoStudy().Run()
+	if err == nil {
+		t.Fatal("study with every point failed should error")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Errorf("error %q should mention the failed points", err)
+	}
+}
+
+func TestPanicIsolationAcrossWorkers(t *testing.T) {
+	testHookCharacterize = panicOnTech(cell.PCM)
+	t.Cleanup(func() { testHookCharacterize = nil })
+
+	s := NewStudy("wide").
+		AddTentpole(cell.STT, cell.Optimistic).
+		AddTentpole(cell.PCM, cell.Optimistic).
+		AddTentpole(cell.FeFET, cell.Optimistic).
+		AddTentpole(cell.RRAM, cell.Optimistic).
+		AddCapacity(1 << 20).
+		AddCapacity(2 << 20)
+	s.Workers = 4
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedPoints) != 2 { // PCM at both capacities
+		t.Fatalf("FailedPoints = %+v, want 2", res.FailedPoints)
+	}
+	if len(res.Arrays) != 6 {
+		t.Fatalf("arrays = %d, want 6 survivors", len(res.Arrays))
+	}
+	for _, a := range res.Arrays {
+		if a.Cell.Tech == cell.PCM {
+			t.Fatal("a poisoned config leaked an array")
+		}
+	}
+}

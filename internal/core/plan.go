@@ -25,6 +25,13 @@ import (
 // as it completes. Output is byte-identical to the previous point-at-a-time
 // execution at any worker count.
 
+// testHookCharacterize, when non-nil, runs just before each config's
+// characterization, inside the plan phase's panic guard. Fault-isolation
+// tests install a panicking hook to simulate an engine crash on a chosen
+// config (set before the run starts, so the write happens-before every
+// worker read).
+var testHookCharacterize func(cfg nvsim.Config)
+
 // charKey identifies one unique characterization within a study: every
 // PointSpec coordinate the engine sees. Constraints are study-wide, so they
 // need no per-config key fields.
@@ -49,6 +56,10 @@ type planConfig struct {
 	skipped []string
 	// ok counts successful targets, sizing the evaluation-phase buffers.
 	ok int
+	// failed holds a recovered characterization panic. A panicking engine
+	// poisons only the points sharing this config — they are reported in
+	// Results.FailedPoints — while the rest of the grid completes.
+	failed error
 }
 
 // execPlan is the planned form of one study run.
@@ -207,13 +218,30 @@ func (s *Study) plan(ctx context.Context, specs []PointSpec, workers int) (*exec
 		ci := needed[n]
 		spec := &specs[p.reps[ci]]
 		pc := &p.configs[ci]
-		pc.arrays, pc.errs = nvsim.CharacterizeTargets(nvsim.Config{
-			Cell:             spec.Cell,
-			CapacityBytes:    spec.CapacityBytes,
-			WordBits:         spec.WordBits,
-			MaxAreaMM2:       s.MaxAreaMM2,
-			MaxReadLatencyNS: s.MaxReadLatencyNS,
-		}, s.Targets)
+		// A panicking characterization must not take down the run (or the
+		// worker pool): it is recovered here and poisons only this config's
+		// points, which the evaluation phase reports as failed.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					pc.failed = fmt.Errorf("characterization panic: %v", r)
+				}
+			}()
+			cfg := nvsim.Config{
+				Cell:             spec.Cell,
+				CapacityBytes:    spec.CapacityBytes,
+				WordBits:         spec.WordBits,
+				MaxAreaMM2:       s.MaxAreaMM2,
+				MaxReadLatencyNS: s.MaxReadLatencyNS,
+			}
+			if h := testHookCharacterize; h != nil {
+				h(cfg)
+			}
+			pc.arrays, pc.errs = nvsim.CharacterizeTargets(cfg, s.Targets)
+		}()
+		if pc.failed != nil {
+			return
+		}
 		for t, target := range s.Targets {
 			if pc.errs[t] != nil {
 				pc.skipped = append(pc.skipped, fmt.Sprintf("%s@%d/%s: %v",

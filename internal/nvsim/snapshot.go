@@ -107,6 +107,22 @@ func RestoreMemo(r io.Reader) (int, error) {
 	return n, nil
 }
 
+// CheckMemoSnapshot validates a snapshot structurally — decodable, right
+// schema version — without touching the live memo, returning how many
+// entries it holds. Offline verification (`nvmexplorer fsck`) uses this so
+// a scan never mutates engine state.
+func CheckMemoSnapshot(r io.Reader) (int, error) {
+	var snap memoSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("nvsim: decoding memo snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return 0, fmt.Errorf("nvsim: memo snapshot version %q, want %q",
+			snap.Version, SnapshotVersion)
+	}
+	return len(snap.Entries), nil
+}
+
 // MemoLen reports how many candidate sets the cache currently holds.
 func MemoLen() int {
 	memo.mu.Lock()

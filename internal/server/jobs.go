@@ -1,13 +1,21 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 // errQueueFull reports a submission bounced off the bounded job queue;
@@ -19,6 +27,19 @@ var errQueueFull = errors.New("job queue full")
 // hold a worker deterministically (set before the server is created, so
 // the write happens-before every worker read).
 var testHookJobRunning func(*job)
+
+// testHookJobPoint, when non-nil, runs after each grid point of an async
+// job completes — after the point's journal record has landed. Crash-
+// recovery tests install a hook that parks the worker at a chosen point so
+// the process can be "killed" with the journal in a known state.
+var testHookJobPoint func(j *job, completed int)
+
+// pointDelay stretches every async grid point by NVMX_POINT_DELAY. The
+// analytical model evaluates a whole study in milliseconds, far too fast
+// for an external harness to interrupt one mid-flight; end-to-end crash
+// tests set the variable so a kill lands with the job provably in
+// progress. Unset (the default) it costs one nil check per point.
+var pointDelay, _ = time.ParseDuration(os.Getenv("NVMX_POINT_DELAY"))
 
 // maxFinishedJobs bounds how many terminal jobs (and their retained
 // Results) the registry keeps: past the cap, the oldest terminal jobs are
@@ -110,9 +131,15 @@ type jobManager struct {
 	inflight map[string]*job // fingerprint -> queued/running job
 
 	closeOnce sync.Once
+	// closing is set at the start of a graceful shutdown: terminal states
+	// reached because of it (mass cancellation) keep their journal records,
+	// so the next boot re-adopts the interrupted jobs. Deliberate per-job
+	// outcomes (done, failed, DELETE-canceled) still clear their journal.
+	closing atomic.Bool
 
 	submitted    atomic.Int64
 	deduplicated atomic.Int64
+	resumed      atomic.Int64
 }
 
 func newJobManager(srv *Server, workers, queueDepth int) *jobManager {
@@ -132,8 +159,10 @@ func newJobManager(srv *Server, workers, queueDepth int) *jobManager {
 
 // submit registers a study as a job, deduplicating against identical
 // in-flight configurations. The returned bool reports whether an existing
-// job was reused. Errors: a full queue (callers answer 503).
-func (m *jobManager) submit(study *core.Study, format string) (*job, bool, error) {
+// job was reused. rawCfg and pareto are journaled write-ahead (before the
+// job can run) so a crashed process can rebuild the identical study on
+// restart. Errors: a full queue (callers answer 503).
+func (m *jobManager) submit(study *core.Study, format string, rawCfg []byte, pareto *sweep.ParetoConfig) (*job, bool, error) {
 	fp, err := study.Fingerprint()
 	if err != nil {
 		return nil, false, err
@@ -162,11 +191,30 @@ func (m *jobManager) submit(study *core.Study, format string) (*job, bool, error
 		done:        make(chan struct{}),
 		state:       JobQueued,
 	}
+	// Write-ahead journal: the record must be durable before the job can
+	// start, so a crash at any later moment finds it on replay. A journal
+	// write failure downgrades durability, never availability.
+	if st := m.srv.opts.Store; st != nil {
+		rec := store.JobRecord{
+			ID: j.id, Fingerprint: fp, Name: study.Name, Format: format,
+			Config: rawCfg, Total: j.total,
+		}
+		if pareto != nil {
+			rec.ParetoSet = true
+			rec.Pareto = pareto.Metrics
+		}
+		if err := st.JournalJob(rec); err != nil {
+			log.Printf("server: journaling %s: %v (job will not survive a restart)", j.id, err)
+		}
+	}
 	select {
 	case m.queue <- j:
 	default:
 		m.seq--
 		cancel()
+		if st := m.srv.opts.Store; st != nil {
+			st.JournalDone(j.id)
+		}
 		return nil, false, fmt.Errorf("%w (%d queued)", errQueueFull, cap(m.queue))
 	}
 	m.jobs[j.id] = j
@@ -175,6 +223,105 @@ func (m *jobManager) submit(study *core.Study, format string) (*job, bool, error
 	m.submitted.Add(1)
 	m.pruneLocked()
 	return j, false, nil
+}
+
+// resume replays the store's job journal at startup, re-adopting every job
+// that never reached a terminal state. Unreplayable records (schema drift,
+// a config that no longer parses) are dropped with their journal; a full
+// queue leaves the journal intact for the next restart.
+func (m *jobManager) resume() {
+	st := m.srv.opts.Store
+	if st == nil {
+		return
+	}
+	for _, rec := range st.IncompleteJobs() {
+		j, err := m.adopt(rec)
+		if err != nil {
+			log.Printf("server: dropping journaled job %s (%q): %v", rec.ID, rec.Name, err)
+			st.JournalDone(rec.ID)
+			continue
+		}
+		if j == nil {
+			log.Printf("server: job queue full; journaled job %s (%q) deferred to next restart", rec.ID, rec.Name)
+			continue
+		}
+		m.resumed.Add(1)
+		log.Printf("server: resumed job %s (%q, %d/%d points journaled)",
+			rec.ID, rec.Name, rec.Completed, rec.Total)
+	}
+}
+
+// adopt rebuilds one journaled job and queues it under its original ID.
+// Returns (nil, nil) when the queue is full — leave the journal, retry on
+// the next boot.
+func (m *jobManager) adopt(rec store.JobRecord) (*job, error) {
+	cfg, err := sweep.Parse(bytes.NewReader(rec.Config))
+	if err != nil {
+		return nil, err
+	}
+	if rec.ParetoSet {
+		cfg.Pareto = &sweep.ParetoConfig{Metrics: rec.Pareto}
+	}
+	cfg.Cache = m.srv.opts.Store
+	study, err := cfg.Study()
+	if err != nil {
+		return nil, err
+	}
+	if study.Workers == 0 {
+		study.Workers = m.srv.opts.StudyWorkers
+	}
+	fp, err := study.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	specs, err := study.Space()
+	if err != nil {
+		return nil, err
+	}
+	format := rec.Format
+	switch format {
+	case "json", "ndjson", "csv", "html":
+	default:
+		format = "json"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq := jobIDSeq(rec.ID); seq > m.seq {
+		m.seq = seq // new submissions must not collide with resumed IDs
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:          rec.ID,
+		study:       study,
+		studyName:   study.Name,
+		fingerprint: fp,
+		format:      format,
+		total:       len(specs),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       JobQueued,
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, nil
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.inflight[fp] = j
+	return j, nil
+}
+
+// jobIDSeq extracts the numeric sequence from a "job-N" ID (0 when
+// malformed).
+func jobIDSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // pruneLocked evicts the oldest terminal jobs beyond maxFinishedJobs.
@@ -223,8 +370,17 @@ func (m *jobManager) list() []*job {
 	return append([]*job(nil), m.order...)
 }
 
-// settle removes a job from the in-flight index once it is terminal.
+// settle removes a job from the in-flight index once it is terminal, and
+// clears its journal record — unless the terminal state was forced by a
+// graceful shutdown, in which case the journal survives so the next boot
+// resumes the job.
 func (m *jobManager) settle(j *job) {
+	if st := m.srv.opts.Store; st != nil && !m.closing.Load() {
+		switch state, _, _ := j.snapshot(); state {
+		case JobDone, JobFailed, JobCanceled:
+			st.JournalDone(j.id)
+		}
+	}
 	m.mu.Lock()
 	if m.inflight[j.fingerprint] == j {
 		delete(m.inflight, j.fingerprint)
@@ -262,6 +418,15 @@ func (m *jobManager) worker() {
 // run executes one job to a terminal state.
 func (m *jobManager) run(j *job) {
 	defer m.settle(j)
+	// Per-point panics are already isolated inside RunStream; this blanket
+	// recover is the last line of defense (a panicking hook, a bug in the
+	// result pipeline): the job fails structurally, the worker survives.
+	defer func() {
+		if r := recover(); r != nil {
+			m.srv.failed.Add(1)
+			j.setState(JobFailed, nil, fmt.Errorf("job panic: %v", r))
+		}
+	}()
 	if j.ctx.Err() != nil { // canceled while queued
 		j.setState(JobCanceled, nil, j.ctx.Err())
 		return
@@ -282,8 +447,23 @@ func (m *jobManager) run(j *job) {
 	if h := testHookJobRunning; h != nil {
 		h(j)
 	}
-	res, err := j.study.RunStream(j.ctx, func(core.PointResult) error {
-		j.completed.Add(1)
+	res, err := j.study.RunStream(j.ctx, func(pr core.PointResult) error {
+		if pointDelay > 0 {
+			select {
+			case <-time.After(pointDelay):
+			case <-j.ctx.Done():
+				return j.ctx.Err()
+			}
+		}
+		n := j.completed.Add(1)
+		// Journal the completion after the point's rows exist: replay treats
+		// journaled points as "safe to serve from the store".
+		if st := m.srv.opts.Store; st != nil {
+			st.JournalPoint(j.id, pr.Spec.Index)
+		}
+		if h := testHookJobPoint; h != nil {
+			h(j, int(n))
+		}
 		return nil
 	})
 	// Materialize any Pareto frontier now, while this worker is the only
@@ -314,6 +494,9 @@ func (m *jobManager) close() {
 }
 
 func (m *jobManager) closeAll() {
+	// From here on, forced-terminal jobs keep their journal records: a
+	// graceful shutdown is a restart boundary, not a job outcome.
+	m.closing.Store(true)
 	close(m.quit)
 	for _, j := range m.list() {
 		j.cancel()

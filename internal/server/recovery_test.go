@@ -1,0 +1,366 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nvsim"
+	"repro/internal/store"
+)
+
+// TestCrashRecoveryResumesJournaledJob is the tentpole's acceptance gate: a
+// server killed without any shutdown path (no Close, no memo snapshot, no
+// journal cleanup — the moral equivalent of SIGKILL) leaves its async job's
+// journal on disk; a fresh server over the same store re-adopts the job
+// under the same ID, completes it entirely from stored points (zero engine
+// characterizations), and serves bytes identical to the batch CLI.
+func TestCrashRecoveryResumesJournaledJob(t *testing.T) {
+	nvsim.ResetMemo()
+	dir := t.TempDir()
+	cfg := testConfig("crash-recovery", "STT", 1<<21)
+	want := batchOutput(t, cfg, "json")
+
+	// Server A's worker parks once the final grid point's journal record has
+	// landed, so the "kill" happens at a known journal state.
+	park := make(chan struct{})
+	parked := make(chan struct{})
+	var once sync.Once
+	testHookJobPoint = func(j *job, completed int) {
+		if completed == j.total {
+			once.Do(func() { close(parked) })
+			<-park
+		}
+	}
+	defer func() {
+		once.Do(func() { close(parked) })
+		close(park)
+	}()
+	t.Cleanup(func() { testHookJobPoint = nil })
+
+	nvsim.ResetMemo()
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := New(Options{MaxConcurrentStudies: 2, StudyWorkers: 2,
+		JobWorkers: 1, JobQueueDepth: 4, Store: stA})
+	tsA := httptest.NewServer(srvA.Handler())
+	code, acc := submitAsync(t, tsA, cfg)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	<-parked
+	// Every point is journaled; wait for the async cache putter to land the
+	// point files too (they flush independently of the journal records).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		files, err := filepath.Glob(filepath.Join(dir, "points", "*", "*.gob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d point files on disk", len(files))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// "SIGKILL": drop the frontend and abandon srvA mid-run. Close() is
+	// deliberately not called — the job never settles, no memo snapshot is
+	// written, and the journal stays exactly as the crash left it.
+	tsA.Close()
+	if jobs := stA.IncompleteJobs(); len(jobs) != 1 || jobs[0].ID != acc.JobID || jobs[0].Completed != 2 {
+		t.Fatalf("journal after crash: %+v", jobs)
+	}
+
+	// Reboot: wipe the engine, bring up a fresh server over the same store.
+	testHookJobPoint = nil
+	nvsim.ResetMemo()
+	srvB, tsB := newStoreServer(t, dir)
+	if n := srvB.ResumedJobs(); n != 1 {
+		t.Fatalf("ResumedJobs = %d, want 1", n)
+	}
+	st := waitState(t, tsB, acc.JobID, JobDone)
+	if st.State != JobDone {
+		t.Fatalf("resumed job finished %s (%s), want done", st.State, st.Error)
+	}
+	if st.Progress.Completed != 2 || st.Progress.Total != 2 {
+		t.Fatalf("resumed progress %d/%d, want 2/2", st.Progress.Completed, st.Progress.Total)
+	}
+
+	// The resumed result is byte-identical to the batch CLI, and the engine
+	// never characterized anything: every point replayed from the store.
+	resp, err := http.Get(tsB.URL + st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("resumed result: status %d, bytes match: %v", resp.StatusCode, bytes.Equal(got, want))
+	}
+	if mh, mm := nvsim.MemoStats(); mh != 0 || mm != 0 {
+		t.Fatalf("resume characterized: memo hits=%d misses=%d, want 0/0", mh, mm)
+	}
+
+	// The finished job's journal is gone: the next boot resumes nothing.
+	stC, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := stC.IncompleteJobs(); len(jobs) != 0 {
+		t.Fatalf("journal not cleared after completion: %+v", jobs)
+	}
+	// /v1/stats reports the resumption.
+	var stats Stats
+	resp, err = http.Get(tsB.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Async.Resumed != 1 {
+		t.Fatalf("stats resumed = %d, want 1", stats.Async.Resumed)
+	}
+}
+
+// TestGracefulShutdownKeepsJournal pins the counterpart contract: a
+// *graceful* Close cancels running jobs but keeps their journals, so a
+// SIGTERM'd deployment resumes its interrupted work on the next boot.
+func TestGracefulShutdownKeepsJournal(t *testing.T) {
+	nvsim.ResetMemo()
+	release := blockWorker(t)
+	dir := t.TempDir()
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := New(Options{MaxConcurrentStudies: 2, StudyWorkers: 2,
+		JobWorkers: 1, JobQueueDepth: 4, Store: stA})
+	tsA := httptest.NewServer(srvA.Handler())
+	t.Cleanup(release)
+
+	code, acc := submitAsync(t, tsA, testConfig("blocker-sigterm", "STT", 1<<21))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitState(t, tsA, acc.JobID, JobRunning)
+	tsA.Close()
+	// Begin the graceful shutdown first, and only unpark the worker once the
+	// manager is marked closing — otherwise the tiny study could finish
+	// normally (journal cleared) before Close gets going.
+	closed := make(chan struct{})
+	go func() { srvA.Close(); close(closed) }()
+	for !srvA.jobs.closing.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	<-closed
+
+	if jobs := stA.IncompleteJobs(); len(jobs) != 1 || jobs[0].ID != acc.JobID {
+		t.Fatalf("journal after graceful shutdown: %+v, want the interrupted job", jobs)
+	}
+
+	// Next boot picks it up and finishes it.
+	testHookJobRunning = nil
+	srvB, tsB := newStoreServer(t, dir)
+	if n := srvB.ResumedJobs(); n != 1 {
+		t.Fatalf("ResumedJobs = %d, want 1", n)
+	}
+	if st := waitState(t, tsB, acc.JobID, JobDone); st.State != JobDone {
+		t.Fatalf("resumed job finished %s (%s)", st.State, st.Error)
+	}
+}
+
+// TestJobCancelEvictionRace hammers DELETE against concurrent eviction
+// (the maxFinishedJobs prune) and unknown IDs: every response must be a
+// clean 404 or the job's status — never a panic or a 500. Run under -race
+// in CI.
+func TestJobCancelEvictionRace(t *testing.T) {
+	nvsim.ResetMemo()
+	_, ts := newJobServer(t, 8)
+
+	// An unknown job is a 404, full stop.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/job-999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	// One real finished job, then concurrent DELETEs of it, of unknown IDs,
+	// and of each other.
+	code, acc := submitAsync(t, ts, testConfig("race-target", "STT", 1<<21))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitState(t, ts, acc.JobID, JobDone)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := acc.JobID
+			if i%2 == 1 {
+				id = fmt.Sprintf("job-%d", 1000+i) // unknown
+			}
+			req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+				t.Errorf("concurrent DELETE %s: status %d", id, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSyncLoadShedding saturates the study semaphore and requires the sync
+// path to answer 429 with a Retry-After hint instead of queueing forever.
+func TestSyncLoadShedding(t *testing.T) {
+	nvsim.ResetMemo()
+	release := blockWorker(t)
+	srv := New(Options{MaxConcurrentStudies: 1, StudyWorkers: 1,
+		JobWorkers: 1, JobQueueDepth: 4, SyncWait: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { release(); ts.Close(); srv.Close() })
+
+	code, blocker := submitAsync(t, ts, testConfig("blocker-shed", "STT", 1<<21))
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit status %d", code)
+	}
+	waitState(t, ts, blocker.JobID, JobRunning) // the only slot is now held
+
+	resp, err := http.Post(ts.URL+"/v1/studies?format=json", "application/json",
+		strings.NewReader(testConfig("shed-victim", "RRAM", 1<<21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sync POST: status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if srv.Snapshot().Jobs.Shed == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+// TestStudyTimeout bounds a sync study's execution budget: a run that
+// exceeds Options.StudyTimeout answers 503, not a hung connection.
+func TestStudyTimeout(t *testing.T) {
+	nvsim.ResetMemo()
+	srv := New(Options{MaxConcurrentStudies: 2, StudyWorkers: 2,
+		StudyTimeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	resp, err := http.Post(ts.URL+"/v1/studies?format=json", "application/json",
+		strings.NewReader(testConfig("budget", "STT", 1<<21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-budget study: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("execution budget")) {
+		t.Fatalf("503 body %s should name the execution budget", body)
+	}
+}
+
+// brokenFS fails every write, driving a store into degraded mode.
+type brokenFS struct{ store.FS }
+
+func (brokenFS) WriteFileAtomic(path string, data []byte) error {
+	return errors.New("injected: volume gone")
+}
+func (brokenFS) Append(path string, data []byte) error {
+	return errors.New("injected: volume gone")
+}
+func (brokenFS) ReadFile(path string) ([]byte, error) {
+	return nil, errors.New("injected: volume gone")
+}
+func (brokenFS) ReadDir(path string) ([]iofs.DirEntry, error) {
+	return nil, errors.New("injected: volume gone")
+}
+
+// TestHealthzReportsDegradedStore drives the store into memory-only
+// fallback and checks the operational surface: healthz flips to "degraded"
+// (still 200 — the service is correct, just not durable), /v1/stats carries
+// the failure counters, and studies keep completing.
+func TestHealthzReportsDegradedStore(t *testing.T) {
+	nvsim.ResetMemo()
+	st, err := store.OpenFS(t.TempDir(), brokenFS{FS: store.DiskFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{MaxConcurrentStudies: 2, StudyWorkers: 2, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// Studies succeed even while every disk op fails; each distinct study
+	// (fresh points — a repeated one would hit the memory mirror and never
+	// touch the dead disk again) feeds the degradation threshold.
+	for i := 0; i < 6 && !st.Degraded(); i++ {
+		code, body := post(t, ts, testConfig("degraded", "STT", 1<<(21+i)), "json")
+		if code != http.StatusOK {
+			t.Fatalf("study on a broken volume: status %d: %s", code, body)
+		}
+	}
+	if !st.Degraded() {
+		t.Fatal("store never degraded despite a dead volume")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "degraded" {
+		t.Fatalf("healthz: %d %q, want 200 \"degraded\"", resp.StatusCode, health.Status)
+	}
+
+	stats := srv.Snapshot()
+	if !stats.Store.Degraded || stats.Store.IOErrors == 0 {
+		t.Fatalf("stats: degraded=%v io_errors=%d", stats.Store.Degraded, stats.Store.IOErrors)
+	}
+
+	// And the service still serves studies from memory.
+	if code, _ := post(t, ts, testConfig("degraded", "STT", 1<<21), "json"); code != http.StatusOK {
+		t.Fatalf("degraded study: status %d", code)
+	}
+}

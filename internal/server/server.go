@@ -33,16 +33,20 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -77,6 +81,15 @@ type Options struct {
 	// JobQueueDepth bounds how many async jobs may wait beyond the ones
 	// running; submissions past it answer 503. 0 means 16.
 	JobQueueDepth int
+	// SyncWait bounds how long a synchronous study (or dashboard) request
+	// may wait for a study slot before being shed with 429 + Retry-After —
+	// under overload, fast feedback beats a request that blocks until the
+	// client gives up. 0 waits as long as the client does.
+	SyncWait time.Duration
+	// StudyTimeout bounds one synchronous study's execution; a run that
+	// exceeds it answers 503. 0 means no limit. Async jobs are unaffected
+	// (their budget is the job queue's).
+	StudyTimeout time.Duration
 }
 
 // Server is the study service. Create with New; it is safe for concurrent
@@ -90,6 +103,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	points    atomic.Int64 // design points served across all formats
+	shed      atomic.Int64 // sync requests bounced with 429 under overload
 	draining  atomic.Bool  // set by Drain; flips /v1/healthz to 503
 }
 
@@ -112,8 +126,18 @@ func New(opts Options) *Server {
 	}
 	s := &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
 	s.jobs = newJobManager(s, opts.JobWorkers, opts.JobQueueDepth)
+	// Replay the store's job journal: every async job that never reached a
+	// terminal state before the last shutdown (graceful or not) is re-adopted
+	// and re-queued. Already-stored points replay from the store, so a
+	// resumed job recomputes at most the points that were in flight when the
+	// process died.
+	s.jobs.resume()
 	return s
 }
+
+// ResumedJobs reports how many journaled jobs this server re-adopted at
+// startup.
+func (s *Server) ResumedJobs() int64 { return s.jobs.resumed.Load() }
 
 // Close cancels every outstanding async job and stops the worker pool.
 // In-flight synchronous requests are the HTTP server's to drain.
@@ -141,11 +165,16 @@ func (s *Server) Handler() http.Handler {
 // in flight run to completion (http.Server.Shutdown handles the drain).
 func (s *Server) Drain() { s.draining.Store(true) }
 
-// handleHealthz reports liveness plus readiness: 200 while serving, 503
-// once draining, with the in-flight study count either way.
+// handleHealthz reports liveness plus readiness: 200 while serving (with
+// status "degraded" once the store has fallen back to memory-only mode —
+// still correct, no longer durable), 503 once draining, with the in-flight
+// study count either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := http.StatusOK
 	state := "ok"
+	if s.opts.Store != nil && s.opts.Store.Degraded() {
+		state = "degraded"
+	}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
@@ -158,15 +187,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// acquire claims a job slot, waiting until one frees or the request dies.
-// It reports whether the slot was obtained; release with <-s.sem.
-func (s *Server) acquire(r *http.Request) bool {
+// acquire claims a job slot, waiting until one frees, the request dies, or
+// (when Options.SyncWait is set) the load-shedding deadline passes. shed
+// reports the latter; callers answer 429 with Retry-After. Release an
+// obtained slot with <-s.sem.
+func (s *Server) acquire(r *http.Request) (ok, shed bool) {
+	var deadline <-chan time.Time
+	if s.opts.SyncWait > 0 {
+		t := time.NewTimer(s.opts.SyncWait)
+		defer t.Stop()
+		deadline = t.C
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return true, false
 	case <-r.Context().Done():
-		return false
+		return false, false
+	case <-deadline:
+		s.shed.Add(1)
+		return false, true
 	}
+}
+
+// shedRequest answers a load-shed request: 429 with a Retry-After hint, the
+// contract that lets clients and load balancers back off instead of piling
+// onto a saturated study semaphore.
+func shedRequest(w http.ResponseWriter, wait time.Duration) {
+	secs := int(wait / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusTooManyRequests,
+		fmt.Errorf("server saturated; retry in %ds", secs))
 }
 
 // httpError writes a JSON error body.
@@ -227,12 +280,19 @@ func ifNoneMatchHits(header, etag string) bool {
 }
 
 // buildStudy expands a request body into a runnable study with the server's
-// store attached and the default worker-pool size applied.
-func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study, string, bool) {
-	cfg, err := sweep.Parse(http.MaxBytesReader(w, r.Body, maxConfigBytes))
+// store attached and the default worker-pool size applied. The raw body
+// bytes are returned too: async submissions journal them, so a resumed job
+// can rebuild the identical study after a restart.
+func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study, string, []byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxConfigBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return nil, "", false
+		return nil, "", nil, false
+	}
+	cfg, err := sweep.Parse(bytes.NewReader(raw))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, "", nil, false
 	}
 	studyPareto(r, cfg)
 	if s.opts.Store != nil {
@@ -241,17 +301,17 @@ func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study
 	study, err := cfg.Study()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return nil, "", false
+		return nil, "", nil, false
 	}
 	format, err := studyFormat(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
-		return nil, "", false
+		return nil, "", nil, false
 	}
 	if study.Workers == 0 {
 		study.Workers = s.opts.StudyWorkers
 	}
-	return study, format, true
+	return study, format, raw, true
 }
 
 // handleStudies runs one sweep configuration. JSON and CSV responses are
@@ -261,14 +321,14 @@ func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study
 // batch writer's output). ?async=1 queues the study as a job and answers
 // 202 immediately; a matching If-None-Match answers 304 without running.
 func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
-	study, format, ok := s.buildStudy(w, r)
+	study, format, raw, ok := s.buildStudy(w, r)
 	if !ok {
 		return
 	}
 	switch r.URL.Query().Get("async") {
 	case "", "0", "false":
 	default:
-		s.submitAsync(w, study, format)
+		s.submitAsync(w, r, study, format, raw)
 		return
 	}
 	// Deterministic responses make request-identity ETags exact: compute it
@@ -284,19 +344,37 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	if !s.acquire(r) {
+	ok, shed := s.acquire(r)
+	if shed {
+		shedRequest(w, time.Second)
+		return
+	}
+	if !ok {
 		return // client gone while queued
 	}
 	defer func() { <-s.sem }()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	// A per-request execution budget: a study that outlives it is canceled
+	// and answered 503, so one pathological configuration can't pin a slot
+	// forever. r.Context() still distinguishes "client gone" (write nothing).
 	ctx := r.Context()
+	if s.opts.StudyTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.StudyTimeout)
+		defer cancel()
+	}
 	if format != "ndjson" {
 		res, err := study.RunStream(ctx, nil)
 		if err != nil {
 			s.failed.Add(1)
-			if ctx.Err() == nil {
+			switch {
+			case r.Context().Err() != nil: // client gone
+			case ctx.Err() != nil: // study timeout
+				httpError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("study exceeded the %s execution budget", s.opts.StudyTimeout))
+			default:
 				httpError(w, http.StatusUnprocessableEntity, err)
 			}
 			return
@@ -345,14 +423,15 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		}
 		return ctx.Err()
 	})
-	if err == nil && len(study.Pareto) > 0 {
-		// The frontier needs the full result set, so it trails the rows —
-		// the same trailer sweep.WriteNDJSON emits in batch mode.
-		err = sweep.WriteNDJSONFrontier(w, res)
+	if err == nil {
+		// Trailers need the full result set, so they follow the rows — the
+		// same failed-points and frontier lines sweep.WriteNDJSON emits in
+		// batch mode.
+		err = sweep.WriteNDJSONTrailers(w, res)
 	}
 	if err != nil {
 		s.failed.Add(1)
-		if ctx.Err() == nil {
+		if r.Context().Err() == nil {
 			// Headers are gone; surface the failure as a trailing error row.
 			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 		}
@@ -373,12 +452,14 @@ type asyncAccepted struct {
 
 // submitAsync queues a study as a background job and answers 202 with the
 // job's ID — or the ID of an identical in-flight job (singleflight dedup).
-func (s *Server) submitAsync(w http.ResponseWriter, study *core.Study, format string) {
+// The raw config bytes (plus any request-level Pareto override) are
+// journaled write-ahead, so the job survives a crash.
+func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, study *core.Study, format string, raw []byte) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
 		return
 	}
-	j, dedup, err := s.jobs.submit(study, format)
+	j, dedup, err := s.jobs.submit(study, format, raw, sweep.ParseParetoList(r.URL.Query().Get("pareto")))
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, errQueueFull) {
@@ -559,7 +640,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	if !s.acquire(r) {
+	ok, shed := s.acquire(r)
+	if shed {
+		shedRequest(w, time.Second)
+		return
+	}
+	if !ok {
 		return
 	}
 	defer func() { <-s.sem }()
@@ -603,6 +689,13 @@ type Stats struct {
 		Dir     string `json:"dir,omitempty"`
 		Hits    int64  `json:"hits"`
 		Misses  int64  `json:"misses"`
+		// Self-healing telemetry: quarantined corrupt files, disk
+		// operations failed past retries, individual retry attempts, and
+		// whether persistent failures demoted the store to memory-only.
+		Quarantined int64 `json:"quarantined"`
+		IOErrors    int64 `json:"io_errors"`
+		Retries     int64 `json:"retries"`
+		Degraded    bool  `json:"degraded"`
 	} `json:"store"`
 	Jobs struct {
 		InFlight      int64 `json:"in_flight"`
@@ -611,6 +704,8 @@ type Stats struct {
 		Completed     int64 `json:"completed"`
 		Failed        int64 `json:"failed"`
 		PointsServed  int64 `json:"points_served"`
+		// Shed counts sync requests bounced with 429 under overload.
+		Shed int64 `json:"shed"`
 	} `json:"jobs"`
 	// Async reports the background job subsystem.
 	Async struct {
@@ -618,8 +713,10 @@ type Stats struct {
 		QueueDepth   int   `json:"queue_depth"`
 		Submitted    int64 `json:"submitted"`
 		Deduplicated int64 `json:"deduplicated"`
-		Active       int64 `json:"active"`
-		Finished     int64 `json:"finished"`
+		// Resumed counts journaled jobs re-adopted at startup.
+		Resumed  int64 `json:"resumed"`
+		Active   int64 `json:"active"`
+		Finished int64 `json:"finished"`
 	} `json:"async"`
 }
 
@@ -631,6 +728,11 @@ func (s *Server) Snapshot() Stats {
 		st.Store.Enabled = true
 		st.Store.Dir = s.opts.Store.Dir()
 		st.Store.Hits, st.Store.Misses = s.opts.Store.Stats()
+		h := s.opts.Store.Health()
+		st.Store.Quarantined = h.Quarantined
+		st.Store.IOErrors = h.IOErrors
+		st.Store.Retries = h.Retries
+		st.Store.Degraded = h.Degraded
 	}
 	st.Jobs.InFlight = s.inFlight.Load()
 	st.Jobs.MaxConcurrent = s.opts.MaxConcurrentStudies
@@ -638,10 +740,12 @@ func (s *Server) Snapshot() Stats {
 	st.Jobs.Completed = s.completed.Load()
 	st.Jobs.Failed = s.failed.Load()
 	st.Jobs.PointsServed = s.points.Load()
+	st.Jobs.Shed = s.shed.Load()
 	st.Async.Workers = s.opts.JobWorkers
 	st.Async.QueueDepth = s.opts.JobQueueDepth
 	st.Async.Submitted = s.jobs.submitted.Load()
 	st.Async.Deduplicated = s.jobs.deduplicated.Load()
+	st.Async.Resumed = s.jobs.resumed.Load()
 	st.Async.Active, st.Async.Finished = s.jobs.counts()
 	return st
 }

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/nvsim"
+)
+
+// Offline store checking and repair, behind `nvmexplorer fsck`. Fsck walks
+// a store directory — point files, the memo snapshot, the job journal —
+// verifying each file the same way the live store does (version dispatch,
+// checksum, address match), and in repair mode quarantines what is broken
+// and rewrites what is merely stale (legacy pre-checksum point files are
+// upgraded to the current checksummed format). It never touches the live
+// nvsim memo: the memo snapshot is validated structurally, not loaded.
+
+// FsckReport is the result of one store scan.
+type FsckReport struct {
+	// Point files.
+	PointsOK      int `json:"points_ok"`
+	PointsLegacy  int `json:"points_legacy"`  // readable pre-checksum (v1) files
+	PointsCorrupt int `json:"points_corrupt"` // torn, bit-flipped, or misplaced
+	PointsUnknown int `json:"points_unknown"` // newer schema than this binary
+
+	// Memo snapshot.
+	MemoPresent bool `json:"memo_present"`
+	MemoCorrupt bool `json:"memo_corrupt"`
+	MemoEntries int  `json:"memo_entries"`
+
+	// Job journal.
+	JobsIncomplete int `json:"jobs_incomplete"`
+	JobsCorrupt    int `json:"jobs_corrupt"`
+	OrphanProgress int `json:"orphan_progress"` // progress files with no job record
+
+	// Repair actions taken (repair mode only).
+	Repaired    int `json:"repaired"`    // legacy points rewritten to the current format
+	Quarantined int `json:"quarantined"` // corrupt files moved to .corrupt/
+	Removed     int `json:"removed"`     // orphan progress files deleted
+}
+
+// Clean reports whether the scan found nothing wrong (legacy-format files
+// are stale, not wrong).
+func (r *FsckReport) Clean() bool {
+	return r.PointsCorrupt == 0 && !r.MemoCorrupt && r.JobsCorrupt == 0 && r.OrphanProgress == 0
+}
+
+// Summary renders the report for terminal output.
+func (r *FsckReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "points: %d ok, %d legacy, %d corrupt", r.PointsOK, r.PointsLegacy, r.PointsCorrupt)
+	if r.PointsUnknown > 0 {
+		fmt.Fprintf(&b, ", %d unknown-version (left in place)", r.PointsUnknown)
+	}
+	b.WriteString("\n")
+	switch {
+	case !r.MemoPresent:
+		b.WriteString("memo: no snapshot\n")
+	case r.MemoCorrupt:
+		b.WriteString("memo: snapshot CORRUPT\n")
+	default:
+		fmt.Fprintf(&b, "memo: snapshot ok (%d entries)\n", r.MemoEntries)
+	}
+	fmt.Fprintf(&b, "journal: %d incomplete job(s), %d corrupt, %d orphan progress file(s)\n",
+		r.JobsIncomplete, r.JobsCorrupt, r.OrphanProgress)
+	if r.Repaired+r.Quarantined+r.Removed > 0 {
+		fmt.Fprintf(&b, "repair: %d rewritten, %d quarantined, %d removed\n",
+			r.Repaired, r.Quarantined, r.Removed)
+	}
+	return b.String()
+}
+
+// Fsck scans (and with repair=true, repairs) a store directory on the real
+// filesystem.
+func Fsck(dir string, repair bool) (*FsckReport, error) {
+	return FsckFS(dir, DiskFS, repair)
+}
+
+// FsckFS is Fsck with an explicit filesystem (tests).
+func FsckFS(dir string, fsys FS, repair bool) (*FsckReport, error) {
+	if dir == "" {
+		return nil, errors.New("store: fsck needs a store directory")
+	}
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %s: no such store", dir)
+	}
+	s := &Store{dir: dir, fs: fsys}
+	rep := &FsckReport{}
+	if err := s.fsckPoints(rep, repair); err != nil {
+		return nil, err
+	}
+	if err := s.fsckMemo(rep, repair); err != nil {
+		return nil, err
+	}
+	if err := s.fsckJobs(rep, repair); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
+	root := filepath.Join(s.dir, "points")
+	shards, err := s.fs.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(root, sh.Name())
+		ents, err := s.fs.ReadDir(shardDir)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+				continue
+			}
+			path := filepath.Join(shardDir, name)
+			data, err := s.fs.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			p, status := decodePoint(data, "")
+			// A record that decodes but sits at the wrong address (a copied
+			// or renamed file) would never verify on read: corrupt.
+			if status == readOK || status == readLegacy {
+				if name != addr(p.Key)+".gob" {
+					status = readCorrupt
+				}
+			}
+			switch status {
+			case readOK:
+				rep.PointsOK++
+			case readLegacy:
+				rep.PointsLegacy++
+				if repair {
+					if out, err := encodePoint(p.Key, p.Point); err == nil {
+						if err := s.fs.WriteFileAtomic(path, out); err == nil {
+							rep.Repaired++
+						}
+					}
+				}
+			case readCorrupt:
+				rep.PointsCorrupt++
+				if repair {
+					s.quarantine(path)
+				}
+			case readMissing:
+				rep.PointsUnknown++
+			}
+		}
+	}
+	rep.Quarantined = int(s.quarantined.Load())
+	return nil
+}
+
+func (s *Store) fsckMemo(rep *FsckReport, repair bool) error {
+	data, err := s.fs.ReadFile(s.memoPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	rep.MemoPresent = true
+	n, err := nvsim.CheckMemoSnapshot(bytes.NewReader(data))
+	if err != nil {
+		rep.MemoCorrupt = true
+		if repair {
+			s.quarantine(s.memoPath())
+		}
+	} else {
+		rep.MemoEntries = n
+	}
+	rep.Quarantined = int(s.quarantined.Load())
+	return nil
+}
+
+func (s *Store) fsckJobs(rep *FsckReport, repair bool) error {
+	ents, err := s.fs.ReadDir(s.jobsDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	jobs := map[string]bool{}
+	var progress []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.jobsDir(), name)
+		switch {
+		case strings.HasSuffix(name, ".job"):
+			data, err := s.fs.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			rec, status := decodeJobRecord(data)
+			switch status {
+			case readOK:
+				rep.JobsIncomplete++
+				jobs[rec.ID] = true
+			case readCorrupt:
+				rep.JobsCorrupt++
+				if repair {
+					s.quarantine(path)
+				}
+			}
+		case strings.HasSuffix(name, ".progress"):
+			progress = append(progress, strings.TrimSuffix(name, ".progress"))
+		}
+	}
+	for _, id := range progress {
+		if jobs[id] {
+			continue
+		}
+		rep.OrphanProgress++
+		if repair {
+			if err := s.fs.Remove(s.progressPath(id)); err == nil {
+				rep.Removed++
+			}
+		}
+	}
+	rep.Quarantined = int(s.quarantined.Load())
+	return nil
+}

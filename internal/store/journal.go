@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The write-ahead job journal. An async study job is journaled to
+// DIR/jobs/<id>.job (a checksummed, atomically renamed gob record carrying
+// everything needed to rebuild the job: its raw config bytes, fingerprint,
+// format, and grid size) *before* it is enqueued, and each completed grid
+// point appends a fixed-width completion record to DIR/jobs/<id>.progress.
+// When the job reaches a terminal state its journal is removed.
+//
+// On restart, `serve -store` replays the journal (Store.IncompleteJobs),
+// re-adopts every job that never reached a terminal state, and re-runs it
+// through the normal pipeline — where every already-stored point is a store
+// hit, so a SIGKILL mid-study recomputes at most the points that were in
+// flight when the process died. The progress file is a plain sequence of
+// 4-byte little-endian point indices: appends are O(1) and crash-tolerant
+// (a torn tail shorter than one record is ignored), and unlike gob streams
+// the records need no shared encoder state.
+
+// journalVersion stamps every job record; unknown versions are skipped on
+// replay (they may belong to a newer binary sharing the directory).
+const journalVersion = "nvmx-journal/v1"
+
+// progressRecordSize is the width of one per-point completion record.
+const progressRecordSize = 4
+
+// JobRecord is the durable description of one async job.
+type JobRecord struct {
+	Version     string
+	ID          string
+	Fingerprint string
+	Name        string
+	Format      string
+	Config      []byte // raw study configuration, as submitted
+	// ParetoSet records that the request carried a ?pareto= override (an
+	// empty Pareto then means "selection explicitly disabled").
+	ParetoSet bool
+	Pareto    []string // the override's metric list
+	Total     int      // grid points in the design space
+
+	// Completed is filled from the progress file on replay (how many points
+	// finished before the crash); it is not part of the job record on disk.
+	Completed int
+}
+
+func (s *Store) jobsDir() string { return filepath.Join(s.dir, "jobs") }
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.jobsDir(), id+".job")
+}
+
+func (s *Store) progressPath(id string) string {
+	return filepath.Join(s.jobsDir(), id+".progress")
+}
+
+// encodeJobRecord builds the on-disk bytes for one job record.
+func encodeJobRecord(rec JobRecord) ([]byte, error) {
+	rec.Version = journalVersion
+	rec.Completed = 0
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	env := envelope{Version: journalVersion, Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// decodeJobRecord verifies and decodes one job file's bytes.
+func decodeJobRecord(data []byte) (JobRecord, readStatus) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return JobRecord{}, readCorrupt
+	}
+	switch env.Version {
+	case journalVersion:
+		if crc32.ChecksumIEEE(env.Payload) != env.Sum {
+			return JobRecord{}, readCorrupt
+		}
+		var rec JobRecord
+		if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&rec); err != nil {
+			return JobRecord{}, readCorrupt
+		}
+		return rec, readOK
+	case "":
+		return JobRecord{}, readCorrupt
+	default:
+		// A schema this binary doesn't know: skip, don't destroy.
+		return JobRecord{}, readMissing
+	}
+}
+
+// JournalJob durably records a job before it runs. Called write-ahead: the
+// record must be on disk before the job is queued, so a crash at any later
+// moment finds it on replay. Memory-only and degraded stores no-op (nil):
+// jobs still run, they just don't survive a crash.
+func (s *Store) JournalJob(rec JobRecord) error {
+	if !s.diskEnabled() {
+		return nil
+	}
+	data, err := encodeJobRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.fs.MkdirAll(s.jobsDir()); err != nil {
+		s.diskFail("mkdir "+s.jobsDir(), err)
+		return err
+	}
+	return s.writeFileRetry(s.jobPath(rec.ID), data)
+}
+
+// JournalPoint appends one per-point completion record. Best-effort: a
+// lost append only means the point replays from the store after a crash.
+func (s *Store) JournalPoint(id string, index int) {
+	if !s.diskEnabled() {
+		return
+	}
+	var buf [progressRecordSize]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(index))
+	if err := s.fs.Append(s.progressPath(id), buf[:]); err != nil {
+		s.diskFail("append "+s.progressPath(id), err)
+		return
+	}
+	s.diskOK()
+}
+
+// JournalDone removes a job's journal once it reaches a terminal state
+// (done, failed, or deliberately canceled) — terminal jobs must not be
+// re-adopted on restart. Best-effort; a leftover journal only costs a
+// redundant (store-warm) replay.
+func (s *Store) JournalDone(id string) {
+	if !s.diskEnabled() {
+		return
+	}
+	_ = s.fs.Remove(s.jobPath(id))
+	_ = s.fs.Remove(s.progressPath(id))
+}
+
+// IncompleteJobs replays the journal: every job record left on disk, in
+// submission (ID-sequence) order, with Completed filled from its progress
+// file. Corrupt records are quarantined and skipped — a damaged journal
+// must never block startup.
+func (s *Store) IncompleteJobs() []JobRecord {
+	if !s.diskEnabled() {
+		return nil
+	}
+	ents, err := s.fs.ReadDir(s.jobsDir())
+	if err != nil {
+		s.diskFail("readdir "+s.jobsDir(), err)
+		return nil
+	}
+	var recs []JobRecord
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".job") {
+			continue
+		}
+		path := filepath.Join(s.jobsDir(), name)
+		data, status := s.readFileRetry(path)
+		if status != readOK {
+			continue
+		}
+		rec, status := decodeJobRecord(data)
+		if status == readCorrupt {
+			s.quarantine(path)
+			continue
+		}
+		if status != readOK {
+			continue
+		}
+		rec.Completed = s.progressCount(rec.ID)
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, k int) bool {
+		return jobSeq(recs[i].ID) < jobSeq(recs[k].ID)
+	})
+	return recs
+}
+
+// progressCount reads a job's progress file and counts whole completion
+// records; a torn tail (crash mid-append) is ignored.
+func (s *Store) progressCount(id string) int {
+	data, status := s.readFileRetry(s.progressPath(id))
+	if status != readOK {
+		return 0
+	}
+	return len(data) / progressRecordSize
+}
+
+// jobSeq extracts the numeric sequence from a "job-N" ID for replay
+// ordering; malformed IDs sort first.
+func jobSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil {
+		return 0
+	}
+	return n
+}

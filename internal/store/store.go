@@ -14,70 +14,149 @@
 //
 // Entries live in memory (bounded) and, when a directory is configured, on
 // disk as one gob file per point under DIR/points/, written atomically
-// (temp file + rename) so a crash never leaves a torn entry. The store also
-// snapshots the nvsim memo cache to DIR/memo.gob (SaveMemo, reloaded by
-// Open) so partially overlapping studies skip re-characterization too.
+// (temp file + rename) and wrapped in a CRC-32-checksummed envelope so a
+// crash never leaves a torn entry and a bit flip never replays a wrong
+// one. The store also snapshots the nvsim memo cache to DIR/memo.gob
+// (SaveMemo, reloaded by Open) so partially overlapping studies skip
+// re-characterization too, and journals async jobs under DIR/jobs/
+// (journal.go) so a killed server resumes them on restart.
+//
+// Storage corruption is an expected operating condition, not an error: a
+// torn, foreign, or bit-flipped point file is quarantined into DIR/.corrupt/
+// and read as a miss (the point recomputes and the next Put repairs it),
+// transient I/O errors are retried with backoff, and a disk that keeps
+// failing degrades the store to memory-only mode instead of failing
+// studies. `nvmexplorer fsck` (fsck.go) scans, reports, and repairs a
+// store directory offline.
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nvsim"
 )
 
-// recordVersion stamps every point file; entries from other schema versions
-// read as misses and are overwritten on the next Put.
-const recordVersion = "nvmx-store/v1"
+// recordVersion stamps every point file (the checksummed envelope form).
+// Entries from other schema versions read as misses and are overwritten on
+// the next Put; recordVersionV1 files (pre-checksum) remain readable.
+const (
+	recordVersion   = "nvmx-store/v2"
+	recordVersionV1 = "nvmx-store/v1"
+)
 
 // memCacheMax bounds the in-memory mirror of the store. Past the cap, Get
 // still reads disk and Put still writes it; the entries just aren't kept
 // resident.
 const memCacheMax = 16384
 
-// record is the on-disk form of one point. The full canonical key is
+// Disk-failure policy: transient I/O errors retry up to ioAttempts with
+// exponential backoff starting at ioBackoff; after degradeAfter consecutive
+// failed operations (each already past its retries) the store degrades to
+// memory-only mode for the rest of the process — the disk is treated as
+// gone, and studies keep completing from memory.
+const (
+	ioAttempts   = 3
+	degradeAfter = 8
+)
+
+// ioBackoff is a variable so fault-injection tests can shrink the waits.
+var ioBackoff = time.Millisecond
+
+// envelope is the on-disk frame of every v2 file: a version, a CRC-32
+// (IEEE) of Payload, and the gob-encoded payload itself. The checksum turns
+// silent bit flips into detected corruption instead of gob decoding noise —
+// or worse, silently wrong physics.
+type envelope struct {
+	Version string
+	Sum     uint32
+	Payload []byte
+}
+
+// pointPayload is the inner form of one point. The full canonical key is
 // stored alongside the payload and verified on read, so a hash collision
 // or a foreign file in the directory reads as a miss, never a wrong result.
-type record struct {
+type pointPayload struct {
+	Key   string
+	Point core.CachedPoint
+}
+
+// recordV1 is the legacy (pre-checksum) on-disk form, still readable.
+type recordV1 struct {
 	Version string
 	Key     string
 	Point   core.CachedPoint
 }
 
+// readStatus classifies one point-file read (shared with fsck).
+type readStatus int
+
+const (
+	readOK readStatus = iota
+	readLegacy
+	readMissing
+	readCorrupt
+	readIOError
+)
+
 // Store is a persistent point cache. It implements core.PointCache and is
 // safe for concurrent use. The zero value is not usable; call Open.
 type Store struct {
 	dir string // "" = memory-only
+	fs  FS
 
 	mu  sync.Mutex
 	mem map[string]core.CachedPoint
 
 	hits, misses atomic.Int64
+
+	// Self-healing counters (see HealthStats).
+	quarantined atomic.Int64
+	ioErrors    atomic.Int64
+	retries     atomic.Int64
+	diskStreak  atomic.Int64 // consecutive failed disk ops
+	degraded    atomic.Bool
 }
 
-// Open creates or reopens a store. dir == "" builds a memory-only store
-// (no persistence, no memo snapshot). Otherwise the directory is created
-// as needed and a memo snapshot left by SaveMemo is reloaded into the
-// characterization engine; a missing, stale, or corrupt snapshot is
-// ignored — it only costs recomputation.
+// Open creates or reopens a store on the real filesystem. dir == "" builds
+// a memory-only store (no persistence, no memo snapshot, no journal).
 func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, mem: make(map[string]core.CachedPoint)}
+	return OpenFS(dir, DiskFS)
+}
+
+// OpenFS is Open with an explicit filesystem — the hook fault-injection
+// tests use to exercise the store's corruption and I/O-error handling
+// deterministically. The directory is created as needed and a memo
+// snapshot left by SaveMemo is reloaded into the characterization engine;
+// a missing snapshot only costs recomputation, and a corrupt one is
+// quarantined and logged, never fatal (a bad snapshot must not block
+// startup).
+func OpenFS(dir string, fsys FS) (*Store, error) {
+	s := &Store{dir: dir, fs: fsys, mem: make(map[string]core.CachedPoint)}
 	if dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "points"), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(dir, "points")); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if f, err := os.Open(s.memoPath()); err == nil {
-		_, _ = nvsim.RestoreMemo(f) // best effort; see doc comment
-		f.Close()
+	if data, err := fsys.ReadFile(s.memoPath()); err == nil {
+		if _, err := nvsim.RestoreMemo(bytes.NewReader(data)); err != nil {
+			// Log-and-continue with a fresh memo: the snapshot is an
+			// accelerator, and a corrupt one must never block startup.
+			s.quarantine(s.memoPath())
+			log.Printf("store: corrupt memo snapshot quarantined, starting cold: %v", err)
+		}
 	}
 	return s, nil
 }
@@ -99,6 +178,39 @@ func addr(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// diskEnabled reports whether the store should touch the disk at all.
+func (s *Store) diskEnabled() bool { return s.dir != "" && !s.degraded.Load() }
+
+// diskOK records a successful disk operation, resetting the failure streak.
+func (s *Store) diskOK() { s.diskStreak.Store(0) }
+
+// diskFail records a disk operation that failed past its retries. Once the
+// streak reaches degradeAfter, the store flips to memory-only mode: every
+// later Get/Put/journal call skips the disk, so a dead volume costs one
+// log line instead of a failed study.
+func (s *Store) diskFail(op string, err error) {
+	s.ioErrors.Add(1)
+	if s.diskStreak.Add(1) == degradeAfter && !s.degraded.Swap(true) {
+		log.Printf("store: %d consecutive disk failures (last: %s: %v); degrading to memory-only mode", degradeAfter, op, err)
+	}
+}
+
+// quarantine moves a corrupt or foreign file into DIR/.corrupt/ so it can
+// never crash (or slow) another run, while staying available for forensics.
+// Failures are swallowed: quarantine is best-effort cleanup on a path that
+// already reads as a miss.
+func (s *Store) quarantine(path string) {
+	dir := filepath.Join(s.dir, ".corrupt")
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return
+	}
+	dst := filepath.Join(dir, fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := s.fs.Rename(path, dst); err != nil {
+		return
+	}
+	s.quarantined.Add(1)
+}
+
 // Get implements core.PointCache: memory first, then disk. A disk hit is
 // re-cached in memory (within the bound).
 func (s *Store) Get(key string) (core.CachedPoint, bool) {
@@ -109,7 +221,7 @@ func (s *Store) Get(key string) (core.CachedPoint, bool) {
 		s.hits.Add(1)
 		return cp, true
 	}
-	if s.dir != "" {
+	if s.diskEnabled() {
 		if cp, ok = s.readPoint(key); ok {
 			s.mu.Lock()
 			if len(s.mem) < memCacheMax {
@@ -124,34 +236,111 @@ func (s *Store) Get(key string) (core.CachedPoint, bool) {
 	return core.CachedPoint{}, false
 }
 
-// readPoint loads and verifies one point file. Any failure — absent file,
-// torn write, schema drift, hash collision — is a miss.
+// readPoint loads and verifies one point file. Any failure is a miss:
+// absence silently, I/O errors after a retry (feeding the degradation
+// tracker), and corruption — torn write, checksum mismatch, schema drift,
+// hash collision — after quarantining the file so it never costs another
+// read.
 func (s *Store) readPoint(key string) (core.CachedPoint, bool) {
-	f, err := os.Open(s.pointPath(addr(key)))
-	if err != nil {
+	path := s.pointPath(addr(key))
+	data, status := s.readFileRetry(path)
+	if status != readOK {
 		return core.CachedPoint{}, false
 	}
-	defer f.Close()
-	var rec record
-	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
-		return core.CachedPoint{}, false
+	p, status := decodePoint(data, key)
+	switch status {
+	case readOK, readLegacy:
+		s.diskOK()
+		return p.Point, true
+	case readCorrupt:
+		s.quarantine(path)
 	}
-	if rec.Version != recordVersion || rec.Key != key {
-		return core.CachedPoint{}, false
+	return core.CachedPoint{}, false
+}
+
+// readFileRetry reads a file, retrying transient I/O errors once. Absence
+// is a clean miss; any other persistent error counts toward degradation.
+func (s *Store) readFileRetry(path string) ([]byte, readStatus) {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			time.Sleep(ioBackoff)
+		}
+		var data []byte
+		if data, err = s.fs.ReadFile(path); err == nil {
+			return data, readOK
+		}
+		if os.IsNotExist(err) {
+			return nil, readMissing
+		}
 	}
-	return rec.Point, true
+	s.diskFail("read "+path, err)
+	return nil, readIOError
+}
+
+// decodePoint verifies and decodes one point file's bytes against the key
+// that addressed it. wantKey == "" skips key verification (fsck scans files
+// without knowing their keys and checks the address itself instead).
+func decodePoint(data []byte, wantKey string) (pointPayload, readStatus) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return pointPayload{}, readCorrupt
+	}
+	switch env.Version {
+	case recordVersion:
+		if crc32.ChecksumIEEE(env.Payload) != env.Sum {
+			return pointPayload{}, readCorrupt
+		}
+		var p pointPayload
+		if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&p); err != nil {
+			return pointPayload{}, readCorrupt
+		}
+		if wantKey != "" && p.Key != wantKey {
+			return pointPayload{}, readCorrupt
+		}
+		return p, readOK
+	case recordVersionV1:
+		// Legacy pre-checksum file: decode whole, key-verified but unsummed.
+		var rec recordV1
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+			return pointPayload{}, readCorrupt
+		}
+		if wantKey != "" && rec.Key != wantKey {
+			return pointPayload{}, readCorrupt
+		}
+		return pointPayload{Key: rec.Key, Point: rec.Point}, readLegacy
+	default:
+		// A version this binary doesn't know — plausibly written by a newer
+		// one sharing the directory. A miss, but not corruption: leave it.
+		return pointPayload{}, readMissing
+	}
+}
+
+// encodePoint builds the on-disk v2 bytes for one point.
+func encodePoint(key string, pt core.CachedPoint) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&pointPayload{Key: key, Point: pt}); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	env := envelope{Version: recordVersion, Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }
 
 // Put implements core.PointCache: write-through to memory and, when
-// configured, disk. Disk errors are swallowed — the store is an
-// accelerator, and a read-only or full volume must not fail the study.
+// configured, disk. Disk errors are retried, then swallowed — the store is
+// an accelerator, and a read-only or full volume must not fail the study.
 func (s *Store) Put(key string, pt core.CachedPoint) {
 	s.mu.Lock()
 	if len(s.mem) < memCacheMax {
 		s.mem[key] = pt
 	}
 	s.mu.Unlock()
-	if s.dir == "" {
+	if !s.diskEnabled() {
 		return
 	}
 	_ = s.writePoint(key, pt)
@@ -159,52 +348,47 @@ func (s *Store) Put(key string, pt core.CachedPoint) {
 
 func (s *Store) writePoint(key string, pt core.CachedPoint) error {
 	path := s.pointPath(addr(key))
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	data, err := encodePoint(key, pt)
 	if err != nil {
 		return err
 	}
-	rec := record{Version: recordVersion, Key: key, Point: pt}
-	if err := gob.NewEncoder(tmp).Encode(&rec); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := s.fs.MkdirAll(filepath.Dir(path)); err != nil {
+		s.diskFail("mkdir "+filepath.Dir(path), err)
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
+	return s.writeFileRetry(path, data)
+}
+
+// writeFileRetry atomically writes a file, retrying transient failures
+// with exponential backoff before feeding the degradation tracker.
+func (s *Store) writeFileRetry(path string, data []byte) error {
+	var err error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			time.Sleep(ioBackoff << (attempt - 1))
+		}
+		if err = s.fs.WriteFileAtomic(path, data); err == nil {
+			s.diskOK()
+			return nil
+		}
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	s.diskFail("write "+path, err)
+	return err
 }
 
 // SaveMemo snapshots the engine's memo cache into the store directory
 // (atomic replace of DIR/memo.gob), so the next Open warms the engine for
-// partially overlapping studies. Memory-only stores no-op.
+// partially overlapping studies. Memory-only and degraded stores no-op.
 func (s *Store) SaveMemo() error {
-	if s.dir == "" {
+	if !s.diskEnabled() {
 		return nil
 	}
-	tmp, err := os.CreateTemp(s.dir, ".memo-*")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := nvsim.SnapshotMemo(&buf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := nvsim.SnapshotMemo(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.memoPath()); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.writeFileRetry(s.memoPath(), buf.Bytes()); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -220,6 +404,33 @@ func (s *Store) Stats() (hits, misses int64) {
 func (s *Store) ResetStats() {
 	s.hits.Store(0)
 	s.misses.Store(0)
+}
+
+// Degraded reports whether persistent I/O failures demoted the store to
+// memory-only mode (see diskFail). It never flips back within a process:
+// an operator repairs the volume and restarts, or runs fsck.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// HealthStats is the store's self-healing telemetry, served on /v1/stats.
+type HealthStats struct {
+	// Quarantined counts corrupt or foreign files moved to DIR/.corrupt/.
+	Quarantined int64
+	// IOErrors counts disk operations that failed past their retries.
+	IOErrors int64
+	// Retries counts individual retry attempts after transient failures.
+	Retries int64
+	// Degraded reports memory-only fallback mode.
+	Degraded bool
+}
+
+// Health returns the current self-healing counters.
+func (s *Store) Health() HealthStats {
+	return HealthStats{
+		Quarantined: s.quarantined.Load(),
+		IOErrors:    s.ioErrors.Load(),
+		Retries:     s.retries.Load(),
+		Degraded:    s.degraded.Load(),
+	}
 }
 
 // Len reports how many points are resident in memory. Disk may hold more.

@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFailedPointsSerialization pins the output contract for faulted runs:
+// a clean study's JSON carries no failed_points key at all (so warm-store
+// byte-identity is preserved), while a faulted study reports its losses
+// both in the JSON document and as a dedicated NDJSON trailer line.
+func TestFailedPointsSerialization(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(multiAxisConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := json.Marshal(Result(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(clean, []byte("failed_points")) {
+		t.Fatal("clean study output mentions failed_points")
+	}
+	var nd bytes.Buffer
+	if err := WriteNDJSON(&nd, res); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(nd.Bytes(), []byte("failed_points")) {
+		t.Fatal("clean NDJSON output mentions failed_points")
+	}
+
+	// Now the same results with two points lost to isolated faults.
+	res.FailedPoints = []core.FailedPoint{
+		{Index: 3, Cell: "PCM-opt", CapacityBytes: 1 << 20, Err: "characterization panic: injected"},
+		{Index: 7, Cell: "PCM-opt", CapacityBytes: 2 << 20, Err: "evaluation panic: injected"},
+	}
+	doc, err := json.Marshal(Result(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		FailedPoints []core.FailedPoint `json:"failed_points"`
+	}
+	if err := json.Unmarshal(doc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FailedPoints) != 2 || got.FailedPoints[0].Index != 3 || got.FailedPoints[1].Cell != "PCM-opt" {
+		t.Fatalf("failed_points round trip: %+v", got.FailedPoints)
+	}
+
+	nd.Reset()
+	if err := WriteNDJSON(&nd, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(nd.String(), "\n"), "\n")
+	// The failed trailer precedes the frontier trailer at the end of the
+	// stream, and both are valid one-line JSON documents.
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON stream too short: %d lines", len(lines))
+	}
+	failedLine := lines[len(lines)-2]
+	var trailer struct {
+		FailedPoints []core.FailedPoint `json:"failed_points"`
+	}
+	if err := json.Unmarshal([]byte(failedLine), &trailer); err != nil {
+		t.Fatalf("failed trailer is not valid JSON: %v\n%s", err, failedLine)
+	}
+	if len(trailer.FailedPoints) != 2 {
+		t.Fatalf("failed trailer carries %d points, want 2", len(trailer.FailedPoints))
+	}
+	if !strings.Contains(lines[len(lines)-1], "frontier") {
+		t.Fatalf("last NDJSON line should be the frontier trailer: %s", lines[len(lines)-1])
+	}
+}

@@ -168,17 +168,22 @@ type Frontier struct {
 // `nvmexplorer run -format json` prints and what the study service
 // returns from POST /v1/studies.
 type StudyResult struct {
-	Name     string        `json:"name"`
-	Points   []DesignPoint `json:"points"`
-	Skipped  []string      `json:"skipped,omitempty"`
-	Frontier *Frontier     `json:"frontier,omitempty"`
+	Name    string        `json:"name"`
+	Points  []DesignPoint `json:"points"`
+	Skipped []string      `json:"skipped,omitempty"`
+	// FailedPoints lists grid points lost to isolated faults (a panicking
+	// characterization or evaluation); absent on healthy runs, so existing
+	// output stays byte-identical.
+	FailedPoints []core.FailedPoint `json:"failed_points,omitempty"`
+	Frontier     *Frontier          `json:"frontier,omitempty"`
 }
 
 // Result converts a completed study into its JSON body form. When the
 // study declares a Pareto selection, call res.EnsureFrontier first (the
 // writers do); frontier rows are flagged and the frontier block attached.
 func Result(res *core.Results) StudyResult {
-	out := StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped}
+	out := StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped,
+		FailedPoints: res.FailedPoints}
 	if len(res.Study.Pareto) > 0 && res.Frontier != nil {
 		for _, i := range res.Frontier {
 			out.Points[i].Pareto = true
@@ -224,10 +229,31 @@ func WriteNDJSON(w io.Writer, res *core.Results) error {
 			return err
 		}
 	}
-	if err := WriteNDJSONFrontier(bw, res); err != nil {
+	if err := WriteNDJSONTrailers(bw, res); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ndjsonFailedTrailer is the failed-points NDJSON line of a study that lost
+// grid points to isolated faults; emitted before any frontier trailer and
+// only when points actually failed, so healthy streams are unchanged.
+type ndjsonFailedTrailer struct {
+	FailedPoints []core.FailedPoint `json:"failed_points"`
+}
+
+// WriteNDJSONTrailers writes every trailer line of a study stream — the
+// failed-points block when grid points were lost, then the frontier of a
+// Pareto-selected study — the piece the study service appends after its
+// live row stream so batch and streamed NDJSON stay byte-identical.
+func WriteNDJSONTrailers(w io.Writer, res *core.Results) error {
+	if len(res.FailedPoints) > 0 {
+		t := ndjsonFailedTrailer{FailedPoints: res.FailedPoints}
+		if err := json.NewEncoder(w).Encode(t); err != nil {
+			return err
+		}
+	}
+	return WriteNDJSONFrontier(w, res)
 }
 
 // WriteNDJSONFrontier writes the single frontier trailer line of a
