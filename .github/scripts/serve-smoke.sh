@@ -8,6 +8,11 @@
 #      the same store
 #   5. assert the warm response is byte-identical to the cold one and to
 #      the batch CLI, served entirely from the store (zero characterizations)
+#   5b. exercise the read side: GET /v1/studies lists the stored study,
+#      GET /v1/studies/{fp} replays the cold bytes, /v1/query answers top-k
+#      and frontier queries (406 on an unproducible Accept), and the
+#      `nvmexplorer query` CLI matches /v1/query byte for byte — all with
+#      zero engine work
 #   6. submit a fresh async job and kill -9 the server mid-flight; assert
 #      the job journal survived, the restarted server resumes the job under
 #      the same ID, and its result is byte-identical to the batch CLI
@@ -123,6 +128,38 @@ echo "$STATS" | jq -e '.memo_cache.misses == 0' >/dev/null || {
 echo "== warm response matches the batch CLI"
 "$WORK/nvmexplorer" run "$WORK/study.json" -format json > "$WORK/cli.json"
 cmp "$WORK/warm.json" "$WORK/cli.json"
+
+echo "== read side: stored study replay + /v1/query, zero engine work"
+FP=$(curl -fsS "$BASE/v1/studies" | jq -r '.[] | select(.name=="ci_smoke") | .fingerprint')
+if [ -z "$FP" ] || [ "$FP" = "null" ]; then
+  echo "stored study ci_smoke not listed" >&2
+  exit 1
+fi
+curl -fsS "$BASE/v1/studies/$FP?format=json" -o "$WORK/replay.json"
+cmp "$WORK/cold.json" "$WORK/replay.json"
+ROWS=$(curl -fsS "$BASE/v1/query?sort=total_power_mw&top=3&format=json" | jq '.points | length')
+if [ "$ROWS" != "3" ]; then
+  echo "top-3 query returned $ROWS rows" >&2
+  exit 1
+fi
+curl -fsS "$BASE/v1/query?frontier=total_power_mw,mem_time_per_sec&format=json" \
+  | jq -e '.frontier.points | length > 0' >/dev/null || {
+  echo "frontier query produced no frontier block" >&2
+  exit 1
+}
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H 'Accept: text/plain' "$BASE/v1/query")
+if [ "$CODE" != "406" ]; then
+  echo "unproducible Accept returned $CODE, want 406" >&2
+  exit 1
+fi
+echo "== CLI query matches /v1/query byte for byte"
+curl -fsS "$BASE/v1/query?sort=read_latency_ns&top=2&format=json" -o "$WORK/query_srv.json"
+"$WORK/nvmexplorer" query "$STORE" -sort read_latency_ns -top 2 -format json > "$WORK/query_cli.json"
+cmp "$WORK/query_srv.json" "$WORK/query_cli.json"
+curl -fsS "$BASE/v1/stats" | jq -e '.memo_cache.misses == 0 and .query.enabled and .query.queries > 0' >/dev/null || {
+  echo "read side touched the engine (or query index inactive)" >&2
+  exit 1
+}
 
 echo "== crash recovery: kill -9 mid-job, the journal resumes it"
 # The analytical model finishes a 12-point study in ~10ms — far too fast to

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/nvsim"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/traffic"
@@ -381,6 +383,137 @@ func BenchmarkTableIISweepDisk(b *testing.B) {
 			st.JournalDone(id)
 		} else if _, err := s.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}
+
+// queryBenchConfig is the store-backed query benchmark's study: the case
+// study cells at two capacities and two targets under a 16-point traffic
+// sweep — 1024 result rows once evaluated, enough for stable sort/filter
+// timings.
+const queryBenchConfig = `{
+  "name": "query-bench",
+  "cells": [
+    {"technology": "STT", "flavor": "Opt"},
+    {"technology": "RRAM", "flavor": "Opt"},
+    {"technology": "PCM", "flavor": "Opt"},
+    {"technology": "FeFET", "flavor": "Opt"}
+  ],
+  "capacities_bytes": [2097152, 4194304],
+  "opt_targets": ["ReadEDP", "Area"],
+  "traffic": {"generic": {"read_gbs_lo": 0.1, "read_gbs_hi": 10,
+    "write_gbs_lo": 0.001, "write_gbs_hi": 1, "points": 16}},
+  "workers": 1
+}`
+
+// queryBenchIndex seeds a store with the benchmark study and builds a warm
+// index over it (the one-time cost BenchmarkQueryColdIndex measures).
+func queryBenchIndex(b *testing.B, dir string) *query.Index {
+	b.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := sweep.Parse(strings.NewReader(queryBenchConfig))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Cache = st
+	s, err := cfg.Study()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, err := s.Fingerprint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.SaveStudy(store.StudyRecord{Fingerprint: fp, Name: s.Name,
+		Config: []byte(queryBenchConfig), Points: len(res.Arrays)}); err != nil {
+		b.Fatal(err)
+	}
+	ix := query.New(st)
+	ix.Refresh()
+	return ix
+}
+
+// BenchmarkQueryWarm measures one filtered, sorted top-k query against a
+// warm index — the steady-state cost of answering a design question from
+// the store with zero engine work (asserted). This is the query layer's
+// regression gate.
+func BenchmarkQueryWarm(b *testing.B) {
+	nvsim.ResetMemo()
+	ix := queryBenchIndex(b, b.TempDir())
+	req := query.Request{
+		Technology: "RRAM",
+		Max:        map[string]float64{"total_power_mw": 1e6},
+		Sort:       "total_power_mw",
+		Top:        10,
+	}
+	nvsim.ResetMemo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ix.Query(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Rows != 10 {
+			b.Fatalf("query returned %d rows, want 10", resp.Rows)
+		}
+	}
+	b.StopTimer()
+	if h, m := nvsim.MemoStats(); h != 0 || m != 0 {
+		b.Fatalf("warm query characterized: memo hits=%d misses=%d", h, m)
+	}
+	nvsim.ResetMemo()
+}
+
+// BenchmarkQueryFrontierWarm measures a frontier-of-union selection over
+// every indexed row — the most expensive query shape (O(n²) dominance
+// scan), still engine-free.
+func BenchmarkQueryFrontierWarm(b *testing.B) {
+	nvsim.ResetMemo()
+	ix := queryBenchIndex(b, b.TempDir())
+	req := query.Request{Frontier: []string{"total_power_mw", "read_latency_ns"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}
+
+// BenchmarkQueryColdIndex measures index construction from a warm disk
+// store across a simulated restart: manifest load, config re-expansion,
+// point fetches, and the columnar shred — the one-time cost a process pays
+// before queries go warm (the EXPERIMENTS.md cold-vs-warm query record).
+func BenchmarkQueryColdIndex(b *testing.B) {
+	nvsim.ResetMemo()
+	dir := b.TempDir()
+	queryBenchIndex(b, dir) // prime the store on disk
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ix := query.New(st)
+		ix.Refresh()
+		if st := ix.Stats(); st.Studies != 1 {
+			b.Fatalf("cold index loaded %d studies", st.Studies)
 		}
 	}
 	b.StopTimer()

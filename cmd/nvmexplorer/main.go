@@ -6,6 +6,7 @@
 //
 //	nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv]
 //	                                           run a JSON design sweep
+//	nvmexplorer query <store-dir> [filters...]  answer from stored studies, zero engine work
 //	nvmexplorer serve [-addr :8080] [-jobs N] [-workers N]
 //	                                           serve studies over HTTP (see internal/server)
 //	nvmexplorer exp <id> [-out dir]            regenerate a paper experiment (fig1..fig14, table1..table3)
@@ -16,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,13 +26,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cell"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/nvsim"
+	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -51,6 +56,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "run":
 		return runSweep(args[1:])
+	case "query":
+		return runQuery(os.Stdout, args[1:])
 	case "serve":
 		return runServe(args[1:])
 	case "exp":
@@ -82,7 +89,17 @@ func usageError() error {
                                              bytes identical to POST /v1/studies;
                                              -pareto selects the result frontier;
                                              -store reuses (and persists) evaluated
-                                             design points across runs
+                                             design points across runs and records
+                                             a study manifest for the query command
+  nvmexplorer query <store-dir> [-list] [-study name|fp,...]
+                    [-cell X] [-technology X] [-pattern X] [-target X]
+                    [-capacity BYTES] [-min metric=v,...] [-max metric=v,...]
+                    [-sort metric] [-order asc|desc] [-top N]
+                    [-frontier metric,metric] [-format table|json|ndjson|csv|html]
+                                             answer filter/top-k/Pareto queries from
+                                             the stored studies of a store directory
+                                             with zero engine work; -list prints the
+                                             stored studies instead of querying
   nvmexplorer serve [-addr :8080] [-jobs N] [-workers N] [-grace 30s]
                     [-store dir] [-job-workers N] [-queue N]
                     [-sync-wait 0] [-study-timeout 0]
@@ -192,6 +209,15 @@ func runSweepTo(w io.Writer, args []string) error {
 		if err := st.SaveMemo(); err != nil {
 			fmt.Fprintln(os.Stderr, "nvmexplorer: warning:", err)
 		}
+		// Record the study manifest so `nvmexplorer query` (and the
+		// service's GET /v1/studies/{fp}) can replay this study from the
+		// store. A study with failed points is not fully stored, so it is
+		// not recorded.
+		if len(res.FailedPoints) == 0 {
+			if merr := saveStudyManifest(st, cfg, res); merr != nil {
+				fmt.Fprintln(os.Stderr, "nvmexplorer: warning: recording study manifest:", merr)
+			}
+		}
 	}
 	switch *format {
 	case "json":
@@ -228,6 +254,159 @@ func runSweepTo(w io.Writer, args []string) error {
 		fmt.Fprintln(w, "wrote", p)
 	}
 	return nil
+}
+
+// saveStudyManifest records a completed CLI run in the store's manifest
+// set: the effective configuration (request-level -pareto override already
+// applied), the expanded study's fingerprint, and its grid size. That makes
+// the run addressable by `nvmexplorer query` and GET /v1/studies/{fp}.
+func saveStudyManifest(st *store.Store, cfg *sweep.Config, res *core.Results) error {
+	eff, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	fp, err := res.Study.Fingerprint()
+	if err != nil {
+		return err
+	}
+	specs, err := res.Study.Space()
+	if err != nil {
+		return err
+	}
+	return st.SaveStudy(store.StudyRecord{
+		Fingerprint: fp, Name: res.Study.Name, Config: eff, Points: len(specs),
+	})
+}
+
+// parseBounds parses a comma-separated metric=value list (the -min/-max
+// flags) into a metric bound map.
+func parseBounds(flagName, spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("query: -%s wants metric=value pairs, got %q", flagName, part)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: -%s %s: %w", flagName, name, err)
+		}
+		out[name] = x
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runQuery implements `nvmexplorer query`: answer filter/top-k/Pareto
+// queries from the study manifests of a store directory through the
+// internal/query index — the CLI twin of GET /v1/query. No design point is
+// characterized; everything is replayed from the store.
+func runQuery(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the stored studies instead of querying rows")
+	study := fs.String("study", "",
+		"comma-separated study selectors (fingerprint or exact name); empty queries every complete study")
+	cellName := fs.String("cell", "", "filter: exact cell name")
+	tech := fs.String("technology", "", "filter: technology (e.g. RRAM, STT, PCM)")
+	pattern := fs.String("pattern", "", "filter: traffic-pattern name")
+	target := fs.String("target", "", "filter: characterization optimization target")
+	capacity := fs.Int64("capacity", 0, "filter: array capacity in bytes (0 = any)")
+	minSpec := fs.String("min", "", "inclusive lower bounds, metric=value[,metric=value...]")
+	maxSpec := fs.String("max", "", "inclusive upper bounds, metric=value[,metric=value...]")
+	sortKey := fs.String("sort", "", "metric to rank rows by")
+	order := fs.String("order", "asc", "sort order: asc or desc")
+	top := fs.Int("top", 0, "keep only the best N rows after sorting (0 = all; requires -sort)")
+	frontier := fs.String("frontier", "",
+		"comma-separated metrics for Pareto frontier-of-union selection")
+	format := fs.String("format", "table",
+		"output format: table (result tables), json, ndjson, csv, or html (bytes identical to GET /v1/query)")
+	dir, err := parseMixed(fs, args)
+	if err != nil {
+		return fmt.Errorf("query needs exactly one store directory: %w", err)
+	}
+	switch *order {
+	case "asc", "desc":
+	default:
+		return fmt.Errorf("query: unknown order %q (want asc or desc)", *order)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	idx := query.New(st)
+	idx.Refresh()
+
+	if *list {
+		t := viz.NewTable("Stored studies", "Fingerprint", "Name", "Points", "Rows", "Complete")
+		studies := idx.Studies()
+		for _, s := range studies {
+			t.MustAddRow(s.Fingerprint, s.Name, s.Points, s.Rows, s.Complete)
+		}
+		fmt.Fprintln(w, strings.TrimRight(t.String(), "\n"))
+		if len(studies) == 0 {
+			fmt.Fprintln(w, "(no stored studies — run a sweep with -store, or POST /v1/studies on a served store)")
+		}
+		return nil
+	}
+
+	mins, err := parseBounds("min", *minSpec)
+	if err != nil {
+		return err
+	}
+	maxs, err := parseBounds("max", *maxSpec)
+	if err != nil {
+		return err
+	}
+	resp, err := idx.Query(query.Request{
+		Studies:    splitList(*study),
+		Cell:       *cellName,
+		Technology: *tech,
+		Pattern:    *pattern,
+		Target:     *target,
+		Capacity:   *capacity,
+		Min:        mins,
+		Max:        maxs,
+		Sort:       *sortKey,
+		Desc:       *order == "desc",
+		Top:        *top,
+		Frontier:   splitList(*frontier),
+	})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if *format == "table" {
+		tables, techOrder, err := sweep.ResultTables(resp.Results)
+		if err != nil {
+			return err
+		}
+		for _, k := range techOrder {
+			fmt.Fprintln(w, tables[k].String())
+		}
+		fmt.Fprintf(w, "%d row(s) from %d stored study(ies), index generation %d\n",
+			resp.Rows, len(resp.Studies), resp.Generation)
+		return nil
+	}
+	f, err := sweep.ParseFormat(*format)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	return f.Write(w, resp.Results)
 }
 
 // runServe starts the long-running study service (see internal/server).

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/nvsim"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func TestUsage(t *testing.T) {
@@ -275,5 +276,118 @@ func TestRunStoreColdWarmByteIdentical(t *testing.T) {
 	}
 	if hits, misses := nvsim.MemoStats(); hits != 0 || misses != 0 {
 		t.Fatalf("warm run characterized: memo hits=%d misses=%d, want 0/0", hits, misses)
+	}
+}
+
+// TestQueryCommand exercises `nvmexplorer query`: a `run -store` seeds the
+// store with a study manifest, then the query subcommand lists, filters,
+// ranks, and Pareto-selects from it — entirely without engine work — and
+// its JSON bytes match GET /v1/query over the same store.
+func TestQueryCommand(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "study.json")
+	cfgJSON := `{
+	  "name": "cli_query",
+	  "cells": [{"technology": "STT", "flavor": "Opt"},
+	            {"technology": "RRAM", "flavor": "Pess"}],
+	  "capacities_bytes": [1048576, 2097152],
+	  "opt_targets": ["ReadEDP", "Area"],
+	  "traffic": {"fixed": [{"name": "t", "reads_per_sec": 1e6, "writes_per_sec": 1e4}]}
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfgJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "store")
+	if err := runSweepTo(io.Discard, []string{cfgPath, "-format", "json", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	manifests, err := os.ReadDir(filepath.Join(storeDir, "studies"))
+	if err != nil || len(manifests) != 1 {
+		t.Fatalf("run -store recorded %d manifests (err %v), want 1", len(manifests), err)
+	}
+
+	// Everything below must answer from the store: fresh engine cache, and
+	// any characterization is a failure.
+	nvsim.ResetMemo()
+
+	var list bytes.Buffer
+	if err := runQuery(&list, []string{storeDir, "-list"}); err != nil {
+		t.Fatalf("query -list: %v", err)
+	}
+	if !strings.Contains(list.String(), "cli_query") || !strings.Contains(list.String(), "true") {
+		t.Errorf("query -list missing the complete stored study:\n%s", list.String())
+	}
+
+	// Top-k CSV: header plus exactly k data rows.
+	var csv bytes.Buffer
+	if err := runQuery(&csv, []string{storeDir, "-sort", "total_power_mw", "-top", "3", "-format", "csv"}); err != nil {
+		t.Fatalf("query top-k: %v", err)
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 4 {
+		t.Errorf("top-3 csv has %d lines, want 4:\n%s", len(lines), csv.String())
+	}
+
+	// Axis filter + table rendering.
+	var table bytes.Buffer
+	if err := runQuery(&table, []string{storeDir, "-technology", "RRAM"}); err != nil {
+		t.Fatalf("query -technology: %v", err)
+	}
+	if strings.Contains(table.String(), "STT") || !strings.Contains(table.String(), "row(s) from 1 stored study(ies)") {
+		t.Errorf("filtered table output wrong:\n%s", table.String())
+	}
+
+	// Frontier-of-union selection renders a frontier block.
+	var fr bytes.Buffer
+	if err := runQuery(&fr, []string{storeDir, "-frontier", "total_power_mw,mem_time_per_sec", "-format", "json"}); err != nil {
+		t.Fatalf("query -frontier: %v", err)
+	}
+	if !strings.Contains(fr.String(), `"frontier"`) {
+		t.Error("frontier query produced no frontier block")
+	}
+
+	// The CLI and GET /v1/query answer byte-identically over the same store.
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{MaxConcurrentStudies: 2, Store: st})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var cli bytes.Buffer
+	if err := runQuery(&cli, []string{storeDir, "-sort", "read_latency_ns", "-top", "2", "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/query?sort=read_latency_ns&top=2&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("service query status %d (err %v): %s", resp.StatusCode, err, srvBody)
+	}
+	if !bytes.Equal(cli.Bytes(), srvBody) {
+		t.Errorf("CLI query (%d bytes) != GET /v1/query (%d bytes)", cli.Len(), len(srvBody))
+	}
+
+	if hits, misses := nvsim.MemoStats(); hits != 0 || misses != 0 {
+		t.Fatalf("query subcommand characterized: memo hits=%d misses=%d, want 0/0", hits, misses)
+	}
+
+	// Error shapes: each bad request fails without touching the store's rows.
+	for _, tc := range [][]string{
+		{storeDir, "-order", "sideways"},
+		{storeDir, "-min", "total_power_mw"},        // not metric=value
+		{storeDir, "-max", "total_power_mw=lots"},   // not a number
+		{storeDir, "-top", "3"},                     // -top requires -sort
+		{storeDir, "-sort", "vibes"},                // unknown metric
+		{storeDir, "-study", "no-such-study"},       // unknown selector
+		{storeDir, "-format", "weird"},              // unknown format
+		{filepath.Join(dir, "nope"), "-list", "-x"}, // unknown flag
+	} {
+		if err := runQuery(io.Discard, tc); err == nil {
+			t.Errorf("query %v should error", tc[1:])
+		}
 	}
 }

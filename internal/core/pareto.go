@@ -52,6 +52,27 @@ func ParetoMetricNames() []string {
 	return names
 }
 
+// MetricNames lists the named result metrics, sorted. These are the same
+// names usable for Pareto selection, and the query layer's sort/filter
+// vocabulary.
+func MetricNames() []string { return ParetoMetricNames() }
+
+// MetricValue reads one named metric off a result row. The bool reports
+// whether the name is known. Query-layer sorting and range filtering go
+// through this accessor so metric names mean exactly what frontier
+// selection means by them.
+func MetricValue(name string, m *eval.Metrics) (float64, bool) {
+	def, ok := paretoMetrics[name]
+	if !ok {
+		return 0, false
+	}
+	return def.get(m), true
+}
+
+// MetricMaximized reports the optimization sense of a named metric (true
+// for lifetime and density, which maximize). Unknown names read as false.
+func MetricMaximized(name string) bool { return paretoMetrics[name].maximize }
+
 // ValidateParetoMetrics checks a frontier selection: only known metric
 // names, no duplicates. An empty selection is valid (no frontier).
 func ValidateParetoMetrics(names []string) error {

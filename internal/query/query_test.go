@@ -1,0 +1,481 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/nvsim"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// Study configurations the tests seed stores with. alphaConfig declares
+// only the mandatory axes; gridConfig declares word-bits and write-buffer
+// axes so union-rendering across differently shaped studies is exercised.
+const alphaConfig = `{
+  "name": "alpha",
+  "cells": [
+    {"technology": "STT", "flavor": "Opt"},
+    {"technology": "RRAM", "flavor": "Pess"}
+  ],
+  "capacities_bytes": [2097152, 4194304],
+  "opt_targets": ["ReadEDP"],
+  "traffic": {"fixed": [
+    {"name": "read-heavy", "reads_per_sec": 1e7, "writes_per_sec": 1e5},
+    {"name": "write-heavy", "reads_per_sec": 1e5, "writes_per_sec": 1e6}
+  ]}
+}`
+
+const gridConfig = `{
+  "name": "grid",
+  "cells": [{"technology": "FeFET", "flavor": "Opt"}],
+  "capacities_bytes": [2097152],
+  "opt_targets": ["ReadEDP", "Area"],
+  "word_bits_axis": [256, 512],
+  "write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 1}],
+  "traffic": {"fixed": [
+    {"name": "mixed", "reads_per_sec": 1e6, "writes_per_sec": 1e5}
+  ]}
+}`
+
+// seedStudy runs one configuration through the engine into the store and
+// saves its manifest, returning the fingerprint and the run's results (the
+// brute-force reference data).
+func seedStudy(t *testing.T, st *store.Store, cfgJSON string) (string, *core.Results) {
+	t.Helper()
+	cfg, err := sweep.Parse(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = st
+	cfg.Workers = 1
+	s, err := cfg.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(store.StudyRecord{
+		Fingerprint: fp, Name: s.Name, Config: []byte(cfgJSON), Points: len(specs),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fp, res
+}
+
+// warmIndex seeds both test studies and builds an index, asserting that
+// index construction and all subsequent queries do zero engine work.
+func warmIndex(t *testing.T, dir string) (*Index, map[string]*core.Results) {
+	t.Helper()
+	nvsim.ResetMemo()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string]*core.Results{}
+	fpA, resA := seedStudy(t, st, alphaConfig)
+	fpG, resG := seedStudy(t, st, gridConfig)
+	refs[fpA], refs[fpG] = resA, resG
+	refs["alpha"], refs["grid"] = resA, resG
+
+	nvsim.ResetMemo() // freeze the engine: any touch after this is a bug
+	ix := New(st)
+	ix.Refresh()
+	t.Cleanup(func() {
+		if h, m := nvsim.MemoStats(); h != 0 || m != 0 {
+			t.Fatalf("query path touched the engine: memo hits=%d misses=%d", h, m)
+		}
+		nvsim.ResetMemo()
+	})
+	return ix, refs
+}
+
+func metricOf(t *testing.T, name string, m *eval.Metrics) float64 {
+	t.Helper()
+	v, ok := core.MetricValue(name, m)
+	if !ok {
+		t.Fatalf("unknown metric %q", name)
+	}
+	return v
+}
+
+func TestQueryAllRowsMatchesSources(t *testing.T) {
+	ix, refs := warmIndex(t, t.TempDir())
+	resp, err := ix.Query(Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(refs["alpha"].Metrics) + len(refs["grid"].Metrics)
+	if resp.Rows != want || len(resp.Results.Metrics) != want {
+		t.Fatalf("all-rows query returned %d rows, want %d", resp.Rows, want)
+	}
+	if len(resp.Studies) != 2 {
+		t.Fatalf("sources = %v, want 2 fingerprints", resp.Studies)
+	}
+	// Study order is (name, fingerprint): alpha rows first, verbatim.
+	for i, m := range refs["alpha"].Metrics {
+		if resp.Results.Metrics[i].TotalPowerMW != m.TotalPowerMW {
+			t.Fatalf("row %d differs from alpha source", i)
+		}
+	}
+}
+
+func TestQueryFiltersMatchBruteForce(t *testing.T) {
+	ix, refs := warmIndex(t, t.TempDir())
+
+	cases := []struct {
+		name string
+		req  Request
+		keep func(*eval.Metrics) bool
+	}{
+		{"cell", Request{Cell: "STT-opt"},
+			func(m *eval.Metrics) bool { return m.Array.Cell.Name == "STT-opt" }},
+		{"technology", Request{Technology: "FeFET"},
+			func(m *eval.Metrics) bool { return m.Array.Cell.Tech.String() == "FeFET" }},
+		{"pattern", Request{Pattern: "write-heavy"},
+			func(m *eval.Metrics) bool { return m.Pattern.Name == "write-heavy" }},
+		{"target", Request{Target: "Area"},
+			func(m *eval.Metrics) bool { return m.Array.Target.String() == "Area" }},
+		{"capacity", Request{Capacity: 4194304},
+			func(m *eval.Metrics) bool { return m.Array.CapacityBytes == 4194304 }},
+		{"min power", Request{Min: map[string]float64{"total_power_mw": 5}},
+			func(m *eval.Metrics) bool { return m.TotalPowerMW >= 5 }},
+		{"max area", Request{Max: map[string]float64{"area_mm2": 2}},
+			func(m *eval.Metrics) bool { return m.Array.AreaMM2 <= 2 }},
+		{"range and axis", Request{Technology: "RRAM", Min: map[string]float64{"read_latency_ns": 0},
+			Max: map[string]float64{"total_power_mw": 1e9}},
+			func(m *eval.Metrics) bool { return m.Array.Cell.Tech.String() == "RRAM" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ix.Query(tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []float64
+			for _, src := range []string{"alpha", "grid"} {
+				for i := range refs[src].Metrics {
+					m := &refs[src].Metrics[i]
+					if tc.keep(m) {
+						want = append(want, m.TotalPowerMW)
+					}
+				}
+			}
+			if len(resp.Results.Metrics) != len(want) {
+				t.Fatalf("filter kept %d rows, brute force keeps %d", len(resp.Results.Metrics), len(want))
+			}
+			for i := range want {
+				if resp.Results.Metrics[i].TotalPowerMW != want[i] {
+					t.Fatalf("row %d: power %v, want %v", i, resp.Results.Metrics[i].TotalPowerMW, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestQueryTopKMatchesBruteForce(t *testing.T) {
+	ix, refs := warmIndex(t, t.TempDir())
+	for _, metric := range []string{"total_power_mw", "read_latency_ns", "lifetime_years"} {
+		for _, desc := range []bool{false, true} {
+			resp, err := ix.Query(Request{Sort: metric, Desc: desc, Top: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results.Metrics) != 3 {
+				t.Fatalf("top-3 returned %d rows", len(resp.Results.Metrics))
+			}
+			// Brute force: stable sort all rows on the metric, NaN last.
+			var all []eval.Metrics
+			all = append(all, refs["alpha"].Metrics...)
+			all = append(all, refs["grid"].Metrics...)
+			sort.SliceStable(all, func(a, b int) bool {
+				va, vb := metricOf(t, metric, &all[a]), metricOf(t, metric, &all[b])
+				if math.IsNaN(vb) {
+					return !math.IsNaN(va)
+				}
+				if math.IsNaN(va) {
+					return false
+				}
+				if desc {
+					return va > vb
+				}
+				return va < vb
+			})
+			for i := 0; i < 3; i++ {
+				got := metricOf(t, metric, &resp.Results.Metrics[i])
+				want := metricOf(t, metric, &all[i])
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("%s desc=%v rank %d: %v, want %v", metric, desc, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryFrontierOfUnionMatchesBruteForce(t *testing.T) {
+	ix, refs := warmIndex(t, t.TempDir())
+	metrics := []string{"total_power_mw", "read_latency_ns"}
+	resp, err := ix.Query(Request{Frontier: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results.Frontier == nil {
+		t.Fatal("frontier request produced no frontier")
+	}
+
+	// Brute force: the same union rows through core.ParetoFrontier directly.
+	var union []eval.Metrics
+	union = append(union, refs["alpha"].Metrics...)
+	union = append(union, refs["grid"].Metrics...)
+	ref := &core.Results{Study: core.NewStudy("ref"), Metrics: union}
+	want, err := ref.ParetoFrontier(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results.Frontier) != len(want) {
+		t.Fatalf("frontier size %d, want %d", len(resp.Results.Frontier), len(want))
+	}
+	for i := range want {
+		if resp.Results.Frontier[i] != want[i] {
+			t.Fatalf("frontier[%d] = %d, want %d", i, resp.Results.Frontier[i], want[i])
+		}
+	}
+	// The synthetic study must declare the selection so writers render it.
+	if got := resp.Results.Study.Pareto; len(got) != 2 {
+		t.Fatalf("result study pareto = %v", got)
+	}
+}
+
+func TestQueryStudySelectors(t *testing.T) {
+	ix, refs := warmIndex(t, t.TempDir())
+
+	// By name.
+	resp, err := ix.Query(Request{Studies: []string{"grid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results.Metrics) != len(refs["grid"].Metrics) {
+		t.Fatalf("by-name rows = %d, want %d", len(resp.Results.Metrics), len(refs["grid"].Metrics))
+	}
+	// By fingerprint.
+	resp2, err := ix.Query(Request{Studies: resp.Studies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Results.Metrics) != len(resp.Results.Metrics) {
+		t.Fatal("fingerprint selector disagrees with name selector")
+	}
+	// Unknown.
+	if _, err := ix.Query(Request{Studies: []string{"nope"}}); !errors.Is(err, ErrUnknownStudy) {
+		t.Fatalf("unknown study err = %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ix, _ := warmIndex(t, t.TempDir())
+	for _, req := range []Request{
+		{Top: 3},                                     // top without sort
+		{Top: -1, Sort: "total_power_mw"},            // negative top
+		{Sort: "watts"},                              // unknown sort metric
+		{Min: map[string]float64{"bogus": 1}},        // unknown range metric
+		{Frontier: []string{"nope"}},                 // unknown frontier metric
+		{Frontier: []string{"area_mm2", "area_mm2"}}, // duplicate frontier metric
+	} {
+		if _, err := ix.Query(req); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("request %+v err = %v, want ErrBadRequest", req, err)
+		}
+	}
+}
+
+func TestQueryUnionRendersWithSharedWriters(t *testing.T) {
+	ix, _ := warmIndex(t, t.TempDir())
+	resp, err := ix.Query(Request{Sort: "total_power_mw", Top: 5,
+		Frontier: []string{"total_power_mw", "area_mm2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid study declares word-bits and write-buffer axes, so the union
+	// rows must render those columns in every format without error.
+	for _, f := range sweep.Formats() {
+		var buf bytes.Buffer
+		if err := f.Write(&buf, resp.Results); err != nil {
+			t.Fatalf("format %s: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %s produced no body", f)
+		}
+	}
+}
+
+func TestLoadReplaysStoredStudyByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	nvsim.ResetMemo()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ref := seedStudy(t, st, gridConfig)
+	var want bytes.Buffer
+	if err := sweep.WriteJSON(&want, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: new store handle, cold engine, warm disk.
+	nvsim.ResetMemo()
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := New(st2)
+	res, found, err := ix.Load(fp)
+	if err != nil || !found {
+		t.Fatalf("Load(%s) = found=%v err=%v", fp, found, err)
+	}
+	var got bytes.Buffer
+	if err := sweep.WriteJSON(&got, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("replayed study body differs from the original run")
+	}
+	if h, m := nvsim.MemoStats(); h != 0 || m != 0 {
+		t.Fatalf("Load touched the engine: memo hits=%d misses=%d", h, m)
+	}
+	if _, found, _ := ix.Load("unknown"); found {
+		t.Fatal("Load invented a study")
+	}
+	nvsim.ResetMemo()
+}
+
+func TestQueryEmptyStore(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := New(st)
+	ix.Refresh()
+	resp, err := ix.Query(Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows != 0 || len(resp.Results.Metrics) != 0 {
+		t.Fatalf("empty store returned %d rows", resp.Rows)
+	}
+	if got := ix.Studies(); len(got) != 0 {
+		t.Fatalf("empty store lists %d studies", len(got))
+	}
+}
+
+func TestQueryMemoryOnlyStore(t *testing.T) {
+	nvsim.ResetMemo()
+	st, err := store.Open("") // degraded/memory-only shape: no disk at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref := seedStudy(t, st, alphaConfig)
+	ix := New(st)
+	ix.Refresh()
+	resp, err := ix.Query(Request{Sort: "total_power_mw", Top: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results.Metrics) != 2 {
+		t.Fatalf("memory-only query returned %d rows, want 2", len(resp.Results.Metrics))
+	}
+	if len(ref.Metrics) < 2 {
+		t.Fatal("reference study too small")
+	}
+	nvsim.ResetMemo()
+}
+
+func TestQueryIncompleteStudy(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A manifest whose points were never stored (interrupted run).
+	cfg, err := sweep.Parse(strings.NewReader(alphaConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cfg.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(store.StudyRecord{Fingerprint: fp, Name: "alpha",
+		Config: []byte(alphaConfig), Points: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ix := New(st)
+	ix.Refresh()
+
+	// Excluded from the all-studies union...
+	resp, err := ix.Query(Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows != 0 {
+		t.Fatalf("incomplete study leaked %d rows into the union", resp.Rows)
+	}
+	// ...but an explicit selection names the condition.
+	if _, err := ix.Query(Request{Studies: []string{fp}}); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("explicit incomplete selection err = %v", err)
+	}
+	if _, found, err := ix.Load(fp); !found || !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("Load incomplete = found=%v err=%v", found, err)
+	}
+	sums := ix.Studies()
+	if len(sums) != 1 || sums[0].Complete {
+		t.Fatalf("summaries = %+v, want one incomplete", sums)
+	}
+	st2 := ix.Stats()
+	if st2.Incomplete != 1 || st2.Studies != 0 {
+		t.Fatalf("stats = %+v", st2)
+	}
+}
+
+func TestGenerationStableUntilContentChanges(t *testing.T) {
+	nvsim.ResetMemo()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStudy(t, st, alphaConfig)
+	ix := New(st)
+	g1 := ix.Refresh()
+	if g1 == 0 {
+		t.Fatal("loading a study did not bump the generation")
+	}
+	// No change, no bump — cached responses stay valid.
+	for i := 0; i < 3; i++ {
+		if g := ix.Refresh(); g != g1 {
+			t.Fatalf("no-op refresh moved generation %d -> %d", g1, g)
+		}
+	}
+	// A new study moves it.
+	seedStudy(t, st, gridConfig)
+	if g := ix.Refresh(); g <= g1 {
+		t.Fatalf("new study did not bump generation (%d -> %d)", g1, g)
+	}
+	nvsim.ResetMemo()
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -81,6 +82,7 @@ type job struct {
 	studyName   string
 	fingerprint string
 	format      string // format requested at submission; result default
+	eff         []byte // effective config JSON, for the study manifest
 	total       int    // grid points in the study's design space
 	completed   atomic.Int64
 
@@ -159,10 +161,11 @@ func newJobManager(srv *Server, workers, queueDepth int) *jobManager {
 
 // submit registers a study as a job, deduplicating against identical
 // in-flight configurations. The returned bool reports whether an existing
-// job was reused. rawCfg and pareto are journaled write-ahead (before the
-// job can run) so a crashed process can rebuild the identical study on
-// restart. Errors: a full queue (callers answer 503).
-func (m *jobManager) submit(study *core.Study, format string, rawCfg []byte, pareto *sweep.ParetoConfig) (*job, bool, error) {
+// job was reused. The raw config and pareto override are journaled
+// write-ahead (before the job can run) so a crashed process can rebuild the
+// identical study on restart. Errors: a full queue (callers answer 503).
+func (m *jobManager) submit(b builtStudy, pareto *sweep.ParetoConfig) (*job, bool, error) {
+	study, format, rawCfg := b.study, string(b.format), b.raw
 	fp, err := study.Fingerprint()
 	if err != nil {
 		return nil, false, err
@@ -185,6 +188,7 @@ func (m *jobManager) submit(study *core.Study, format string, rawCfg []byte, par
 		studyName:   study.Name,
 		fingerprint: fp,
 		format:      format,
+		eff:         b.eff,
 		total:       len(specs),
 		ctx:         ctx,
 		cancel:      cancel,
@@ -284,6 +288,12 @@ func (m *jobManager) adopt(rec store.JobRecord) (*job, error) {
 	default:
 		format = "json"
 	}
+	// Re-marshal the effective config (pareto override applied) so the
+	// resumed job still records a manifest when it completes.
+	eff, err := json.Marshal(cfg)
+	if err != nil {
+		eff = nil
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if seq := jobIDSeq(rec.ID); seq > m.seq {
@@ -296,6 +306,7 @@ func (m *jobManager) adopt(rec store.JobRecord) (*job, error) {
 		studyName:   study.Name,
 		fingerprint: fp,
 		format:      format,
+		eff:         eff,
 		total:       len(specs),
 		ctx:         ctx,
 		cancel:      cancel,
@@ -483,6 +494,7 @@ func (m *jobManager) run(j *job) {
 		// points_served counts rendered responses; it accrues when the
 		// result is actually fetched (handleJobResult), not here.
 		m.srv.completed.Add(1)
+		m.srv.saveManifest(j.fingerprint, j.study, j.eff, res)
 		j.setState(JobDone, res, nil)
 	}
 }

@@ -10,6 +10,10 @@
 //	POST /v1/studies                        run a sweep.Config; ?format=json|ndjson|csv|html
 //	                                        and ?pareto=metric,metric for frontier selection;
 //	                                        ?async=1 queues the study and answers 202+job ID
+//	GET  /v1/studies                        list stored studies (requires -store)
+//	GET  /v1/studies/{fingerprint}          re-render one stored study, zero engine work
+//	GET  /v1/query                          filter/rank/Pareto-select rows across stored
+//	                                        studies from the warm query index
 //	GET  /v1/jobs                           every async job, submission order
 //	GET  /v1/jobs/{id}                      one job: state + completed/total progress
 //	GET  /v1/jobs/{id}/result               a done job's study body (?format= as above)
@@ -17,8 +21,9 @@
 //	GET  /v1/cells                          the canonical tentpole cell database
 //	GET  /v1/experiments                    the paper-experiment registry
 //	GET  /v1/experiments/{id}/dashboard.html  one experiment rendered as an HTML dashboard
-//	GET  /v1/stats                          memo-cache, study-store, and job counters
+//	GET  /v1/stats                          memo-cache, study-store, job, and query counters
 //	GET  /v1/healthz                        liveness/readiness (503 while draining)
+//	GET  /v1/openapi.json                   machine-readable API description
 //
 // Responses for a given configuration are byte-identical to the batch CLI
 // (`nvmexplorer run -format json|ndjson|csv`): both sides render through
@@ -30,6 +35,12 @@
 // concurrent studies — sync and async alike — from oversubscribing the
 // per-study worker pools, and Options.Store plugs the persistent
 // point-level study store (internal/store) under every run.
+//
+// Output format selection is shared across every rendering endpoint
+// (sweep.Negotiate): an explicit ?format= always wins (400 bad_format on an
+// unknown name), otherwise the Accept header is honored (406 not_acceptable
+// when it names only unproducible types). Every non-2xx response uses one
+// JSON error envelope with stable codes — see errors.go.
 package server
 
 import (
@@ -41,9 +52,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -52,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/nvsim"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/viz"
@@ -98,6 +110,9 @@ type Server struct {
 	opts Options
 	sem  chan struct{} // bounded job semaphore
 	jobs *jobManager
+	// idx is the read-optimized query index over the store's studies
+	// (GET /v1/query, GET /v1/studies...); nil without a store.
+	idx *query.Index
 
 	inFlight  atomic.Int64
 	completed atomic.Int64
@@ -125,6 +140,10 @@ func New(opts Options) *Server {
 		opts.JobQueueDepth = 16
 	}
 	s := &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
+	if opts.Store != nil {
+		s.idx = query.New(opts.Store)
+		s.idx.Refresh() // warm the read side before the first request
+	}
 	s.jobs = newJobManager(s, opts.JobWorkers, opts.JobQueueDepth)
 	// Replay the store's job journal: every async job that never reached a
 	// terminal state before the last shutdown (graceful or not) is re-adopted
@@ -147,6 +166,9 @@ func (s *Server) Close() { s.jobs.close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/studies", s.handleStudiesList)
+	mux.HandleFunc("GET /v1/studies/{fingerprint}", s.handleStudyGet)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -156,7 +178,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}/dashboard.html", s.handleDashboard)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/openapi.json", s.handleOpenAPI)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
+	// Everything else gets the API's 404 envelope instead of the mux's
+	// plain-text default (method mismatches land here too).
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
 
@@ -209,45 +235,23 @@ func (s *Server) acquire(r *http.Request) (ok, shed bool) {
 	}
 }
 
-// shedRequest answers a load-shed request: 429 with a Retry-After hint, the
-// contract that lets clients and load balancers back off instead of piling
-// onto a saturated study semaphore.
+// shedRequest answers a load-shed request: 429 with a Retry-After hint (in
+// the header and the envelope), the contract that lets clients and load
+// balancers back off instead of piling onto a saturated study semaphore.
 func shedRequest(w http.ResponseWriter, wait time.Duration) {
 	secs := int(wait / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	httpError(w, http.StatusTooManyRequests,
-		fmt.Errorf("server saturated; retry in %ds", secs))
+	apiErrorRetry(w, http.StatusTooManyRequests, codeSaturated,
+		fmt.Errorf("server saturated; retry in %ds", secs), secs)
 }
 
-// httpError writes a JSON error body.
-func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-// studyFormat resolves the response format from the query (authoritative)
-// or the Accept header.
-func studyFormat(r *http.Request) (string, error) {
-	switch f := r.URL.Query().Get("format"); f {
-	case "json", "ndjson", "csv", "html":
-		return f, nil
-	case "":
-	default:
-		return "", fmt.Errorf("unknown format %q (want json, ndjson, csv, or html)", f)
-	}
-	switch r.Header.Get("Accept") {
-	case "application/x-ndjson":
-		return "ndjson", nil
-	case "text/csv":
-		return "csv", nil
-	case "text/html":
-		return "html", nil
-	}
-	return "json", nil
+// handleNotFound is the catch-all: unknown paths (and method mismatches the
+// mux routes here) answer the API's 404 envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	apiError(w, http.StatusNotFound, codeNotFound,
+		fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
 }
 
 // studyPareto resolves the ?pareto= query option — a comma-separated
@@ -279,39 +283,75 @@ func ifNoneMatchHits(header, etag string) bool {
 	return false
 }
 
+// builtStudy is one expanded POST /v1/studies request.
+type builtStudy struct {
+	study  *core.Study
+	format sweep.Format
+	// raw is the request body as received: async submissions journal it, so
+	// a resumed job can rebuild the identical study after a restart.
+	raw []byte
+	// eff is the effective configuration (request-level overrides applied)
+	// re-marshaled as JSON — what a study manifest records so the query
+	// index can re-expand the identical study later. nil if marshaling
+	// failed (the study still runs; it just isn't recorded).
+	eff []byte
+}
+
 // buildStudy expands a request body into a runnable study with the server's
-// store attached and the default worker-pool size applied. The raw body
-// bytes are returned too: async submissions journal them, so a resumed job
-// can rebuild the identical study after a restart.
-func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study, string, []byte, bool) {
+// store attached and the default worker-pool size applied.
+func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (builtStudy, bool) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxConfigBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, "", nil, false
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return builtStudy{}, false
 	}
 	cfg, err := sweep.Parse(bytes.NewReader(raw))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, "", nil, false
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return builtStudy{}, false
 	}
 	studyPareto(r, cfg)
+	eff, err := json.Marshal(cfg)
+	if err != nil {
+		eff = nil
+	}
 	if s.opts.Store != nil {
 		cfg.Cache = s.opts.Store
 	}
 	study, err := cfg.Study()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, "", nil, false
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return builtStudy{}, false
 	}
-	format, err := studyFormat(r)
+	format, err := sweep.Negotiate(r.Header.Get("Accept"), r.URL.Query().Get("format"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, "", nil, false
+		formatError(w, err)
+		return builtStudy{}, false
 	}
 	if study.Workers == 0 {
 		study.Workers = s.opts.StudyWorkers
 	}
-	return study, format, raw, true
+	return builtStudy{study: study, format: format, raw: raw, eff: eff}, true
+}
+
+// saveManifest records a completed study in the store's manifest set,
+// making it addressable by GET /v1/studies/{fingerprint} and the query
+// index. A study with failed points is not fully stored, so it is not
+// recorded; a manifest write failure degrades queryability, never the
+// response.
+func (s *Server) saveManifest(fingerprint string, study *core.Study, eff []byte, res *core.Results) {
+	if s.opts.Store == nil || eff == nil || fingerprint == "" || len(res.FailedPoints) > 0 {
+		return
+	}
+	specs, err := study.Space()
+	if err != nil {
+		return
+	}
+	if err := s.opts.Store.SaveStudy(store.StudyRecord{
+		Fingerprint: fingerprint, Name: study.Name, Config: eff, Points: len(specs),
+	}); err != nil {
+		log.Printf("server: saving study manifest %s: %v", fingerprint, err)
+	}
 }
 
 // handleStudies runs one sweep configuration. JSON and CSV responses are
@@ -321,24 +361,25 @@ func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (*core.Study
 // batch writer's output). ?async=1 queues the study as a job and answers
 // 202 immediately; a matching If-None-Match answers 304 without running.
 func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
-	study, format, raw, ok := s.buildStudy(w, r)
+	b, ok := s.buildStudy(w, r)
 	if !ok {
 		return
 	}
+	study, format := b.study, b.format
 	switch r.URL.Query().Get("async") {
 	case "", "0", "false":
 	default:
-		s.submitAsync(w, r, study, format, raw)
+		s.submitAsync(w, r, b)
 		return
 	}
 	// Deterministic responses make request-identity ETags exact: compute it
 	// before running so a revalidation never costs a study.
 	fp, err := study.Fingerprint()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		apiError(w, http.StatusUnprocessableEntity, codeInvalidConfig, err)
 		return
 	}
-	etag := etagFor(fp, format)
+	etag := etagFor(fp, string(format))
 	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchHits(inm, etag) {
 		w.Header().Set("ETag", etag)
 		w.WriteHeader(http.StatusNotModified)
@@ -365,33 +406,24 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.StudyTimeout)
 		defer cancel()
 	}
-	if format != "ndjson" {
+	if format != sweep.FormatNDJSON {
 		res, err := study.RunStream(ctx, nil)
 		if err != nil {
 			s.failed.Add(1)
 			switch {
 			case r.Context().Err() != nil: // client gone
 			case ctx.Err() != nil: // study timeout
-				httpError(w, http.StatusServiceUnavailable,
+				apiError(w, http.StatusServiceUnavailable, codeStudyTimeout,
 					fmt.Errorf("study exceeded the %s execution budget", s.opts.StudyTimeout))
 			default:
-				httpError(w, http.StatusUnprocessableEntity, err)
+				apiError(w, http.StatusUnprocessableEntity, codeStudyFailed, err)
 			}
 			return
 		}
+		s.saveManifest(fp, study, b.eff, res)
 		w.Header().Set("ETag", etag)
-		switch format {
-		case "json":
-			w.Header().Set("Content-Type", "application/json")
-			err = sweep.WriteJSON(w, res)
-		case "csv":
-			w.Header().Set("Content-Type", "text/csv")
-			err = sweep.WriteCombinedCSV(w, res)
-		case "html":
-			w.Header().Set("Content-Type", "text/html; charset=utf-8")
-			err = sweep.WriteDashboardHTML(w, res)
-		}
-		if err == nil {
+		w.Header().Set("Content-Type", format.ContentType())
+		if err := format.Write(w, res); err == nil {
 			s.completed.Add(1)
 			s.points.Add(int64(len(res.Metrics)))
 		} else {
@@ -432,11 +464,15 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.failed.Add(1)
 		if r.Context().Err() == nil {
-			// Headers are gone; surface the failure as a trailing error row.
-			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			// Headers are gone; surface the failure as a trailing error row
+			// in the same envelope shape as a pre-stream failure.
+			_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+				Code: codeStudyFailed, Message: err.Error(),
+			}})
 		}
 		return
 	}
+	s.saveManifest(fp, study, b.eff, res)
 	s.completed.Add(1)
 }
 
@@ -454,18 +490,18 @@ type asyncAccepted struct {
 // job's ID — or the ID of an identical in-flight job (singleflight dedup).
 // The raw config bytes (plus any request-level Pareto override) are
 // journaled write-ahead, so the job survives a crash.
-func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, study *core.Study, format string, raw []byte) {
+func (s *Server) submitAsync(w http.ResponseWriter, r *http.Request, b builtStudy) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		apiError(w, http.StatusServiceUnavailable, codeDraining, fmt.Errorf("draining"))
 		return
 	}
-	j, dedup, err := s.jobs.submit(study, format, raw, sweep.ParseParetoList(r.URL.Query().Get("pareto")))
+	j, dedup, err := s.jobs.submit(b, sweep.ParseParetoList(r.URL.Query().Get("pareto")))
 	if err != nil {
-		status := http.StatusUnprocessableEntity
 		if errors.Is(err, errQueueFull) {
-			status = http.StatusServiceUnavailable
+			apiError(w, http.StatusServiceUnavailable, codeQueueFull, err)
+			return
 		}
-		httpError(w, status, err)
+		apiError(w, http.StatusUnprocessableEntity, codeInvalidConfig, err)
 		return
 	}
 	st, _, _ := j.snapshot()
@@ -493,7 +529,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, j.status())
@@ -506,52 +542,40 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	st, res, jerr := j.snapshot()
 	switch st {
 	case JobQueued, JobRunning:
-		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no result yet", j.id, st))
+		apiError(w, http.StatusConflict, codeJobNotReady, fmt.Errorf("job %s is %s; no result yet", j.id, st))
 		return
 	case JobCanceled:
-		httpError(w, http.StatusGone, fmt.Errorf("job %s was canceled", j.id))
+		apiError(w, http.StatusGone, codeJobCanceled, fmt.Errorf("job %s was canceled", j.id))
 		return
 	case JobFailed:
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %v", j.id, jerr))
+		apiError(w, http.StatusInternalServerError, codeJobFailed, fmt.Errorf("job %s failed: %v", j.id, jerr))
 		return
 	}
-	format := j.format
-	if f := r.URL.Query().Get("format"); f != "" {
+	// The format requested at submission is the default; an explicit
+	// ?format= or an Accept header renegotiates (406 when unsatisfiable).
+	format := sweep.Format(j.format)
+	if p := r.URL.Query().Get("format"); p != "" || strings.TrimSpace(r.Header.Get("Accept")) != "" {
 		var err error
-		if format, err = studyFormat(r); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if format, err = sweep.Negotiate(r.Header.Get("Accept"), p); err != nil {
+			formatError(w, err)
 			return
 		}
 	}
-	etag := etagFor(j.fingerprint, format)
+	etag := etagFor(j.fingerprint, string(format))
 	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchHits(inm, etag) {
 		w.Header().Set("ETag", etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("ETag", etag)
-	var err error
-	switch format {
-	case "json":
-		w.Header().Set("Content-Type", "application/json")
-		err = sweep.WriteJSON(w, res)
-	case "ndjson":
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		err = sweep.WriteNDJSON(w, res)
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv")
-		err = sweep.WriteCombinedCSV(w, res)
-	case "html":
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		err = sweep.WriteDashboardHTML(w, res)
-	}
-	if err == nil {
+	w.Header().Set("Content-Type", format.ContentType())
+	if err := format.Write(w, res); err == nil {
 		s.points.Add(int64(len(res.Metrics)))
 	}
 }
@@ -561,7 +585,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	j.cancel()
@@ -637,7 +661,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	e, err := exp.Get(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		apiError(w, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	ok, shed := s.acquire(r)
@@ -660,7 +684,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	res, err := e.Run()
 	if err != nil {
 		s.failed.Add(1)
-		httpError(w, http.StatusInternalServerError, err)
+		apiError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	dash := &viz.Dashboard{
@@ -707,6 +731,16 @@ type Stats struct {
 		// Shed counts sync requests bounced with 429 under overload.
 		Shed int64 `json:"shed"`
 	} `json:"jobs"`
+	// Query reports the read-side index over the stored studies, when a
+	// store is attached.
+	Query struct {
+		Enabled    bool  `json:"enabled"`
+		Studies    int   `json:"studies"`
+		Incomplete int   `json:"incomplete"`
+		Rows       int   `json:"rows"`
+		Generation int64 `json:"generation"`
+		Queries    int64 `json:"queries"`
+	} `json:"query"`
 	// Async reports the background job subsystem.
 	Async struct {
 		Workers      int   `json:"workers"`
@@ -741,6 +775,15 @@ func (s *Server) Snapshot() Stats {
 	st.Jobs.Failed = s.failed.Load()
 	st.Jobs.PointsServed = s.points.Load()
 	st.Jobs.Shed = s.shed.Load()
+	if s.idx != nil {
+		q := s.idx.Stats()
+		st.Query.Enabled = true
+		st.Query.Studies = q.Studies
+		st.Query.Incomplete = q.Incomplete
+		st.Query.Rows = q.Rows
+		st.Query.Generation = q.Generation
+		st.Query.Queries = q.Queries
+	}
 	st.Async.Workers = s.opts.JobWorkers
 	st.Async.QueueDepth = s.opts.JobQueueDepth
 	st.Async.Submitted = s.jobs.submitted.Load()
@@ -760,6 +803,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
   POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv|html,
                                             ?pareto=metric,metric for frontier selection,
                                             ?async=1 to queue a job; ETag/If-None-Match honored)
+  GET  /v1/studies                          list stored studies (requires -store)
+  GET  /v1/studies/{fingerprint}            re-render one stored study, zero engine work
+  GET  /v1/query                            filter/rank/Pareto-select rows across stored studies
+                                            (study=, cell=, technology=, pattern=, target=,
+                                            capacity=, min_<metric>=, max_<metric>=, sort=,
+                                            order=, top=, frontier=; ?format= as above)
   GET  /v1/jobs                             every async job, submission order
   GET  /v1/jobs/{id}                        one job: state + completed/total progress
   GET  /v1/jobs/{id}/result                 a done job's study body (?format= as above)
@@ -767,8 +816,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
   GET  /v1/cells                            canonical tentpole cell database
   GET  /v1/experiments                      paper-experiment registry
   GET  /v1/experiments/{id}/dashboard.html  live HTML dashboard for one experiment
-  GET  /v1/stats                            memo-cache, study-store, and job counters
+  GET  /v1/stats                            memo-cache, study-store, job, and query counters
   GET  /v1/healthz                          liveness/readiness (503 while draining)
+  GET  /v1/openapi.json                     machine-readable API description
 `)
 }
 

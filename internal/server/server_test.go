@@ -166,38 +166,84 @@ func TestStudiesNDJSONShape(t *testing.T) {
 	}
 }
 
-// TestStudiesErrors covers the request-rejection paths.
+// TestStudiesErrors covers the request-rejection paths: every failure is
+// the JSON error envelope with a stable code.
 func TestStudiesErrors(t *testing.T) {
 	ts := httptest.NewServer(New(Options{}).Handler())
 	defer ts.Close()
 	cases := []struct {
 		name, body, format string
 		wantStatus         int
+		wantCode           string
 	}{
-		{"malformed JSON", `{broken`, "json", http.StatusBadRequest},
-		{"unknown field", `{"name":"x","bogus":1}`, "json", http.StatusBadRequest},
+		{"malformed JSON", `{broken`, "json", http.StatusBadRequest, "invalid_config"},
+		{"unknown field", `{"name":"x","bogus":1}`, "json", http.StatusBadRequest, "invalid_config"},
 		{"no cells", `{"name":"x","capacities_bytes":[1048576],
-		   "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "json", http.StatusBadRequest},
-		{"bad format", testConfig("x", "STT", 1<<20), "xml", http.StatusBadRequest},
+		   "traffic":{"fixed":[{"name":"t","reads_per_sec":1}]}}`, "json", http.StatusBadRequest, "invalid_config"},
+		{"bad format", testConfig("x", "STT", 1<<20), "xml", http.StatusBadRequest, "bad_format"},
 	}
 	for _, tc := range cases {
 		status, body := post(t, ts, tc.body, tc.format)
 		if status != tc.wantStatus {
 			t.Errorf("%s: status = %d, want %d (%s)", tc.name, status, tc.wantStatus, body)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
-			t.Errorf("%s: expected JSON error body, got %s", tc.name, body)
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
+			t.Errorf("%s: expected the error envelope, got %s", tc.name, body)
+		}
+		if e.Error.Code != tc.wantCode {
+			t.Errorf("%s: code = %q, want %q", tc.name, e.Error.Code, tc.wantCode)
 		}
 	}
-	// Method gate: GET on /v1/studies is not routed.
-	resp, err := http.Get(ts.URL + "/v1/studies")
+
+	// An Accept header naming only unproducible types is a 406, not silent
+	// JSON.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/studies",
+		strings.NewReader(testConfig("x", "STT", 1<<20)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorBody
+	err = json.NewDecoder(resp.Body).Decode(&e)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/studies status = %d, want 405", resp.StatusCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotAcceptable || e.Error.Code != "not_acceptable" {
+		t.Errorf("Accept: text/plain = %d %q, want 406 not_acceptable", resp.StatusCode, e.Error.Code)
+	}
+
+	// Without a store, GET /v1/studies is routed but answers no_store.
+	resp, err = http.Get(ts.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || e.Error.Code != "no_store" {
+		t.Errorf("GET /v1/studies = %d %q, want 404 no_store", resp.StatusCode, e.Error.Code)
+	}
+
+	// Unknown paths get the envelope 404, not the mux's plain-text default.
+	resp, err = http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || e.Error.Code != "not_found" {
+		t.Errorf("GET /v1/nope = %d %q, want 404 not_found", resp.StatusCode, e.Error.Code)
 	}
 }
 

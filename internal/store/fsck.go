@@ -37,6 +37,11 @@ type FsckReport struct {
 	JobsCorrupt    int `json:"jobs_corrupt"`
 	OrphanProgress int `json:"orphan_progress"` // progress files with no job record
 
+	// Study manifests.
+	StudiesOK      int `json:"studies_ok"`
+	StudiesCorrupt int `json:"studies_corrupt"` // torn, bit-flipped, or misnamed
+	StudiesUnknown int `json:"studies_unknown"` // newer schema than this binary
+
 	// Repair actions taken (repair mode only).
 	Repaired    int `json:"repaired"`    // legacy points rewritten to the current format
 	Quarantined int `json:"quarantined"` // corrupt files moved to .corrupt/
@@ -46,7 +51,8 @@ type FsckReport struct {
 // Clean reports whether the scan found nothing wrong (legacy-format files
 // are stale, not wrong).
 func (r *FsckReport) Clean() bool {
-	return r.PointsCorrupt == 0 && !r.MemoCorrupt && r.JobsCorrupt == 0 && r.OrphanProgress == 0
+	return r.PointsCorrupt == 0 && !r.MemoCorrupt && r.JobsCorrupt == 0 && r.OrphanProgress == 0 &&
+		r.StudiesCorrupt == 0
 }
 
 // Summary renders the report for terminal output.
@@ -67,6 +73,11 @@ func (r *FsckReport) Summary() string {
 	}
 	fmt.Fprintf(&b, "journal: %d incomplete job(s), %d corrupt, %d orphan progress file(s)\n",
 		r.JobsIncomplete, r.JobsCorrupt, r.OrphanProgress)
+	fmt.Fprintf(&b, "studies: %d ok, %d corrupt", r.StudiesOK, r.StudiesCorrupt)
+	if r.StudiesUnknown > 0 {
+		fmt.Fprintf(&b, ", %d unknown-version (left in place)", r.StudiesUnknown)
+	}
+	b.WriteString("\n")
 	if r.Repaired+r.Quarantined+r.Removed > 0 {
 		fmt.Fprintf(&b, "repair: %d rewritten, %d quarantined, %d removed\n",
 			r.Repaired, r.Quarantined, r.Removed)
@@ -99,7 +110,47 @@ func FsckFS(dir string, fsys FS, repair bool) (*FsckReport, error) {
 	if err := s.fsckJobs(rep, repair); err != nil {
 		return nil, err
 	}
+	if err := s.fsckStudies(rep, repair); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+func (s *Store) fsckStudies(rep *FsckReport, repair bool) error {
+	ents, err := s.fs.ReadDir(s.studiesDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		path := filepath.Join(s.studiesDir(), name)
+		data, err := s.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		rec, status := decodeStudyRecord(data, "")
+		// A manifest at the wrong filename (copied or renamed) would never
+		// load by its fingerprint: corrupt.
+		if status == readOK && name != rec.Fingerprint+".gob" {
+			status = readCorrupt
+		}
+		switch status {
+		case readOK:
+			rep.StudiesOK++
+		case readCorrupt:
+			rep.StudiesCorrupt++
+			if repair {
+				s.quarantine(path)
+			}
+		case readMissing:
+			rep.StudiesUnknown++
+		}
+	}
+	rep.Quarantined = int(s.quarantined.Load())
+	return nil
 }
 
 func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {

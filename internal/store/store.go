@@ -119,6 +119,10 @@ type Store struct {
 	mu  sync.Mutex
 	mem map[string]core.CachedPoint
 
+	// Study manifests (study.go): fingerprint → record mirror of DIR/studies.
+	studiesMu  sync.Mutex
+	studiesMem map[string]StudyRecord
+
 	hits, misses atomic.Int64
 
 	// Self-healing counters (see HealthStats).
@@ -143,7 +147,7 @@ func Open(dir string) (*Store, error) {
 // quarantined and logged, never fatal (a bad snapshot must not block
 // startup).
 func OpenFS(dir string, fsys FS) (*Store, error) {
-	s := &Store{dir: dir, fs: fsys, mem: make(map[string]core.CachedPoint)}
+	s := &Store{dir: dir, fs: fsys, mem: make(map[string]core.CachedPoint), studiesMem: make(map[string]StudyRecord)}
 	if dir == "" {
 		return s, nil
 	}

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Study manifests. A manifest makes a completed study addressable by its
+// fingerprint (core.Study.Fingerprint): it records the study's name, grid
+// size, and the *effective* sweep configuration (request-level overrides
+// like ?pareto= already applied), which is everything needed to re-expand
+// the identical core.Study later and look its points up in the
+// content-addressed point store — without running the engine.
+//
+// Manifests are what turn the store from a cache into a queryable result
+// set: `GET /v1/studies/{fingerprint}` re-renders a stored study
+// byte-identically, and the internal/query index enumerates manifests to
+// build its in-memory columnar view. They are written after a study
+// completes with no failed points (a partially failed study is not fully
+// stored, so it is not addressable), live in memory (so a memory-only or
+// degraded store still answers queries within one process) and, when a
+// directory is configured, on disk under DIR/studies/<fingerprint>.gob in
+// the same checksummed envelope as every other store file.
+
+// studyVersion stamps every manifest file; unknown versions are skipped on
+// list (they may belong to a newer binary sharing the directory).
+const studyVersion = "nvmx-studyrec/v1"
+
+// StudyRecord is the durable description of one completed, fully stored
+// study.
+type StudyRecord struct {
+	Version     string
+	Fingerprint string
+	Name        string
+	// Config is the effective sweep configuration (JSON) the study expanded
+	// from, with request-level overrides applied. Re-parsing it yields a
+	// study with the same fingerprint; readers verify that before trusting
+	// the record.
+	Config []byte
+	// Points is the study's design-space grid size.
+	Points int
+}
+
+func (s *Store) studiesDir() string { return filepath.Join(s.dir, "studies") }
+
+func (s *Store) studyPath(fingerprint string) string {
+	return filepath.Join(s.studiesDir(), fingerprint+".gob")
+}
+
+// encodeStudyRecord builds the on-disk bytes for one manifest.
+func encodeStudyRecord(rec StudyRecord) ([]byte, error) {
+	rec.Version = studyVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	env := envelope{Version: studyVersion, Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// decodeStudyRecord verifies and decodes one manifest file's bytes.
+// wantFingerprint == "" skips the address check (directory scans check the
+// filename instead).
+func decodeStudyRecord(data []byte, wantFingerprint string) (StudyRecord, readStatus) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return StudyRecord{}, readCorrupt
+	}
+	switch env.Version {
+	case studyVersion:
+		if crc32.ChecksumIEEE(env.Payload) != env.Sum {
+			return StudyRecord{}, readCorrupt
+		}
+		var rec StudyRecord
+		if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&rec); err != nil {
+			return StudyRecord{}, readCorrupt
+		}
+		if wantFingerprint != "" && rec.Fingerprint != wantFingerprint {
+			return StudyRecord{}, readCorrupt
+		}
+		return rec, readOK
+	case "":
+		return StudyRecord{}, readCorrupt
+	default:
+		// A schema this binary doesn't know: skip, don't destroy.
+		return StudyRecord{}, readMissing
+	}
+}
+
+// SaveStudy records a completed study's manifest, write-through to memory
+// and (when configured) disk. Saving the same fingerprint again overwrites
+// an identical record, so repeated runs are idempotent. Disk errors degrade
+// durability, never the caller: the in-memory record still answers queries
+// for the rest of the process.
+func (s *Store) SaveStudy(rec StudyRecord) error {
+	if rec.Fingerprint == "" {
+		return fmt.Errorf("store: study record needs a fingerprint")
+	}
+	rec.Version = studyVersion
+	s.studiesMu.Lock()
+	s.studiesMem[rec.Fingerprint] = rec
+	s.studiesMu.Unlock()
+	if !s.diskEnabled() {
+		return nil
+	}
+	data, err := encodeStudyRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := s.fs.MkdirAll(s.studiesDir()); err != nil {
+		s.diskFail("mkdir "+s.studiesDir(), err)
+		return err
+	}
+	return s.writeFileRetry(s.studyPath(rec.Fingerprint), data)
+}
+
+// LoadStudy returns the manifest of one stored study by fingerprint:
+// memory first, then disk. Corrupt files are quarantined and read as
+// misses, like point files.
+func (s *Store) LoadStudy(fingerprint string) (StudyRecord, bool) {
+	s.studiesMu.Lock()
+	rec, ok := s.studiesMem[fingerprint]
+	s.studiesMu.Unlock()
+	if ok {
+		return rec, true
+	}
+	if !s.diskEnabled() {
+		return StudyRecord{}, false
+	}
+	path := s.studyPath(fingerprint)
+	data, status := s.readFileRetry(path)
+	if status != readOK {
+		return StudyRecord{}, false
+	}
+	rec, status = decodeStudyRecord(data, fingerprint)
+	switch status {
+	case readOK:
+		s.diskOK()
+		s.studiesMu.Lock()
+		s.studiesMem[fingerprint] = rec
+		s.studiesMu.Unlock()
+		return rec, true
+	case readCorrupt:
+		s.quarantine(path)
+	}
+	return StudyRecord{}, false
+}
+
+// ListStudies returns every stored study manifest, sorted by name then
+// fingerprint (deterministic across processes). The union of the in-memory
+// mirror and the directory is returned, so studies saved by this process
+// stay listed even after the store degrades to memory-only mode.
+func (s *Store) ListStudies() []StudyRecord {
+	if s.diskEnabled() {
+		if ents, err := s.fs.ReadDir(s.studiesDir()); err == nil {
+			for _, ent := range ents {
+				name := ent.Name()
+				if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+					continue
+				}
+				fp := strings.TrimSuffix(name, ".gob")
+				s.studiesMu.Lock()
+				_, have := s.studiesMem[fp]
+				s.studiesMu.Unlock()
+				if !have {
+					s.LoadStudy(fp) // caches into the mirror on success
+				}
+			}
+		}
+	}
+	s.studiesMu.Lock()
+	out := make([]StudyRecord, 0, len(s.studiesMem))
+	for _, rec := range s.studiesMem {
+		out = append(out, rec)
+	}
+	s.studiesMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

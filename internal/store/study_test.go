@@ -1,0 +1,235 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecord(fp, name string) StudyRecord {
+	return StudyRecord{
+		Fingerprint: fp,
+		Name:        name,
+		Config:      []byte(`{"name":"` + name + `"}`),
+		Points:      4,
+	}
+}
+
+func TestStudyManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("aa11", "alpha")
+	if err := st.SaveStudy(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same process: memory hit.
+	got, ok := st.LoadStudy("aa11")
+	if !ok {
+		t.Fatal("LoadStudy missed a just-saved manifest")
+	}
+	rec.Version = studyVersion
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("LoadStudy = %+v, want %+v", got, rec)
+	}
+
+	// Fresh store over the same directory: disk round-trip.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = st2.LoadStudy("aa11")
+	if !ok {
+		t.Fatal("LoadStudy missed after reopen")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("reopened LoadStudy = %+v, want %+v", got, rec)
+	}
+}
+
+func TestStudyManifestRequiresFingerprint(t *testing.T) {
+	st, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(StudyRecord{Name: "x"}); err == nil {
+		t.Fatal("SaveStudy accepted a record without a fingerprint")
+	}
+}
+
+func TestStudyManifestMemoryOnly(t *testing.T) {
+	st, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(testRecord("bb22", "beta")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.LoadStudy("bb22"); !ok {
+		t.Fatal("memory-only store lost a manifest")
+	}
+	if _, ok := st.LoadStudy("missing"); ok {
+		t.Fatal("memory-only store invented a manifest")
+	}
+	if n := len(st.ListStudies()); n != 1 {
+		t.Fatalf("ListStudies len = %d, want 1", n)
+	}
+}
+
+func TestListStudiesSortedUnion(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saved out of order; names collide to exercise the fingerprint tiebreak.
+	for _, r := range []StudyRecord{
+		testRecord("cc33", "zeta"),
+		testRecord("aa11", "alpha"),
+		testRecord("bb22", "alpha"),
+	} {
+		if err := st.SaveStudy(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A second store sharing the directory sees them purely from disk.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range st2.ListStudies() {
+		got = append(got, r.Name+"/"+r.Fingerprint)
+	}
+	want := []string{"alpha/aa11", "alpha/bb22", "zeta/cc33"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ListStudies order = %v, want %v", got, want)
+	}
+}
+
+func TestStudyManifestCorruptQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(testRecord("dd44", "gamma")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes on disk, then read through a fresh store (no memory mirror).
+	path := st.studyPath("dd44")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.LoadStudy("dd44"); ok {
+		t.Fatal("corrupt manifest loaded as valid")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt manifest was not quarantined")
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, ".corrupt"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no quarantined file found: %v", err)
+	}
+}
+
+func TestStudyManifestWrongAddressIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(testRecord("ee55", "delta")); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid file to a different fingerprint's address.
+	data, err := os.ReadFile(st.studyPath("ee55"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.studyPath("ff66"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.LoadStudy("ff66"); ok {
+		t.Fatal("misplaced manifest loaded under the wrong fingerprint")
+	}
+}
+
+func TestFsckStudies(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(testRecord("aa11", "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStudy(testRecord("bb22", "bad")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one manifest and misplace a copy of the other.
+	badPath := st.studyPath("bb22")
+	data, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := os.ReadFile(st.studyPath("aa11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.studyPath("cc33"), ok, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StudiesOK != 1 || rep.StudiesCorrupt != 2 {
+		t.Fatalf("scan: ok=%d corrupt=%d, want 1/2", rep.StudiesOK, rep.StudiesCorrupt)
+	}
+	if rep.Clean() {
+		t.Fatal("report with corrupt studies claims clean")
+	}
+
+	rep, err = Fsck(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StudiesCorrupt != 2 || rep.Quarantined < 2 {
+		t.Fatalf("repair: corrupt=%d quarantined=%d, want 2 and >=2", rep.StudiesCorrupt, rep.Quarantined)
+	}
+
+	rep, err = Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.StudiesOK != 1 {
+		t.Fatalf("post-repair scan not clean: %+v", rep)
+	}
+}
