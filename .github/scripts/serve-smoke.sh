@@ -161,6 +161,39 @@ curl -fsS "$BASE/v1/stats" | jq -e '.memo_cache.misses == 0 and .query.enabled a
   exit 1
 }
 
+echo "== adaptive exploration: budgeted POST, deterministic re-run, CLI parity"
+cat > "$WORK/adaptive.json" <<'JSON'
+{
+  "name": "ci_adaptive",
+  "cells": [{"technology": "STT", "flavor": "Opt"},
+            {"technology": "FeFET", "flavor": "Opt"}],
+  "capacities_bytes": [65536, 131072, 262144, 524288, 1048576,
+                       2097152, 4194304, 8388608, 16777216, 33554432],
+  "traffic": {"fixed": [{"name": "p", "reads_per_sec": 1e6, "writes_per_sec": 1e5}]},
+  "pareto": {"metrics": ["read_latency_ns", "read_energy_pj"]}
+}
+JSON
+curl -fsS -X POST --data-binary @"$WORK/adaptive.json" \
+  -o "$WORK/adaptive1.json" "$BASE/v1/studies?format=json&mode=adaptive&budget=12&seed=7"
+jq -e '.exploration.mode == "adaptive"
+       and .exploration.evaluated_points <= 12
+       and .exploration.evaluated_points < .exploration.exhaustive_points' \
+  "$WORK/adaptive1.json" >/dev/null || {
+  echo "adaptive response carries no sane exploration block" >&2
+  exit 1
+}
+curl -fsS -X POST --data-binary @"$WORK/adaptive.json" \
+  -o "$WORK/adaptive2.json" "$BASE/v1/studies?format=json&mode=adaptive&budget=12&seed=7"
+cmp "$WORK/adaptive1.json" "$WORK/adaptive2.json"
+"$WORK/nvmexplorer" run "$WORK/adaptive.json" -format json \
+  -mode adaptive -budget 12 -seed 7 > "$WORK/adaptive_cli.json"
+cmp "$WORK/adaptive1.json" "$WORK/adaptive_cli.json"
+curl -fsS "$BASE/v1/stats" | jq -e '.exploration.adaptive_studies >= 1
+       and .exploration.adaptive_points_evaluated > 0' >/dev/null || {
+  echo "stats carry no adaptive exploration counters" >&2
+  exit 1
+}
+
 echo "== crash recovery: kill -9 mid-job, the journal resumes it"
 # The analytical model finishes a 12-point study in ~10ms — far too fast to
 # kill mid-flight from a shell. Restart the server with the NVMX_POINT_DELAY

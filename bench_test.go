@@ -272,6 +272,68 @@ func BenchmarkStudyGridCold(b *testing.B) {
 	nvsim.ResetMemo()
 }
 
+// adaptiveBenchStudy is the adaptive planner's benchmark grid: 2 cells ×
+// 16 geometric capacities selecting on array read latency/energy, so
+// refinement concentrates at small capacities and skips most of the axis.
+func adaptiveBenchStudy(adaptive bool) *Study {
+	s := NewStudy("adaptive-bench").
+		AddTentpole(STT, Optimistic).
+		AddTentpole(FeFET, Optimistic).
+		AddTarget(OptReadEDP).
+		AddPattern(TrafficPattern{Name: "p", ReadsPerSec: 1e6, WritesPerSec: 1e5})
+	for i := 0; i < 16; i++ {
+		s.AddCapacity(64 << 10 << i)
+	}
+	s.Pareto = []string{"read_latency_ns", "read_energy_pj"}
+	if adaptive {
+		s.Mode = ModeAdaptive
+		s.Seed = 42
+	}
+	s.Workers = 1
+	return s
+}
+
+// BenchmarkAdaptiveSweep measures one cold adaptive study per iteration:
+// constraint pre-pass, Pareto-guided refinement rounds, and final assembly.
+// Compare against BenchmarkExhaustivePrune (the same grid walked in full)
+// for the planner's engine-work saving.
+func BenchmarkAdaptiveSweep(b *testing.B) {
+	study := adaptiveBenchStudy(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		b.StartTimer()
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}
+
+// BenchmarkExhaustivePrune measures the same grid walked exhaustively with
+// the cheap constraint pre-filter active: an area budget excludes the large
+// half of the capacity axis before any engine work, so the timing covers
+// the pre-filter plus characterization of only the feasible configs.
+func BenchmarkExhaustivePrune(b *testing.B) {
+	study := adaptiveBenchStudy(false)
+	study.MaxAreaMM2 = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nvsim.ResetMemo()
+		b.StartTimer()
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nvsim.ResetMemo()
+}
+
 // BenchmarkEvaluateBatch measures the zero-alloc analytical hot loop: one
 // characterized array against a 9-pattern sweep per iteration.
 func BenchmarkEvaluateBatch(b *testing.B) {

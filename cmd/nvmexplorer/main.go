@@ -82,6 +82,7 @@ func usageError() error {
 	fmt.Fprintln(os.Stderr, `usage:
   nvmexplorer run <config.json> [-out dir] [-format table|json|ndjson|csv|html]
                     [-pareto metric,metric] [-store dir]
+                    [-mode adaptive] [-budget N] [-seed S]
                                              run a JSON design sweep; table (default)
                                              prints result tables and writes the
                                              per-technology CSVs into -out, the other
@@ -90,7 +91,12 @@ func usageError() error {
                                              -pareto selects the result frontier;
                                              -store reuses (and persists) evaluated
                                              design points across runs and records
-                                             a study manifest for the query command
+                                             a study manifest for the query command;
+                                             -mode adaptive explores the grid by
+                                             Pareto-guided refinement instead of
+                                             exhaustively, -budget caps evaluated
+                                             points (successive halving), -seed fixes
+                                             the halving tie-break deterministically
   nvmexplorer query <store-dir> [-list] [-study name|fp,...]
                     [-cell X] [-technology X] [-pattern X] [-target X]
                     [-capacity BYTES] [-min metric=v,...] [-max metric=v,...]
@@ -169,6 +175,12 @@ func runSweepTo(w io.Writer, args []string) error {
 		"comma-separated metrics for Pareto-frontier selection (e.g. total_power_mw,mem_time_per_sec); overrides the config's pareto block")
 	storeDir := fs.String("store", "",
 		"persistent study-store directory: evaluated design points are reused from (and saved to) it, so re-runs and overlapping studies skip characterization")
+	mode := fs.String("mode", "",
+		"exploration mode: exhaustive (default) or adaptive (Pareto-guided refinement; requires a pareto selection); overrides the config's mode")
+	budget := fs.Int("budget", 0,
+		"adaptive point budget, spent deterministically by successive halving (0 = unlimited); overrides the config's budget")
+	seed := fs.Int64("seed", 0,
+		"adaptive halving tie-break seed: the same (config, seed, budget) produces byte-identical output; overrides the config's seed")
 	cfgPath, err := parseMixed(fs, args)
 	if err != nil {
 		return fmt.Errorf("run needs exactly one config file: %w", err)
@@ -190,6 +202,18 @@ func runSweepTo(w io.Writer, args []string) error {
 	if p := sweep.ParseParetoList(*pareto); p != nil {
 		cfg.Pareto = p
 	}
+	// Exploration overrides apply only when their flag was actually given,
+	// so an absent flag never clobbers the config file's own value.
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "mode":
+			cfg.Mode = *mode
+		case "budget":
+			cfg.Budget = *budget
+		case "seed":
+			cfg.Seed = *seed
+		}
+	})
 	var st *store.Store
 	if *storeDir != "" {
 		if st, err = store.Open(*storeDir); err != nil {
@@ -235,6 +259,10 @@ func runSweepTo(w io.Writer, args []string) error {
 	}
 	fmt.Fprintln(w, res.ArrayTable().String())
 	fmt.Fprintln(w, res.MetricsTable().String())
+	if x := res.Exploration; x != nil {
+		fmt.Fprintf(w, "adaptive exploration: %d of %d grid points evaluated in %d rounds (%d pruned infeasible, %d over budget)\n",
+			x.EvaluatedPoints, x.ExhaustivePoints, x.Rounds, x.PrunedInfeasible, x.PrunedBudget)
+	}
 	if len(res.Study.Pareto) > 0 {
 		if err := res.EnsureFrontier(); err != nil {
 			return err
@@ -275,6 +303,7 @@ func saveStudyManifest(st *store.Store, cfg *sweep.Config, res *core.Results) er
 	}
 	return st.SaveStudy(store.StudyRecord{
 		Fingerprint: fp, Name: res.Study.Name, Config: eff, Points: len(specs),
+		Exploration: res.Exploration,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 
 	"repro/internal/cell"
@@ -57,6 +58,19 @@ type Study struct {
 	// Constraints applied during characterization (zero = none).
 	MaxAreaMM2       float64
 	MaxReadLatencyNS float64
+
+	// Mode selects the execution strategy: "" or ModeExhaustive evaluates
+	// every enumerated grid point; ModeAdaptive runs the Pareto-guided
+	// search (adaptive.go) that evaluates only a frontier-relevant subset.
+	Mode string
+	// Budget caps how many grid points an adaptive run may evaluate
+	// (0 = unlimited: refine until the frontier stops moving). Spent via
+	// successive halving, so the evaluated subset — and every output byte —
+	// is a pure function of (configuration, Seed, Budget).
+	Budget int
+	// Seed drives the deterministic ranking that breaks ties when a
+	// refinement round offers more candidates than the budget allows.
+	Seed int64
 
 	// Workers bounds the goroutines characterizing the design-space grid.
 	// 0 uses runtime.GOMAXPROCS(0); 1 forces sequential execution.
@@ -132,6 +146,10 @@ type Results struct {
 	// failed_points block in study output) instead of crashing the run.
 	// Failed points are never cached, so they retry on the next run.
 	FailedPoints []FailedPoint
+	// Exploration summarizes an adaptive run's design-space coverage; nil
+	// for exhaustive runs. Writers surface it as the study's exploration
+	// block.
+	Exploration *Exploration
 }
 
 // FailedPoint is the structured record of one grid point lost to a panic.
@@ -205,10 +223,56 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 	if err := ValidateParetoMetrics(s.Pareto); err != nil {
 		return nil, err
 	}
+	switch s.Mode {
+	case "", ModeExhaustive:
+	case ModeAdaptive:
+		return s.runAdaptive(ctx, emit)
+	default:
+		return nil, fmt.Errorf("core: study %q: unknown mode %q (want %q or %q)",
+			s.Name, s.Mode, ModeExhaustive, ModeAdaptive)
+	}
 	specs, err := s.Space()
 	if err != nil {
 		return nil, err
 	}
+	res := &Results{Study: s}
+	putter := startCachePutter(s.Cache)
+	defer putter.wait()
+	if _, err := s.runSpecs(ctx, specs, res, putter, emit); err != nil {
+		return nil, err
+	}
+	if len(res.Arrays) == 0 {
+		return nil, res.noArraysError()
+	}
+	return res, nil
+}
+
+// noArraysError is the shared "nothing characterized" failure for a run
+// whose every point was skipped or lost.
+func (r *Results) noArraysError() error {
+	if n := len(r.FailedPoints); n > 0 {
+		return fmt.Errorf("core: study %q characterized no arrays (%d skipped, %d failed)",
+			r.Study.Name, len(r.Skipped), n)
+	}
+	return fmt.Errorf("core: study %q characterized no arrays (%d skipped)",
+		r.Study.Name, len(r.Skipped))
+}
+
+// runStats summarizes one runSpecs pass's engine economics.
+type runStats struct {
+	cacheHits     int // points replayed from the point cache
+	characterized int // unique configs scored by the engine (panics included)
+	prefiltered   int // unique configs skipped by the constraint bound
+}
+
+// runSpecs executes the two-phase plan over one batch of grid points,
+// appending rows to res in batch order and handing each completed point to
+// emit. It is the body both execution modes share: RunStream's exhaustive
+// path calls it once over the full enumeration; the adaptive planner
+// (adaptive.go) calls it once per refinement round over the round's
+// selected specs. Specs keep their original enumeration Index, so emitted
+// coordinates, fault seeds, and cache keys are identical either way.
+func (s *Study) runSpecs(ctx context.Context, specs []PointSpec, res *Results, putter *cachePutter, emit func(PointResult) error) (runStats, error) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -218,7 +282,26 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 	// characterization per unique config; only cancellation can fail it.
 	plan, err := s.plan(ctx, specs, workers)
 	if err != nil {
-		return nil, err
+		return runStats{}, err
+	}
+	var stats runStats
+	for i := range plan.configs {
+		if !plan.configs[i].needed {
+			continue
+		}
+		if plan.configs[i].prefiltered {
+			stats.prefiltered++
+		} else {
+			stats.characterized++
+		}
+	}
+	if stats.prefiltered > 0 {
+		prefilteredConfigs.Add(int64(stats.prefiltered))
+	}
+	for i := range specs {
+		if plan.hit != nil && plan.hit[i] {
+			stats.cacheHits++
+		}
 	}
 
 	// Phase 2: the evaluation pass. Points are evaluated and emitted in
@@ -227,17 +310,14 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 	// calling goroutine. Cache fills — the one potentially I/O-bound
 	// per-point step (a disk-backed store gob-encodes and renames a file per
 	// point) — are handed to a background putter so they overlap with
-	// evaluation and emission; every fill completes before RunStream
+	// evaluation and emission; every fill completes before runSpecs
 	// returns.
-	res := &Results{Study: s}
 	totalArrays, totalMetrics := plan.totals(len(s.Patterns))
-	res.Arrays = make([]nvsim.Result, 0, totalArrays)
-	res.Metrics = make([]eval.Metrics, 0, totalMetrics)
-	putter := startCachePutter(s.Cache)
-	defer putter.wait()
+	res.Arrays = slices.Grow(res.Arrays, totalArrays)
+	res.Metrics = slices.Grow(res.Metrics, totalMetrics)
 	for i := range specs {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
+			return stats, fmt.Errorf("core: study %q canceled: %w", s.Name, err)
 		}
 		aStart, mStart := len(res.Arrays), len(res.Metrics)
 		var skipped []string
@@ -302,7 +382,7 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 				}
 			}()
 			if evalErr != nil {
-				return nil, evalErr
+				return stats, evalErr
 			}
 		}
 		res.Skipped = append(res.Skipped, skipped...)
@@ -313,19 +393,11 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 				Metrics: res.Metrics[mStart:len(res.Metrics):len(res.Metrics)],
 				Skipped: skipped,
 			}); err != nil {
-				return nil, err
+				return stats, err
 			}
 		}
 	}
-	if len(res.Arrays) == 0 {
-		if n := len(res.FailedPoints); n > 0 {
-			return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped, %d failed)",
-				s.Name, len(res.Skipped), n)
-		}
-		return nil, fmt.Errorf("core: study %q characterized no arrays (%d skipped)",
-			s.Name, len(res.Skipped))
-	}
-	return res, nil
+	return stats, nil
 }
 
 // Feasible returns the evaluations that meet their task rate and avoid

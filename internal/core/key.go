@@ -120,6 +120,16 @@ func (s *Study) Fingerprint() (string, error) {
 		}
 	}
 	h.Write([]byte{'\n'})
+	// Adaptive runs evaluate a (seed, budget)-determined subset of the grid,
+	// so those knobs are part of the study identity; exhaustive studies hash
+	// exactly as they always have.
+	if s.Mode == ModeAdaptive {
+		h.Write([]byte("mode:adaptive,"))
+		h.Write([]byte(strconv.FormatInt(int64(s.Budget), 10)))
+		h.Write([]byte{','})
+		h.Write([]byte(strconv.FormatInt(s.Seed, 10)))
+		h.Write([]byte{'\n'})
+	}
 	for i := range specs {
 		h.Write([]byte(s.PointKey(specs[i])))
 		h.Write([]byte{0})

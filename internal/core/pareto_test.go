@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// powerLifetime builds a result set from (total_power_mw, lifetime_years)
+// pairs — one minimized metric, one maximized — for frontier edge cases.
+func powerLifetime(pairs ...[2]float64) *Results {
+	r := &Results{Study: NewStudy("pareto-edge")}
+	for _, p := range pairs {
+		r.Metrics = append(r.Metrics, eval.Metrics{TotalPowerMW: p[0], LifetimeYears: p[1]})
+	}
+	return r
+}
+
+// TestSelectParetoEdgeCases covers the frontier selector's boundary
+// behavior: empty and single-point inputs, exact ties, fully dominated
+// sets, and NaN metric values.
+func TestSelectParetoEdgeCases(t *testing.T) {
+	sel := []string{"total_power_mw", "lifetime_years"}
+
+	t.Run("empty input", func(t *testing.T) {
+		front, err := powerLifetime().SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) != 0 {
+			t.Errorf("frontier of nothing = %v, want empty", front)
+		}
+	})
+
+	t.Run("no metrics selected", func(t *testing.T) {
+		if _, err := powerLifetime([2]float64{1, 1}).SelectPareto(); err == nil {
+			t.Error("empty metric selection did not error")
+		}
+	})
+
+	t.Run("single point", func(t *testing.T) {
+		front, err := powerLifetime([2]float64{5, 2}).SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(front, []int{0}) {
+			t.Errorf("frontier = %v, want [0]", front)
+		}
+	})
+
+	t.Run("exact ties survive together", func(t *testing.T) {
+		// Two identical points: neither strictly improves on the other, so
+		// dominance (which requires a strict win somewhere) keeps both.
+		front, err := powerLifetime([2]float64{1, 10}, [2]float64{1, 10}, [2]float64{2, 5}).SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(front, []int{0, 1}) {
+			t.Errorf("frontier = %v, want the tied pair [0 1]", front)
+		}
+	})
+
+	t.Run("all dominated by one", func(t *testing.T) {
+		front, err := powerLifetime(
+			[2]float64{3, 4}, [2]float64{1, 10}, [2]float64{2, 7}, [2]float64{5, 1},
+		).SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(front, []int{1}) {
+			t.Errorf("frontier = %v, want only the dominating point [1]", front)
+		}
+	})
+
+	t.Run("NaN ranks worst", func(t *testing.T) {
+		// A NaN metric value must neither poison comparisons nor survive
+		// against a real value: it ranks as +Inf after sense normalization.
+		front, err := powerLifetime(
+			[2]float64{math.NaN(), 10}, [2]float64{1, 10}, [2]float64{1, math.NaN()},
+		).SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(front, []int{1}) {
+			t.Errorf("frontier = %v, want [1] (NaN points dominated)", front)
+		}
+	})
+
+	t.Run("all-NaN set keeps ties", func(t *testing.T) {
+		// Every point NaN on every metric: all equal-worst, nobody strictly
+		// better, so the whole set survives.
+		front, err := powerLifetime(
+			[2]float64{math.NaN(), math.NaN()}, [2]float64{math.NaN(), math.NaN()},
+		).SelectPareto(sel...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(front, []int{0, 1}) {
+			t.Errorf("frontier = %v, want [0 1]", front)
+		}
+	})
+
+	t.Run("unknown metric", func(t *testing.T) {
+		if _, err := powerLifetime([2]float64{1, 1}).SelectPareto("warp_factor"); err == nil {
+			t.Error("unknown metric did not error")
+		}
+	})
+}

@@ -60,6 +60,11 @@ type planConfig struct {
 	// poisons only the points sharing this config — they are reported in
 	// Results.FailedPoints — while the rest of the grid completes.
 	failed error
+	// prefiltered is set when the cheap constraint bound proved the config
+	// infeasible and the engine pass was skipped (nvsim.PrefilterTargets).
+	// The per-target errors — and therefore every output byte — are
+	// identical to what the engine would have reported.
+	prefiltered bool
 }
 
 // execPlan is the planned form of one study run.
@@ -236,6 +241,16 @@ func (s *Study) plan(ctx context.Context, specs []PointSpec, workers int) (*exec
 			}
 			if h := testHookCharacterize; h != nil {
 				h(cfg)
+			}
+			// The cheap constraint bound first: a config whose bare cell
+			// matrix already exceeds the area budget is provably infeasible,
+			// and the engine pass is skipped entirely. The pre-filter
+			// reproduces the engine's exact per-target errors, so skip lines
+			// — and every other output byte — are unchanged.
+			if arrays, errs, pruned := nvsim.PrefilterTargets(cfg, s.Targets); pruned {
+				pc.arrays, pc.errs = arrays, errs
+				pc.prefiltered = true
+				return
 			}
 			pc.arrays, pc.errs = nvsim.CharacterizeTargets(cfg, s.Targets)
 		}()

@@ -132,8 +132,14 @@ func TestPlanCacheInterplay(t *testing.T) {
 }
 
 // TestPlanSharedSkips checks that a config excluded by constraints skips
-// identically on every grid point sharing it, in declaration order.
+// identically on every grid point sharing it, in declaration order — and
+// that the budget exclusion never reaches the engine: the 146F² SRAM
+// reference cell at 4 MB is over 1.2 mm² of bare cell matrix, so the cheap
+// constraint pre-filter proves it infeasible under the 0.9 mm² budget and
+// only the STT config is characterized.
 func TestPlanSharedSkips(t *testing.T) {
+	nvsim.ResetMemo()
+	ResetExplorationStats()
 	s := NewStudy("plan-skips")
 	s.AddTentpole(cell.SRAM, cell.Reference) // 146F² SRAM: excluded by the tight area budget
 	s.AddTentpole(cell.STT, cell.Optimistic)
@@ -151,5 +157,11 @@ func TestPlanSharedSkips(t *testing.T) {
 	}
 	if res.Skipped[0] != res.Skipped[1] {
 		t.Fatalf("points sharing a config must report identical skip lines: %v", res.Skipped)
+	}
+	if got := ReadExplorationStats().PrefilteredConfigs; got != 1 {
+		t.Errorf("prefiltered configs = %d, want 1 (the SRAM config)", got)
+	}
+	if _, misses := nvsim.MemoStats(); misses != 1 {
+		t.Errorf("memo misses = %d, want 1: the pre-filtered SRAM config must not reach the engine", misses)
 	}
 }

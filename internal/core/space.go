@@ -132,25 +132,51 @@ func (s *Study) axisValues() (bits []int, words []int, wbs []*eval.WriteBufferCo
 	return bits, words, wbs, faults
 }
 
+// pointCoords records one enumerated point's position on every axis: the
+// index of its value within s.Cells, s.Capacities, and the axisValues
+// slices. The adaptive planner (adaptive.go) navigates the grid through
+// these coordinates — subdividing numeric axes near the frontier — without
+// re-deriving them from the resolved PointSpec fields. Note the coordinate
+// grid is not necessarily dense: pruned (cell, bits-per-cell) combinations
+// leave holes.
+type pointCoords [numAxes]int
+
 // Space enumerates the study's design-space cross product in the canonical
 // axis order. Infeasible (cell, bits-per-cell) combinations — volatile
 // cells asked for multi-level programming — are pruned, mirroring how MLC
 // sweeps have always kept the SLC entry and skipped the rest. Every other
 // invalid axis value is an error.
 func (s *Study) Space() ([]PointSpec, error) {
+	specs, _, err := s.enumerateSpace(false)
+	return specs, err
+}
+
+// spaceCoords is Space plus each point's axis coordinates, parallel to the
+// returned specs.
+func (s *Study) spaceCoords() ([]PointSpec, []pointCoords, error) {
+	return s.enumerateSpace(true)
+}
+
+// enumerateSpace is the single design-space enumeration both entry points
+// share; withCoords additionally materializes the per-point coordinates.
+func (s *Study) enumerateSpace(withCoords bool) ([]PointSpec, []pointCoords, error) {
 	if len(s.Cells) == 0 {
-		return nil, fmt.Errorf("core: study %q has no cells", s.Name)
+		return nil, nil, fmt.Errorf("core: study %q has no cells", s.Name)
 	}
 	if len(s.Capacities) == 0 {
-		return nil, fmt.Errorf("core: study %q has no capacities", s.Name)
+		return nil, nil, fmt.Errorf("core: study %q has no capacities", s.Name)
 	}
 	bits, words, wbs, faults := s.axisValues()
 	specs := make([]PointSpec, 0, len(bits)*len(s.Cells)*len(s.Capacities)*len(words)*len(wbs)*len(faults))
-	for _, b := range bits {
+	var coords []pointCoords
+	if withCoords {
+		coords = make([]pointCoords, 0, cap(specs))
+	}
+	for bi, b := range bits {
 		if b != 0 && (b < 1 || b > 4) {
-			return nil, fmt.Errorf("core: study %q: bits per cell %d out of range [1,4]", s.Name, b)
+			return nil, nil, fmt.Errorf("core: study %q: bits per cell %d out of range [1,4]", s.Name, b)
 		}
-		for _, c := range s.Cells {
+		for ci, c := range s.Cells {
 			d := c
 			if b != 0 {
 				if !cell.CanProgram(c, b) {
@@ -159,21 +185,21 @@ func (s *Study) Space() ([]PointSpec, error) {
 				var err error
 				d, err = cell.ToMLC(c, b)
 				if err != nil {
-					return nil, fmt.Errorf("core: study %q: %w", s.Name, err)
+					return nil, nil, fmt.Errorf("core: study %q: %w", s.Name, err)
 				}
 			}
-			for _, capBytes := range s.Capacities {
-				for _, w := range words {
+			for capi, capBytes := range s.Capacities {
+				for wi, w := range words {
 					if w < 0 {
-						return nil, fmt.Errorf("core: study %q: negative word bits %d", s.Name, w)
+						return nil, nil, fmt.Errorf("core: study %q: negative word bits %d", s.Name, w)
 					}
-					for _, wb := range wbs {
+					for wbi, wb := range wbs {
 						if wb != nil {
 							if err := wb.Validate(); err != nil {
-								return nil, err
+								return nil, nil, err
 							}
 						}
-						for _, f := range faults {
+						for fi, f := range faults {
 							spec := PointSpec{
 								Index:         len(specs),
 								Cell:          d,
@@ -183,7 +209,7 @@ func (s *Study) Space() ([]PointSpec, error) {
 							}
 							if f != nil {
 								if err := f.Validate(); err != nil {
-									return nil, err
+									return nil, nil, err
 								}
 								// Derive the point's own deterministic seed so
 								// fault-mode rows reproduce at any worker count.
@@ -192,6 +218,16 @@ func (s *Study) Space() ([]PointSpec, error) {
 								spec.Fault = &ff
 							}
 							specs = append(specs, spec)
+							if withCoords {
+								var pc pointCoords
+								pc[AxisBitsPerCell] = bi
+								pc[AxisCell] = ci
+								pc[AxisCapacity] = capi
+								pc[AxisWordBits] = wi
+								pc[AxisWriteBuffer] = wbi
+								pc[AxisFault] = fi
+								coords = append(coords, pc)
+							}
 						}
 					}
 				}
@@ -199,7 +235,7 @@ func (s *Study) Space() ([]PointSpec, error) {
 		}
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("core: study %q design space is empty (every cell/bits-per-cell combination is infeasible)", s.Name)
+		return nil, nil, fmt.Errorf("core: study %q design space is empty (every cell/bits-per-cell combination is infeasible)", s.Name)
 	}
-	return specs, nil
+	return specs, coords, nil
 }

@@ -1,0 +1,49 @@
+package core
+
+import "sync/atomic"
+
+// Process-wide exploration telemetry. These counters track how much engine
+// work the planner avoided — configs skipped by the cheap constraint
+// pre-filter, and grid points an adaptive search never evaluated — across
+// every study run in the process. They are deliberately kept out of study
+// bodies (which must stay byte-identical run to run) and surfaced through
+// /v1/stats instead.
+var (
+	prefilteredConfigs      atomic.Int64
+	adaptiveStudies         atomic.Int64
+	adaptivePointsEvaluated atomic.Int64
+	adaptivePointsPruned    atomic.Int64
+)
+
+// ExplorationStats is a snapshot of the process-wide exploration counters.
+type ExplorationStats struct {
+	// PrefilteredConfigs counts unique characterization configs skipped by
+	// the constraint bound before any engine work, on both the exhaustive
+	// and adaptive paths.
+	PrefilteredConfigs int64 `json:"prefiltered_configs"`
+	// AdaptiveStudies counts completed adaptive-mode runs.
+	AdaptiveStudies int64 `json:"adaptive_studies"`
+	// AdaptivePointsEvaluated / AdaptivePointsPruned split every adaptive
+	// run's grid into the points it characterized and the points the search
+	// (budget, refinement, or infeasibility) never touched.
+	AdaptivePointsEvaluated int64 `json:"adaptive_points_evaluated"`
+	AdaptivePointsPruned    int64 `json:"adaptive_points_pruned"`
+}
+
+// ReadExplorationStats returns the current counter values.
+func ReadExplorationStats() ExplorationStats {
+	return ExplorationStats{
+		PrefilteredConfigs:      prefilteredConfigs.Load(),
+		AdaptiveStudies:         adaptiveStudies.Load(),
+		AdaptivePointsEvaluated: adaptivePointsEvaluated.Load(),
+		AdaptivePointsPruned:    adaptivePointsPruned.Load(),
+	}
+}
+
+// ResetExplorationStats zeroes the counters (tests only).
+func ResetExplorationStats() {
+	prefilteredConfigs.Store(0)
+	adaptiveStudies.Store(0)
+	adaptivePointsEvaluated.Store(0)
+	adaptivePointsPruned.Store(0)
+}

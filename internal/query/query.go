@@ -209,11 +209,28 @@ func (ix *Index) load(rec store.StudyRecord) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	// An adaptive manifest stores only the evaluated subset of the grid;
+	// replay exactly the recorded indices. Exhaustive manifests (Exploration
+	// nil) replay the full space, as before.
+	indices := make([]int, 0, len(specs))
+	if x := rec.Exploration; x != nil && x.Indices != nil {
+		for _, idx := range x.Indices {
+			if idx < 0 || idx >= len(specs) {
+				return nil, fmt.Errorf("manifest %s: evaluated index %d outside the %d-point grid",
+					rec.Fingerprint, idx, len(specs))
+			}
+			indices = append(indices, idx)
+		}
+	} else {
+		for i := range specs {
+			indices = append(indices, i)
+		}
+	}
 	e := &entry{rec: rec, study: s}
-	for i := range specs {
+	for n, i := range indices {
 		cp, ok := ix.st.Get(s.PointKey(specs[i]))
 		if !ok {
-			return nil, fmt.Errorf("%w: %s missing point %d/%d", ErrIncomplete, rec.Fingerprint, i, len(specs))
+			return nil, fmt.Errorf("%w: %s missing point %d/%d", ErrIncomplete, rec.Fingerprint, n, len(indices))
 		}
 		e.arrays = append(e.arrays, cp.Arrays...)
 		e.metrics = append(e.metrics, cp.Metrics...)
@@ -349,10 +366,11 @@ func (ix *Index) Load(fingerprint string) (*core.Results, bool, error) {
 		}
 	}
 	res := &core.Results{
-		Study:   e.study,
-		Arrays:  e.arrays,
-		Metrics: e.metrics,
-		Skipped: e.skipped,
+		Study:       e.study,
+		Arrays:      e.arrays,
+		Metrics:     e.metrics,
+		Skipped:     e.skipped,
+		Exploration: e.rec.Exploration,
 	}
 	return res, true, nil
 }

@@ -207,6 +207,9 @@ func (m *jobManager) submit(b builtStudy, pareto *sweep.ParetoConfig) (*job, boo
 			rec.ParetoSet = true
 			rec.Pareto = pareto.Metrics
 		}
+		rec.ModeSet, rec.Mode = b.expl.ModeSet, b.expl.Mode
+		rec.BudgetSet, rec.Budget = b.expl.BudgetSet, b.expl.Budget
+		rec.SeedSet, rec.Seed = b.expl.SeedSet, b.expl.Seed
 		if err := st.JournalJob(rec); err != nil {
 			log.Printf("server: journaling %s: %v (job will not survive a restart)", j.id, err)
 		}
@@ -265,6 +268,18 @@ func (m *jobManager) adopt(rec store.JobRecord) (*job, error) {
 	}
 	if rec.ParetoSet {
 		cfg.Pareto = &sweep.ParetoConfig{Metrics: rec.Pareto}
+	}
+	// Re-apply the request-level exploration overrides, so a resumed
+	// adaptive job rebuilds the identical study (same fingerprint, same
+	// evaluated subset).
+	if rec.ModeSet {
+		cfg.Mode = rec.Mode
+	}
+	if rec.BudgetSet {
+		cfg.Budget = rec.Budget
+	}
+	if rec.SeedSet {
+		cfg.Seed = rec.Seed
 	}
 	cfg.Cache = m.srv.opts.Store
 	study, err := cfg.Study()

@@ -274,9 +274,12 @@ func buildOpenAPI() []byte {
 			"/v1/studies": map[string]any{
 				"post": map[string]any{
 					"summary":     "Run a sweep configuration",
-					"description": "Body is a sweep config (JSON). ?pareto=metric,metric overrides the config's frontier; ?async=1 queues a job and answers 202. Deterministic responses carry a strong ETag; If-None-Match revalidates with 304 without running the study.",
+					"description": "Body is a sweep config (JSON). ?pareto=metric,metric overrides the config's frontier; ?mode=adaptive runs Pareto-guided refinement instead of the exhaustive grid (requires a pareto selection; ?budget= caps evaluated points via successive halving, ?seed= fixes the halving tie-break), and the response then carries an `exploration` block (evaluated vs. exhaustive points, pruned counts, rounds) — identical (config, seed, budget) requests produce byte-identical bodies. ?async=1 queues a job and answers 202. Deterministic responses carry a strong ETag; If-None-Match revalidates with 304 without running the study.",
 					"parameters": []any{formatParam,
 						map[string]any{"name": "pareto", "in": "query", "schema": map[string]any{"type": "string"}},
+						map[string]any{"name": "mode", "in": "query", "description": "Exploration mode override: exhaustive (default) or adaptive.", "schema": map[string]any{"type": "string", "enum": []string{"exhaustive", "adaptive"}}},
+						map[string]any{"name": "budget", "in": "query", "description": "Adaptive point budget (0 = unlimited); spent deterministically by successive halving.", "schema": map[string]any{"type": "integer"}},
+						map[string]any{"name": "seed", "in": "query", "description": "Adaptive halving tie-break seed; same (config, seed, budget) gives byte-identical output.", "schema": map[string]any{"type": "integer", "format": "int64"}},
 						map[string]any{"name": "async", "in": "query", "schema": map[string]any{"type": "string"}}},
 				},
 				"get": map[string]any{

@@ -55,6 +55,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -262,6 +263,59 @@ func studyPareto(r *http.Request, cfg *sweep.Config) {
 	}
 }
 
+// explorationOverrides carries the request-level ?mode=, ?budget=, and
+// ?seed= options. Each value has a Set flag so journal replay can
+// distinguish "absent" from an explicit zero, mirroring the pareto
+// override's ParetoSet.
+type explorationOverrides struct {
+	ModeSet   bool
+	Mode      string
+	BudgetSet bool
+	Budget    int
+	SeedSet   bool
+	Seed      int64
+}
+
+// parseExploration reads the exploration override options off a request.
+// Only syntax is checked here; semantic validation (unknown mode, budget
+// without a pareto block) happens in sweep.Config.Study so the CLI and the
+// API reject identically.
+func parseExploration(r *http.Request) (explorationOverrides, error) {
+	var o explorationOverrides
+	q := r.URL.Query()
+	if v := q.Get("mode"); v != "" {
+		o.ModeSet, o.Mode = true, v
+	}
+	if v := q.Get("budget"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return o, fmt.Errorf("invalid budget %q: %v", v, err)
+		}
+		o.BudgetSet, o.Budget = true, n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("invalid seed %q: %v", v, err)
+		}
+		o.SeedSet, o.Seed = true, n
+	}
+	return o, nil
+}
+
+// apply writes the set overrides onto a parsed configuration.
+func (o explorationOverrides) apply(cfg *sweep.Config) {
+	if o.ModeSet {
+		cfg.Mode = o.Mode
+	}
+	if o.BudgetSet {
+		cfg.Budget = o.Budget
+	}
+	if o.SeedSet {
+		cfg.Seed = o.Seed
+	}
+}
+
 // etagFor derives the strong ETag of a study response: study responses are
 // deterministic functions of (configuration fingerprint, format), so the
 // hash of that pair identifies the exact bytes without rendering them.
@@ -295,6 +349,9 @@ type builtStudy struct {
 	// index can re-expand the identical study later. nil if marshaling
 	// failed (the study still runs; it just isn't recorded).
 	eff []byte
+	// expl preserves the request's ?mode/?budget/?seed overrides for the
+	// async journal, so a resumed job re-applies them on replay.
+	expl explorationOverrides
 }
 
 // buildStudy expands a request body into a runnable study with the server's
@@ -311,6 +368,12 @@ func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (builtStudy,
 		return builtStudy{}, false
 	}
 	studyPareto(r, cfg)
+	expl, err := parseExploration(r)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return builtStudy{}, false
+	}
+	expl.apply(cfg)
 	eff, err := json.Marshal(cfg)
 	if err != nil {
 		eff = nil
@@ -331,7 +394,7 @@ func (s *Server) buildStudy(w http.ResponseWriter, r *http.Request) (builtStudy,
 	if study.Workers == 0 {
 		study.Workers = s.opts.StudyWorkers
 	}
-	return builtStudy{study: study, format: format, raw: raw, eff: eff}, true
+	return builtStudy{study: study, format: format, raw: raw, eff: eff, expl: expl}, true
 }
 
 // saveManifest records a completed study in the store's manifest set,
@@ -349,6 +412,7 @@ func (s *Server) saveManifest(fingerprint string, study *core.Study, eff []byte,
 	}
 	if err := s.opts.Store.SaveStudy(store.StudyRecord{
 		Fingerprint: fingerprint, Name: study.Name, Config: eff, Points: len(specs),
+		Exploration: res.Exploration,
 	}); err != nil {
 		log.Printf("server: saving study manifest %s: %v", fingerprint, err)
 	}
@@ -741,6 +805,10 @@ type Stats struct {
 		Generation int64 `json:"generation"`
 		Queries    int64 `json:"queries"`
 	} `json:"query"`
+	// Exploration reports the adaptive planner and the constraint
+	// pre-filter: configs proven infeasible before characterization,
+	// adaptive studies run, and their evaluated/pruned point totals.
+	Exploration core.ExplorationStats `json:"exploration"`
 	// Async reports the background job subsystem.
 	Async struct {
 		Workers      int   `json:"workers"`
@@ -784,6 +852,7 @@ func (s *Server) Snapshot() Stats {
 		st.Query.Generation = q.Generation
 		st.Query.Queries = q.Queries
 	}
+	st.Exploration = core.ReadExplorationStats()
 	st.Async.Workers = s.opts.JobWorkers
 	st.Async.QueueDepth = s.opts.JobQueueDepth
 	st.Async.Submitted = s.jobs.submitted.Load()
@@ -802,6 +871,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, `NVMExplorer-Go study service
   POST /v1/studies                          run a sweep.Config (?format=json|ndjson|csv|html,
                                             ?pareto=metric,metric for frontier selection,
+                                            ?mode=adaptive&budget=N&seed=S for Pareto-guided
+                                            exploration under a point budget,
                                             ?async=1 to queue a job; ETag/If-None-Match honored)
   GET  /v1/studies                          list stored studies (requires -store)
   GET  /v1/studies/{fingerprint}            re-render one stored study, zero engine work

@@ -46,7 +46,17 @@ type JobRecord struct {
 	// empty Pareto then means "selection explicitly disabled").
 	ParetoSet bool
 	Pareto    []string // the override's metric list
-	Total     int      // grid points in the design space
+	// Mode/Budget/Seed record the request's exploration overrides, each with
+	// a Set flag so replay distinguishes "absent" from an explicit zero —
+	// the same pattern as ParetoSet. Old journals decode with all flags
+	// false, replaying as plain exhaustive jobs.
+	ModeSet   bool
+	Mode      string
+	BudgetSet bool
+	Budget    int
+	SeedSet   bool
+	Seed      int64
+	Total     int // grid points in the design space
 
 	// Completed is filled from the progress file on replay (how many points
 	// finished before the crash); it is not part of the job record on disk.

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Study manifests. A manifest makes a completed study addressable by its
@@ -44,6 +46,11 @@ type StudyRecord struct {
 	Config []byte
 	// Points is the study's design-space grid size.
 	Points int
+	// Exploration is the adaptive run's coverage record; nil for exhaustive
+	// studies (gob omits nil pointers, so old manifests decode unchanged).
+	// Its Indices list is what lets the query layer replay exactly the
+	// evaluated subset instead of demanding the full grid.
+	Exploration *core.Exploration
 }
 
 func (s *Store) studiesDir() string { return filepath.Join(s.dir, "studies") }

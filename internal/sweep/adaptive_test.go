@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// adaptiveRefConfig builds the Table II-style adaptive reference study: the
+// named cells swept over a long geometric capacity axis (doublings from
+// 64 KiB), selecting on array read latency and read energy — metrics that
+// concentrate the frontier at small capacities, so refinement has whole
+// axis regions it can provably skip. extra injects additional JSON axes
+// (write buffers, fault modes) into the body.
+func adaptiveRefConfig(name string, cells []string, caps int, extra string) string {
+	var capsList []string
+	for i := 0; i < caps; i++ {
+		capsList = append(capsList, fmt.Sprintf("%d", int64(64<<10)<<i))
+	}
+	return fmt.Sprintf(`{
+  "name": %q,
+  "cells": [%s],
+  "capacities_bytes": [%s],
+  "traffic": {"fixed": [{"name": "p", "reads_per_sec": 1e6, "writes_per_sec": 1e5}]},
+  "pareto": {"metrics": ["read_latency_ns", "read_energy_pj"]},%s
+  "mode": "adaptive",
+  "seed": 42
+}`, name, strings.Join(cells, ", "), strings.Join(capsList, ", "), extra)
+}
+
+// parseRef parses one reference config, optionally stripped back to
+// exhaustive mode, with the worker count applied.
+func parseRef(t *testing.T, body string, exhaustive bool, workers int) *Config {
+	t.Helper()
+	cfg, err := Parse(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive {
+		cfg.Mode, cfg.Budget, cfg.Seed = "", 0, 0
+	}
+	cfg.Workers = workers
+	return cfg
+}
+
+// renderStudy runs one parsed config and returns its results plus the
+// concatenated JSON and NDJSON bodies — the exact bytes POST /v1/studies
+// and the batch CLI produce.
+func renderStudy(t *testing.T, cfg *Config) (*core.Results, []byte) {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestAdaptiveFindsExhaustiveFrontier is the adaptive planner's acceptance
+// gate, end to end through the sweep layer: on reference grids the adaptive
+// run recovers 100% of the exhaustive Pareto frontier while evaluating at
+// most 40% of the exhaustive grid, and the rendered JSON+NDJSON bytes are
+// identical across repeat runs and worker counts for the same
+// (config, seed, budget).
+func TestAdaptiveFindsExhaustiveFrontier(t *testing.T) {
+	cases := []struct {
+		label string
+		body  string
+	}{
+		{"tableii-cells", adaptiveRefConfig("adaptive_tableii_ref",
+			[]string{`{"technology": "STT", "flavor": "Opt"}`,
+				`{"technology": "FeFET", "flavor": "Opt"}`,
+				`{"technology": "RRAM", "flavor": "Opt"}`}, 20, "")},
+		{"wb-fault-axes", adaptiveRefConfig("adaptive_wbfault_ref",
+			[]string{`{"technology": "STT", "flavor": "Opt"}`,
+				`{"technology": "FeFET", "flavor": "Opt"}`}, 16, `
+  "write_buffers": [null, {"mask_latency": true, "buffer_latency_ns": 1}],
+  "fault": {"modes": ["none", "raw"], "seed": 9, "probe_bytes": 256},`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			exRes, err := Run(parseRef(t, tc.body, true, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			exStudy, err := parseRef(t, tc.body, true, 4).Study()
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs, err := exStudy.Space()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One target × one pattern: exhaustive row index == spec index,
+			// which is what lets frontier recall be checked by index below.
+			if len(exRes.Metrics) != len(specs) {
+				t.Fatalf("exhaustive rows = %d, want one per grid point (%d)", len(exRes.Metrics), len(specs))
+			}
+
+			adRes, adBytes := renderStudy(t, parseRef(t, tc.body, false, 1))
+			e := adRes.Exploration
+			if e == nil {
+				t.Fatal("adaptive run carries no exploration block")
+			}
+			if e.ExhaustivePoints != len(specs) {
+				t.Fatalf("exploration reports a %d-point grid, want %d", e.ExhaustivePoints, len(specs))
+			}
+			if max := 2 * len(specs) / 5; e.EvaluatedPoints > max {
+				t.Errorf("adaptive evaluated %d of %d points, want <= 40%% (%d)",
+					e.EvaluatedPoints, len(specs), max)
+			}
+
+			// 100%% frontier recall: every exhaustive frontier point must be
+			// evaluated and survive in the adaptive frontier.
+			exFront, err := exRes.ParetoFrontier(exStudy.Pareto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adFront, err := adRes.ParetoFrontier(adRes.Study.Pareto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			missing := make(map[int]bool, len(exFront))
+			for _, ri := range exFront {
+				missing[ri] = true
+			}
+			for _, ri := range adFront {
+				delete(missing, e.Indices[ri])
+			}
+			if len(missing) != 0 {
+				t.Errorf("adaptive frontier missed %d of %d exhaustive frontier points: %v",
+					len(missing), len(exFront), missing)
+			}
+
+			// Determinism: repeat run and Workers=8 must render byte-identical
+			// JSON+NDJSON bodies.
+			_, again := renderStudy(t, parseRef(t, tc.body, false, 1))
+			if !bytes.Equal(adBytes, again) {
+				t.Error("repeat adaptive run rendered different bytes")
+			}
+			_, par := renderStudy(t, parseRef(t, tc.body, false, 8))
+			if !bytes.Equal(adBytes, par) {
+				t.Error("Workers=8 adaptive run rendered different bytes")
+			}
+		})
+	}
+}
+
+// TestAdaptiveBudgetedBytesStable pins the budgeted variant: a budget tight
+// enough to truncate rounds still yields byte-identical output across runs
+// and worker counts, and evaluates exactly the budget.
+func TestAdaptiveBudgetedBytesStable(t *testing.T) {
+	body := adaptiveRefConfig("adaptive_budget_ref",
+		[]string{`{"technology": "STT", "flavor": "Opt"}`,
+			`{"technology": "FeFET", "flavor": "Opt"}`}, 16, "")
+	withBudget := func(workers int) *Config {
+		cfg := parseRef(t, body, false, workers)
+		cfg.Budget = 6
+		return cfg
+	}
+	res, bytesA := renderStudy(t, withBudget(1))
+	if got := res.Exploration.EvaluatedPoints; got != 6 {
+		t.Errorf("evaluated %d points under budget 6, want exactly 6", got)
+	}
+	if _, bytesB := renderStudy(t, withBudget(1)); !bytes.Equal(bytesA, bytesB) {
+		t.Error("repeat budgeted run rendered different bytes")
+	}
+	if _, bytesC := renderStudy(t, withBudget(8)); !bytes.Equal(bytesA, bytesC) {
+		t.Error("Workers=8 budgeted run rendered different bytes")
+	}
+}

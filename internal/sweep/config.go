@@ -55,6 +55,16 @@ type Config struct {
 	MaxAreaMM2       float64 `json:"max_area_mm2,omitempty"`
 	MaxReadLatencyNS float64 `json:"max_read_latency_ns,omitempty"`
 
+	// Mode selects the execution strategy: "" or "exhaustive" evaluates the
+	// full axis cross product; "adaptive" runs the Pareto-guided search,
+	// which requires a pareto block. Budget caps how many grid points an
+	// adaptive run may evaluate (0 = refine to convergence) and Seed drives
+	// its deterministic tie-breaking; output is a pure function of
+	// (config, seed, budget).
+	Mode   string `json:"mode,omitempty"`
+	Budget int    `json:"budget,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+
 	// Workers bounds the goroutines characterizing the design-space grid;
 	// 0 uses all CPUs, 1 forces sequential execution. Output is identical
 	// at any worker count.
@@ -337,6 +347,29 @@ func (c *Config) Study() (*core.Study, error) {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 		s.Pareto = p.Metrics
+	}
+
+	switch c.Mode {
+	case "", core.ModeExhaustive:
+		if c.Budget != 0 {
+			return nil, fmt.Errorf("sweep: config %q sets budget without mode=adaptive", c.Name)
+		}
+		if c.Seed != 0 {
+			return nil, fmt.Errorf("sweep: config %q sets seed without mode=adaptive", c.Name)
+		}
+	case core.ModeAdaptive:
+		if c.Budget < 0 {
+			return nil, fmt.Errorf("sweep: config %q budget must be >= 0, got %d", c.Name, c.Budget)
+		}
+		if len(s.Pareto) == 0 {
+			return nil, fmt.Errorf("sweep: config %q: adaptive mode needs a pareto block to guide refinement", c.Name)
+		}
+		s.Mode = core.ModeAdaptive
+		s.Budget = c.Budget
+		s.Seed = c.Seed
+	default:
+		return nil, fmt.Errorf("sweep: config %q: unknown mode %q (want %q or %q)",
+			c.Name, c.Mode, core.ModeExhaustive, core.ModeAdaptive)
 	}
 	return s, nil
 }

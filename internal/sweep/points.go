@@ -176,6 +176,12 @@ type StudyResult struct {
 	// output stays byte-identical.
 	FailedPoints []core.FailedPoint `json:"failed_points,omitempty"`
 	Frontier     *Frontier          `json:"frontier,omitempty"`
+	// Exploration summarizes an adaptive run's design-space coverage
+	// (points evaluated vs. the exhaustive grid, rounds, pruned counts);
+	// absent on exhaustive runs, so existing output stays byte-identical.
+	// Its fields are pure functions of (config, seed, budget) — run
+	// telemetry such as cache warmth never appears in the body.
+	Exploration *core.Exploration `json:"exploration,omitempty"`
 }
 
 // Result converts a completed study into its JSON body form. When the
@@ -183,7 +189,7 @@ type StudyResult struct {
 // writers do); frontier rows are flagged and the frontier block attached.
 func Result(res *core.Results) StudyResult {
 	out := StudyResult{Name: res.Study.Name, Points: Points(res), Skipped: res.Skipped,
-		FailedPoints: res.FailedPoints}
+		FailedPoints: res.FailedPoints, Exploration: res.Exploration}
 	if len(res.Study.Pareto) > 0 && res.Frontier != nil {
 		for _, i := range res.Frontier {
 			out.Points[i].Pareto = true
@@ -242,10 +248,18 @@ type ndjsonFailedTrailer struct {
 	FailedPoints []core.FailedPoint `json:"failed_points"`
 }
 
+// ndjsonExplorationTrailer is the exploration NDJSON line of an adaptive
+// study; emitted last, after any frontier trailer, and only in adaptive
+// mode, so exhaustive streams are unchanged.
+type ndjsonExplorationTrailer struct {
+	Exploration *core.Exploration `json:"exploration"`
+}
+
 // WriteNDJSONTrailers writes every trailer line of a study stream — the
 // failed-points block when grid points were lost, then the frontier of a
-// Pareto-selected study — the piece the study service appends after its
-// live row stream so batch and streamed NDJSON stay byte-identical.
+// Pareto-selected study, then an adaptive run's exploration block — the
+// piece the study service appends after its live row stream so batch and
+// streamed NDJSON stay byte-identical.
 func WriteNDJSONTrailers(w io.Writer, res *core.Results) error {
 	if len(res.FailedPoints) > 0 {
 		t := ndjsonFailedTrailer{FailedPoints: res.FailedPoints}
@@ -253,7 +267,16 @@ func WriteNDJSONTrailers(w io.Writer, res *core.Results) error {
 			return err
 		}
 	}
-	return WriteNDJSONFrontier(w, res)
+	if err := WriteNDJSONFrontier(w, res); err != nil {
+		return err
+	}
+	if res.Exploration != nil {
+		t := ndjsonExplorationTrailer{Exploration: res.Exploration}
+		if err := json.NewEncoder(w).Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteNDJSONFrontier writes the single frontier trailer line of a

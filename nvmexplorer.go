@@ -216,12 +216,24 @@ type (
 	// Results holds a completed study, including any selected Pareto
 	// frontier (Results.SelectPareto).
 	Results = core.Results
+	// Exploration is an adaptive run's coverage record (evaluated vs.
+	// exhaustive points, pruned counts, rounds), attached to Results by
+	// Mode = ModeAdaptive studies.
+	Exploration = core.Exploration
 	// Table is a titled result grid with CSV emission.
 	Table = viz.Table
 	// Scatter is a figure-style scatter view (ASCII and SVG rendering).
 	Scatter = viz.Scatter
 	// Dashboard renders panels into a self-contained HTML page.
 	Dashboard = viz.Dashboard
+)
+
+// Execution modes for Study.Mode: the exhaustive full-grid walk (the
+// default) and the Pareto-guided adaptive search with a deterministic
+// point budget (Study.Budget, Study.Seed).
+const (
+	ModeExhaustive = core.ModeExhaustive
+	ModeAdaptive   = core.ModeAdaptive
 )
 
 // NewStudy creates an empty study.
