@@ -19,6 +19,11 @@
 #   7. run `nvmexplorer fsck` over the store: clean scan passes, a corrupted
 #      point file fails the scan, -repair quarantines it, and the re-scan
 #      is clean again
+#   8. distributed fabric: two worker processes + one coordinator
+#      (-fabric), kill -9 one worker mid-study; the coordinator recomputes
+#      the lost shard locally and the bytes still match the batch CLI. A
+#      coordinator restart on the same store then replays the study warm
+#      with zero re-characterizations.
 set -euo pipefail
 
 PORT="${PORT:-8731}"
@@ -26,7 +31,11 @@ BASE="http://127.0.0.1:$PORT"
 WORK="$(mktemp -d)"
 STORE="$WORK/store"
 SERVER_PID=""
-trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+W1_PID=""
+W2_PID=""
+trap 'for pid in "$SERVER_PID" "$W1_PID" "$W2_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+      done' EXIT
 
 go build -o "$WORK/nvmexplorer" ./cmd/nvmexplorer
 
@@ -44,11 +53,12 @@ cat > "$WORK/study.json" <<'JSON'
 JSON
 
 wait_healthy() {
+  local base="${1:-$BASE}"
   for _ in $(seq 1 50); do
-    if curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    if curl -fsS "$base/v1/healthz" >/dev/null 2>&1; then return 0; fi
     sleep 0.2
   done
-  echo "server never became healthy" >&2
+  echo "server at $base never became healthy" >&2
   return 1
 }
 
@@ -276,4 +286,95 @@ if ! ls "$STORE/.corrupt/"* >/dev/null 2>&1; then
   echo "repair did not quarantine the corrupted point" >&2
   exit 1
 fi
+
+echo "== fabric: two workers + a coordinator, kill -9 one worker mid-study"
+W1_PORT=$((PORT + 1)); W1_BASE="http://127.0.0.1:$W1_PORT"
+W2_PORT=$((PORT + 2)); W2_BASE="http://127.0.0.1:$W2_PORT"
+FABRIC_STORE="$WORK/fabric-store"
+# Worker 1 stretches each point to 100ms (NVMX_POINT_DELAY test seam) so a
+# shell-driven kill provably lands while its shard is in flight.
+env NVMX_POINT_DELAY=100ms \
+  "$WORK/nvmexplorer" serve -addr "127.0.0.1:$W1_PORT" &
+W1_PID=$!
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$W2_PORT" &
+W2_PID=$!
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$FABRIC_STORE" \
+  -fabric "$W1_BASE,$W2_BASE" &
+SERVER_PID=$!
+wait_healthy "$W1_BASE"
+wait_healthy "$W2_BASE"
+wait_healthy
+
+echo "== fabric protocol handshake"
+curl -fsS "$BASE/v1/version" | jq -e '.protocol == "v1"
+       and .point_key_version != "" and .shard_wire_version != ""' >/dev/null || {
+  echo "/v1/version carries no protocol handshake" >&2
+  exit 1
+}
+
+cat > "$WORK/fabric.json" <<'JSON'
+{
+  "name": "ci_fabric",
+  "cells": [{"technology": "STT", "flavor": "Opt"},
+            {"technology": "FeFET", "flavor": "Opt"},
+            {"technology": "PCM", "flavor": "Opt"},
+            {"technology": "RRAM", "flavor": "Opt"}],
+  "capacities_bytes": [8388608, 16777216, 33554432],
+  "opt_targets": ["ReadEDP", "Area"],
+  "traffic": {"generic": {"read_gbs_lo": 1, "read_gbs_hi": 10,
+               "write_gbs_lo": 0.01, "write_gbs_hi": 0.1, "points": 2}}
+}
+JSON
+curl -fsS -X POST --data-binary @"$WORK/fabric.json" \
+  -o "$WORK/fabric_cold.json" "$BASE/v1/studies?format=json" &
+CURL_PID=$!
+sleep 0.5 # let the fan-out reach worker 1, then kill it mid-shard
+kill -9 "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+wait "$CURL_PID"
+
+echo "== fabric bytes match the batch CLI despite the lost worker"
+"$WORK/nvmexplorer" run "$WORK/fabric.json" -format json > "$WORK/fabric_cli.json"
+cmp "$WORK/fabric_cold.json" "$WORK/fabric_cli.json"
+STATS=$(curl -fsS "$BASE/v1/stats")
+echo "$STATS" | jq -e '.schema_version == "v1"
+       and .fabric.enabled and .fabric.workers == 2
+       and .fabric.shards > 0 and .fabric.remote_hits > 0' >/dev/null || {
+  echo "coordinator stats carry no fabric activity: $STATS" >&2
+  exit 1
+}
+echo "$STATS" | jq -e '.fabric.remote_misses > 0' >/dev/null || {
+  echo "killed worker produced no local fallback: $STATS" >&2
+  exit 1
+}
+echo "$STATS" | jq -e '.store.backend == "local" and .store.target != ""' >/dev/null || {
+  echo "stats carry no store backend/target: $STATS" >&2
+  exit 1
+}
+
+echo "== coordinator restart: warm fabric study, zero re-characterizations"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$FABRIC_STORE" \
+  -fabric "$W1_BASE,$W2_BASE" &
+SERVER_PID=$!
+wait_healthy
+curl -fsS -X POST --data-binary @"$WORK/fabric.json" \
+  -o "$WORK/fabric_warm.json" "$BASE/v1/studies?format=json"
+cmp "$WORK/fabric_cold.json" "$WORK/fabric_warm.json"
+curl -fsS "$BASE/v1/stats" | jq -e '.memo_cache.misses == 0
+       and .store.hits > 0 and .store.misses == 0
+       and .fabric.shards == 0' >/dev/null || {
+  echo "warm fabric run re-characterized or fanned out" >&2
+  exit 1
+}
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+kill -TERM "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
 echo "serve smoke OK"

@@ -107,18 +107,29 @@ func usageError() error {
                                              with zero engine work; -list prints the
                                              stored studies instead of querying
   nvmexplorer serve [-addr :8080] [-jobs N] [-workers N] [-grace 30s]
-                    [-store dir] [-job-workers N] [-queue N]
+                    [-store dir|url] [-fabric url,url,...]
+                    [-job-workers N] [-queue N]
                     [-sync-wait 0] [-study-timeout 0]
                                              serve studies over HTTP: POST /v1/studies
                                              (sync, or ?async=1 for 202+job ID),
                                              GET /v1/jobs, /v1/jobs/{id}[/result],
                                              GET /v1/cells, /v1/experiments,
                                              /v1/experiments/{id}/dashboard.html,
-                                             /v1/stats, /v1/healthz; -jobs bounds
-                                             concurrent studies, -workers sizes each
-                                             study's worker pool, -store persists
-                                             evaluated points (and async jobs: a
-                                             killed server resumes them on restart),
+                                             /v1/stats, /v1/healthz, /v1/version,
+                                             /v1/store/* (the store wire protocol),
+                                             POST /v1/shard (fabric worker); -jobs
+                                             bounds concurrent studies, -workers
+                                             sizes each study's worker pool, -store
+                                             persists evaluated points (and async
+                                             jobs: a killed server resumes them on
+                                             restart) — a http(s):// target backs
+                                             this process by a peer's /v1/store/*
+                                             API instead of a directory, -fabric
+                                             makes this server a coordinator that
+                                             shards each study's cold points across
+                                             worker processes (byte-identical output
+                                             at any worker count; a dead worker's
+                                             shard falls back to local execution),
                                              -job-workers/-queue size the async
                                              subsystem, -sync-wait sheds sync load
                                              with 429 past the wait, -study-timeout
@@ -451,7 +462,9 @@ func runServe(args []string) error {
 	grace := fs.Duration("grace", 30*time.Second,
 		"how long to let in-flight studies drain on SIGINT/SIGTERM before exiting")
 	storeDir := fs.String("store", "",
-		"persistent study-store directory: evaluated design points survive restarts; the engine memo cache is snapshotted there on shutdown")
+		"persistent study-store target: a directory (evaluated design points survive restarts; the engine memo cache is snapshotted there on shutdown), or the base URL of a peer `nvmexplorer serve` whose /v1/store/* API backs this process")
+	fabricWorkers := fs.String("fabric", "",
+		"comma-separated base URLs of fabric worker processes (e.g. http://w1:8080,http://w2:8080): this server becomes a coordinator that consistent-hashes each study's cold grid points across the live workers before running it; output stays byte-identical at any worker count")
 	jobWorkers := fs.Int("job-workers", 0, "async job worker-pool size (0 = -jobs)")
 	queue := fs.Int("queue", 0, "async job queue depth beyond running jobs (0 = 16)")
 	syncWait := fs.Duration("sync-wait", 0,
@@ -472,6 +485,7 @@ func runServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "nvmexplorer: study store at %s\n", *storeDir)
 	}
+	fleet := splitList(*fabricWorkers)
 	srv := server.New(server.Options{
 		MaxConcurrentStudies: *jobs,
 		StudyWorkers:         *workers,
@@ -480,7 +494,11 @@ func runServe(args []string) error {
 		JobQueueDepth:        *queue,
 		SyncWait:             *syncWait,
 		StudyTimeout:         *studyTimeout,
+		Workers:              fleet,
 	})
+	if len(fleet) > 0 {
+		fmt.Fprintf(os.Stderr, "nvmexplorer: fabric coordinator over %d worker(s)\n", len(fleet))
+	}
 	if n := srv.ResumedJobs(); n > 0 {
 		fmt.Fprintf(os.Stderr, "nvmexplorer: resumed %d journaled job(s)\n", n)
 	}

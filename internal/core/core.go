@@ -247,6 +247,43 @@ func (s *Study) RunStream(ctx context.Context, emit func(PointResult) error) (*R
 	return res, nil
 }
 
+// RunPoints executes exactly the named subset of the study's design space
+// — the fabric's shard entry point. A worker process receives a shard
+// request naming spec indices, runs them through the same two-phase plan
+// as a full run (so deduped characterization, the point cache, the
+// constraint prefilter, and per-point panic isolation all apply), and
+// ships the cached results back. Specs keep their original enumeration
+// Index, so fault seeds, point keys, and emitted coordinates are identical
+// to a single-process run over the full grid.
+//
+// Unlike RunStream, an all-skipped shard is not an error: a shard is a
+// fragment, and "every point here was infeasible" is a legitimate result
+// the coordinator merges like any other.
+func (s *Study) RunPoints(ctx context.Context, indices []int, emit func(PointResult) error) (*Results, error) {
+	if len(s.Targets) == 0 {
+		s.Targets = []nvsim.OptTarget{nvsim.OptReadEDP}
+	}
+	specs, err := s.Space()
+	if err != nil {
+		return nil, err
+	}
+	sub := make([]PointSpec, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(specs) {
+			return nil, fmt.Errorf("core: study %q: shard index %d outside design space [0,%d)",
+				s.Name, idx, len(specs))
+		}
+		sub[i] = specs[idx]
+	}
+	res := &Results{Study: s}
+	putter := startCachePutter(s.Cache)
+	defer putter.wait()
+	if _, err := s.runSpecs(ctx, sub, res, putter, emit); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // noArraysError is the shared "nothing characterized" failure for a run
 // whose every point was skipped or lost.
 func (r *Results) noArraysError() error {

@@ -30,6 +30,11 @@ import (
 // so stale store entries become unreachable instead of wrong.
 const pointKeyVersion = "nvmx-point/v1"
 
+// PointKeyVersion is exported for the /v1/version worker handshake: two
+// processes exchanging points must agree on the key schema, or identical
+// physics would hash to different addresses.
+const PointKeyVersion = pointKeyVersion
+
 // PointCache is the per-point result cache Study.RunStream consults before
 // characterizing a grid point and fills after computing one. Implementations
 // (internal/store) must be safe for concurrent use: the worker pool calls
@@ -135,6 +140,23 @@ func (s *Study) Fingerprint() (string, error) {
 		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CharacterizationKey returns the canonical identity of the engine work
+// one grid point requires: the cell definition, capacity, and word width —
+// the exact fields the plan phase (plan.go) dedupes characterizations by.
+// Points sharing a CharacterizationKey share one engine pass, which is why
+// the fabric coordinator consistent-hashes by this key rather than by
+// PointKey: every point of a unique characterization config lands on the
+// same worker, so no config is ever characterized on two machines.
+func (s *Study) CharacterizationKey(spec PointSpec) string {
+	b := make([]byte, 0, 256)
+	b = appendCellKey(b, &spec.Cell)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, spec.CapacityBytes, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(spec.WordBits), 10)
+	return string(b)
 }
 
 // appendKeyFloat mirrors eval's canonical float notation for the

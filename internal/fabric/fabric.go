@@ -1,0 +1,401 @@
+// Package fabric is the distributed-study coordinator: it fans the cold
+// grid points of a study out across a fleet of worker `nvmexplorer serve`
+// processes and collects the computed points into the coordinator's store
+// before the study runs — so the run itself replays entirely from the
+// store and stays byte-identical to a single-process execution at any
+// worker count.
+//
+// The unit of distribution is the characterization config, not the grid
+// point: points are consistent-hashed by core.Study.CharacterizationKey
+// (cell × capacity × word width — exactly what the plan phase dedupes
+// engine passes by), so every point of one characterization config lands
+// on the same worker and no config is ever characterized on two machines.
+// The hash ring is deterministic over the live worker set, which is what
+// lets a resumed coordinator recompute the same assignment instead of
+// journaling point lists.
+//
+// Failure model: a worker that cannot be reached, answers non-200, or
+// returns a torn shard payload (CRC mismatch — see store.DecodeShardPoints)
+// loses the whole shard. The coordinator marks the worker dead and simply
+// leaves the shard's points unfilled; the study's own run then computes
+// them locally ("degrade to local"), so worker loss can slow a study down
+// but never change its bytes. Dead workers are re-handshaken on the next
+// prefill, so a restarted worker rejoins without coordinator restarts.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// ShardRequest is the POST /v1/shard body: the protocol generation, the
+// study's fingerprint (the worker rebuilds the study from Config and must
+// arrive at the same identity, or the shard is refused with 409
+// shard_conflict), the effective sweep configuration, and the design-space
+// indices this worker owns.
+type ShardRequest struct {
+	Protocol    string          `json:"protocol"`
+	Fingerprint string          `json:"fingerprint"`
+	Config      json.RawMessage `json:"config"`
+	Indices     []int           `json:"indices"`
+}
+
+// shardTimeout bounds one shard round trip. Shards carry whole engine
+// characterizations, so this is generous; a coordinator that trips it
+// computes the shard locally.
+var shardTimeout = 10 * time.Minute
+
+// Stats is the coordinator's counter snapshot, surfaced in the /v1/stats
+// fabric block.
+type Stats struct {
+	Workers       int   // configured worker processes
+	Live          int   // workers that passed their last handshake
+	Shards        int64 // shard requests fanned out
+	RemoteHits    int64 // points computed by workers and merged
+	RemoteMisses  int64 // points that fell back to local execution
+	ResumedShards int64 // shard assignments re-fanned out after a resume
+}
+
+// worker is one configured peer and its liveness.
+type worker struct {
+	url   string
+	alive atomic.Bool
+}
+
+// Pool coordinates a fixed set of worker processes. Safe for concurrent
+// use; every study's prefill shares the one pool so liveness and counters
+// are process-wide.
+type Pool struct {
+	client  *http.Client
+	workers []*worker
+
+	shards        atomic.Int64
+	remoteHits    atomic.Int64
+	remoteMisses  atomic.Int64
+	resumedShards atomic.Int64
+}
+
+// NewPool builds a coordinator over worker base URLs (e.g.
+// "http://w1:8080"). client == nil uses a default with the shard timeout;
+// tests inject fault-wrapped clients. Workers start unproven and are
+// handshaken on first use.
+func NewPool(urls []string, client *http.Client) *Pool {
+	if client == nil {
+		client = &http.Client{Timeout: shardTimeout}
+	}
+	p := &Pool{client: client}
+	for _, u := range urls {
+		p.workers = append(p.workers, &worker{url: u})
+	}
+	return p
+}
+
+// Workers reports the configured worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Live reports how many workers passed their most recent handshake.
+func (p *Pool) Live() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the pool's counters.
+func (p *Pool) Snapshot() Stats {
+	return Stats{
+		Workers:       len(p.workers),
+		Live:          p.Live(),
+		Shards:        p.shards.Load(),
+		RemoteHits:    p.remoteHits.Load(),
+		RemoteMisses:  p.remoteMisses.Load(),
+		ResumedShards: p.resumedShards.Load(),
+	}
+}
+
+// refresh re-handshakes every currently-dead worker, so restarted workers
+// rejoin the ring at the next prefill.
+func (p *Pool) refresh(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		if w.alive.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			if p.handshake(ctx, w.url) {
+				w.alive.Store(true)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// handshake checks a worker's GET /v1/version: it must speak this binary's
+// protocol generation, point-key schema, and shard wire format, or its
+// results could not be merged safely. Unreachable or mismatched workers
+// stay out of the ring.
+func (p *Pool) handshake(ctx context.Context, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/version", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var v store.VersionInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v); err != nil {
+		return false
+	}
+	if v.Protocol != store.ProtocolVersion || v.PointKey != core.PointKeyVersion ||
+		v.ShardWire != store.ShardWireVersion {
+		log.Printf("fabric: worker %s refused: protocol %q / point key %q / shard wire %q "+
+			"(this binary: %q / %q / %q)", url, v.Protocol, v.PointKey, v.ShardWire,
+			store.ProtocolVersion, core.PointKeyVersion, store.ShardWireVersion)
+		return false
+	}
+	return true
+}
+
+// markDead drops a worker from the ring until a future handshake revives
+// it.
+func (p *Pool) markDead(url string) {
+	for _, w := range p.workers {
+		if w.url == url {
+			w.alive.Store(false)
+		}
+	}
+}
+
+// Prefill computes a study's cold grid points on the worker fleet and
+// stores the results in st, so the study's subsequent run replays every
+// point from the store. cfg is the study's effective sweep configuration
+// (JSON) — what workers rebuild the study from. jobID, when non-empty,
+// journals the shard assignment through the store's crash-safe journal
+// under that async job's ID; a coordinator that died mid-fan-out finds the
+// record on resume and counts the re-fanned shards.
+//
+// Prefill never fails a study: every error path leaves the affected points
+// unfilled, and the run computes them locally.
+func (p *Pool) Prefill(ctx context.Context, study *core.Study, cfg []byte, st *store.Store, jobID string) {
+	if st == nil || len(cfg) == 0 || len(p.workers) == 0 {
+		return
+	}
+	// Adaptive runs evaluate a planner-chosen subset that unfolds round by
+	// round; there is no up-front point list to shard. They run locally.
+	if study.Mode == core.ModeAdaptive {
+		return
+	}
+	fp, err := study.Fingerprint()
+	if err != nil {
+		return
+	}
+	specs, err := study.Space()
+	if err != nil {
+		return
+	}
+	var missing []int
+	for i := range specs {
+		if !st.Probe(study.PointKey(specs[i])) {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return // fully warm: nothing to distribute
+	}
+	p.refresh(ctx)
+	var live []string
+	for _, w := range p.workers {
+		if w.alive.Load() {
+			live = append(live, w.url)
+		}
+	}
+	if len(live) == 0 {
+		log.Printf("fabric: no live workers; computing %d point(s) locally", len(missing))
+		p.remoteMisses.Add(int64(len(missing)))
+		return
+	}
+	ring := newRing(live)
+	assign := make(map[string][]int)
+	for _, i := range missing {
+		owner := ring.owner(study.CharacterizationKey(specs[i]))
+		assign[owner] = append(assign[owner], i)
+	}
+	if jobID != "" {
+		// A surviving .shards record means a previous incarnation of this
+		// coordinator already fanned this job out: these shards are resumed,
+		// not new. The fresh record then replaces the old one — the
+		// assignment is deterministic, so it differs only if the live worker
+		// set changed.
+		if _, ok := st.LoadShards(jobID); ok {
+			p.resumedShards.Add(int64(len(assign)))
+		}
+		rec := store.ShardRecord{ID: jobID, Fingerprint: fp}
+		for _, url := range sortedKeys(assign) {
+			rec.Assigns = append(rec.Assigns, store.ShardAssign{Worker: url, Indices: assign[url]})
+		}
+		if err := st.JournalShards(rec); err != nil {
+			log.Printf("fabric: journaling shards of %s: %v", jobID, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for url, indices := range assign {
+		wg.Add(1)
+		go func(url string, indices []int) {
+			defer wg.Done()
+			p.shards.Add(1)
+			pts, err := p.runShard(ctx, url, fp, cfg, indices)
+			if err != nil {
+				log.Printf("fabric: shard of %d point(s) lost on %s (%v); computing locally",
+					len(indices), url, err)
+				p.markDead(url)
+				p.remoteMisses.Add(int64(len(indices)))
+				return
+			}
+			byIndex := make(map[int]store.ShardPoint, len(pts))
+			for _, sp := range pts {
+				byIndex[sp.Index] = sp
+			}
+			var got int64
+			for _, i := range indices {
+				sp, ok := byIndex[i]
+				// The key check pins each returned point to the exact spec
+				// this coordinator asked for: a worker disagreeing about a
+				// point's identity (schema drift the handshake missed, a
+				// mislabeled response) contributes nothing rather than
+				// something wrong. Absent points (the worker's engine failed
+				// that config) fall back to local execution the same way.
+				if !ok || sp.Key != study.PointKey(specs[i]) {
+					p.remoteMisses.Add(1)
+					continue
+				}
+				st.Put(sp.Key, sp.Point)
+				got++
+			}
+			p.remoteHits.Add(got)
+		}(url, indices)
+	}
+	wg.Wait()
+}
+
+// runShard executes one worker's slice: POST /v1/shard, decode and
+// CRC-verify the response. Any failure loses the whole shard.
+func (p *Pool) runShard(ctx context.Context, url, fp string, cfg []byte, indices []int) ([]store.ShardPoint, error) {
+	body, err := json.Marshal(ShardRequest{
+		Protocol: store.ProtocolVersion, Fingerprint: fp,
+		Config: json.RawMessage(cfg), Indices: indices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := data
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return store.DecodeShardPoints(data)
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// journal records and logs.
+func sortedKeys(m map[string][]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// The consistent-hash ring: 64 virtual nodes per worker on a 64-bit
+// FNV-1a circle. Deterministic in the worker set — same live workers,
+// same assignment — which both the shard journal's resume semantics and
+// the "no config characterized twice" guarantee rely on.
+
+const vnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	url  string
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+func newRing(urls []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(urls)*vnodes)}
+	for _, u := range urls {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv64a(u + "#" + strconv.Itoa(v)), url: u})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].url < r.points[j].url
+	})
+	return r
+}
+
+// owner returns the worker owning a key: the first ring point at or after
+// the key's hash, wrapping at the top of the circle.
+func (r *ring) owner(key string) string {
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].url
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined to keep ring lookups
+// allocation-free.
+func fnv64a(s string) uint64 {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

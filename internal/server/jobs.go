@@ -473,6 +473,13 @@ func (m *jobManager) run(j *job) {
 	if h := testHookJobRunning; h != nil {
 		h(j)
 	}
+	// Coordinator role: fan the job's cold grid points out to the worker
+	// fleet before the run, journaling the shard assignment under the job's
+	// ID — a coordinator killed mid-fan-out re-journals the same assignment
+	// on resume (the hash ring is deterministic) and counts it as resumed.
+	if p := m.srv.fabric; p != nil {
+		p.Prefill(j.ctx, j.study, j.eff, m.srv.opts.Store, j.id)
+	}
 	res, err := j.study.RunStream(j.ctx, func(pr core.PointResult) error {
 		if pointDelay > 0 {
 			select {

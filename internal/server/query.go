@@ -254,6 +254,8 @@ func buildOpenAPI() []byte {
 							codeJobFailed, codeQueueFull, codeDraining,
 							codeSaturated, codeStudyTimeout, codeStudyFailed,
 							codeInternal,
+							codeStoreUnavailable, codeStoreCorrupt,
+							codeShardConflict, codeVersionMismatch,
 						},
 					},
 					"message":     map[string]any{"type": "string"},
@@ -313,9 +315,44 @@ func buildOpenAPI() []byte {
 			"/v1/cells":                           map[string]any{"get": map[string]any{"summary": "The canonical tentpole cell database"}},
 			"/v1/experiments":                     map[string]any{"get": map[string]any{"summary": "The paper-experiment registry"}},
 			"/v1/experiments/{id}/dashboard.html": map[string]any{"get": map[string]any{"summary": "One experiment rendered as an HTML dashboard"}},
-			"/v1/stats":                           map[string]any{"get": map[string]any{"summary": "Memo-cache, store, job, and query-index counters"}},
+			"/v1/stats":                           map[string]any{"get": map[string]any{"summary": "Memo-cache, store, fabric, job, and query-index counters (schema_version-stamped)"}},
 			"/v1/healthz":                         map[string]any{"get": map[string]any{"summary": "Liveness/readiness (503 while draining)"}},
 			"/v1/openapi.json":                    map[string]any{"get": map[string]any{"summary": "This document"}},
+			"/v1/version": map[string]any{
+				"get": map[string]any{
+					"summary":     "Protocol and schema versions for the peer handshake",
+					"description": "The wire-protocol generation plus every schema version that crosses the wire (point keys, store records, shard payloads, memo snapshots). Remote stores and fabric coordinators refuse peers whose versions disagree (version_mismatch).",
+				},
+			},
+			"/v1/store/points/{addr}": map[string]any{
+				"get": map[string]any{
+					"summary":     "One point record by content address",
+					"description": "The record's CRC-enveloped bytes exactly as stored (application/octet-stream); 404 is a clean miss, 503 store_unavailable without a healthy store. HEAD probes existence.",
+					"parameters": []any{map[string]any{"name": "addr", "in": "path", "required": true,
+						"description": "sha256 content address (hex) of the point's canonical key", "schema": map[string]any{"type": "string"}}},
+				},
+				"put": map[string]any{
+					"summary":     "Store one point record",
+					"description": "Body is the record's enveloped bytes. The record names its own key (which hashes to the address), so a mislabeled upload can only collide with itself. 400 store_corrupt on a torn or bit-flipped record, 400 version_mismatch on an unknown schema.",
+				},
+			},
+			"/v1/store/memo": map[string]any{
+				"get": map[string]any{"summary": "Snapshot of the live engine memo cache", "description": "404 while empty."},
+				"put": map[string]any{"summary": "Merge a memo snapshot into the live cache", "description": "Merge, not replace: entries this process computed keep their live values, so peers exchange snapshots in both directions safely."},
+			},
+			"/v1/store/studies": map[string]any{
+				"get": map[string]any{"summary": "Stored study fingerprints", "description": "{\"fingerprints\": [...]} — the remote backend's manifest index."},
+			},
+			"/v1/store/studies/{fingerprint}": map[string]any{
+				"get": map[string]any{"summary": "One study manifest record (enveloped bytes)"},
+				"put": map[string]any{"summary": "Store one study manifest record"},
+			},
+			"/v1/shard": map[string]any{
+				"post": map[string]any{
+					"summary":     "Compute a slice of a study's design space (fabric worker protocol)",
+					"description": "Body: {protocol, fingerprint, config, indices}. The worker rebuilds the study from config and must arrive at the coordinator's fingerprint (409 shard_conflict otherwise; 400 version_mismatch on a protocol generation this worker doesn't speak). The response is a CRC-enveloped payload of the computed points; grid points whose configuration the engine rejects are absent, and the coordinator computes them locally.",
+				},
+			},
 		},
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

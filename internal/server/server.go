@@ -21,9 +21,15 @@
 //	GET  /v1/cells                          the canonical tentpole cell database
 //	GET  /v1/experiments                    the paper-experiment registry
 //	GET  /v1/experiments/{id}/dashboard.html  one experiment rendered as an HTML dashboard
-//	GET  /v1/stats                          memo-cache, study-store, job, and query counters
+//	GET  /v1/stats                          memo-cache, study-store, fabric, job, and query counters
 //	GET  /v1/healthz                        liveness/readiness (503 while draining)
 //	GET  /v1/openapi.json                   machine-readable API description
+//	GET  /v1/version                        protocol + schema versions for the peer handshake
+//	GET/PUT /v1/store/points/{addr}         the store wire protocol: point records by content
+//	GET/PUT /v1/store/memo                  address, the live memo snapshot, and study records,
+//	GET/PUT /v1/store/studies[/{fp}]        all in the store's own CRC-enveloped byte format
+//	POST /v1/shard                          compute a slice of a study's design space (the
+//	                                        fabric worker protocol — see internal/fabric)
 //
 // Responses for a given configuration are byte-identical to the batch CLI
 // (`nvmexplorer run -format json|ndjson|csv`): both sides render through
@@ -63,6 +69,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/nvsim"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -103,6 +110,15 @@ type Options struct {
 	// exceeds it answers 503. 0 means no limit. Async jobs are unaffected
 	// (their budget is the job queue's).
 	StudyTimeout time.Duration
+	// Workers lists fabric worker base URLs (e.g. "http://w1:8080"). When
+	// non-empty the server becomes a coordinator: before a study runs, its
+	// cold grid points are consistent-hashed across the live workers (by
+	// characterization config), computed remotely via POST /v1/shard, and
+	// merged into the store — so the run itself replays from the store and
+	// stays byte-identical to a single-process execution. A coordinator
+	// without a Store gets an in-memory one (the prefill needs somewhere to
+	// land).
+	Workers []string
 }
 
 // Server is the study service. Create with New; it is safe for concurrent
@@ -114,13 +130,17 @@ type Server struct {
 	// idx is the read-optimized query index over the store's studies
 	// (GET /v1/query, GET /v1/studies...); nil without a store.
 	idx *query.Index
+	// fabric is the coordinator's worker pool; nil unless Options.Workers
+	// is set.
+	fabric *fabric.Pool
 
-	inFlight  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	points    atomic.Int64 // design points served across all formats
-	shed      atomic.Int64 // sync requests bounced with 429 under overload
-	draining  atomic.Bool  // set by Drain; flips /v1/healthz to 503
+	inFlight     atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	points       atomic.Int64 // design points served across all formats
+	shed         atomic.Int64 // sync requests bounced with 429 under overload
+	shardsServed atomic.Int64 // POST /v1/shard requests answered (worker role)
+	draining     atomic.Bool  // set by Drain; flips /v1/healthz to 503
 }
 
 // New creates a Server and starts its async worker pool.
@@ -140,7 +160,16 @@ func New(opts Options) *Server {
 	if opts.JobQueueDepth <= 0 {
 		opts.JobQueueDepth = 16
 	}
+	if len(opts.Workers) > 0 && opts.Store == nil {
+		// A coordinator merges worker-computed points into its store before
+		// each run; without a configured one, an in-memory store keeps the
+		// fabric functional (just not durable across restarts).
+		opts.Store, _ = store.Open("")
+	}
 	s := &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
+	if len(opts.Workers) > 0 {
+		s.fabric = fabric.NewPool(opts.Workers, nil)
+	}
 	if opts.Store != nil {
 		s.idx = query.New(opts.Store)
 		s.idx.Refresh() // warm the read side before the first request
@@ -180,6 +209,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/openapi.json", s.handleOpenAPI)
+	// The store/worker wire protocol (see storeapi.go). GET registrations
+	// also answer HEAD, which is the protocol's "has" probe.
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/store/points/{addr}", s.handleStorePointGet)
+	mux.HandleFunc("PUT /v1/store/points/{addr}", s.handleStorePointPut)
+	mux.HandleFunc("GET /v1/store/memo", s.handleMemoGet)
+	mux.HandleFunc("PUT /v1/store/memo", s.handleMemoPut)
+	mux.HandleFunc("GET /v1/store/studies", s.handleStoreStudies)
+	mux.HandleFunc("GET /v1/store/studies/{fingerprint}", s.handleStoreStudyGet)
+	mux.HandleFunc("PUT /v1/store/studies/{fingerprint}", s.handleStoreStudyPut)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	// Everything else gets the API's 404 envelope instead of the mux's
 	// plain-text default (method mismatches land here too).
@@ -469,6 +509,12 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.StudyTimeout)
 		defer cancel()
+	}
+	// Coordinator role: compute the study's cold grid points on the worker
+	// fleet first, so the run below replays every point from the store —
+	// which is what keeps the response byte-identical at any worker count.
+	if s.fabric != nil {
+		s.fabric.Prefill(ctx, study, b.eff, s.opts.Store, "")
 	}
 	if format != sweep.FormatNDJSON {
 		res, err := study.RunStream(ctx, nil)
@@ -764,19 +810,34 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	s.completed.Add(1)
 }
 
+// statsSchemaVersion stamps the /v1/stats body. The schema is versioned
+// API surface now: block and field names within a schema version are
+// stable, and removals only happen across a version bump.
+const statsSchemaVersion = "v1"
+
 // Stats is the /v1/stats body.
 type Stats struct {
-	Memo struct {
+	// SchemaVersion identifies this body's layout; see statsSchemaVersion.
+	SchemaVersion string `json:"schema_version"`
+	Memo          struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"memo_cache"`
 	// Store reports the persistent point store, when one is attached: a
 	// hit is a design point served without touching the engine at all.
 	Store struct {
-		Enabled bool   `json:"enabled"`
-		Dir     string `json:"dir,omitempty"`
-		Hits    int64  `json:"hits"`
-		Misses  int64  `json:"misses"`
+		Enabled bool `json:"enabled"`
+		// Backend is the store's backend kind ("local", "remote", or
+		// "memory"); Target is its location — a directory for local
+		// backends, a base URL for remote ones.
+		Backend string `json:"backend,omitempty"`
+		Target  string `json:"target,omitempty"`
+		// Dir is the legacy name for a local backend's directory.
+		// Deprecated: read Target (and Backend) instead; kept readable for
+		// one release.
+		Dir    string `json:"dir,omitempty"`
+		Hits   int64  `json:"hits"`
+		Misses int64  `json:"misses"`
 		// Self-healing telemetry: quarantined corrupt files, disk
 		// operations failed past retries, individual retry attempts, and
 		// whether persistent failures demoted the store to memory-only.
@@ -785,6 +846,25 @@ type Stats struct {
 		Retries     int64 `json:"retries"`
 		Degraded    bool  `json:"degraded"`
 	} `json:"store"`
+	// Fabric reports the distributed-study fabric: the coordinator's view
+	// of its worker fleet (workers/live/shards/remote hits & misses/resumed
+	// shards) plus this process's worker role (shards served).
+	Fabric struct {
+		Enabled bool `json:"enabled"`
+		Workers int  `json:"workers"`
+		Live    int  `json:"live"`
+		// Shards counts shard requests fanned out to workers; RemoteHits
+		// and RemoteMisses count grid points computed remotely vs. fallen
+		// back to local execution; ResumedShards counts shard assignments
+		// re-fanned out after a coordinator crash + resume.
+		Shards        int64 `json:"shards"`
+		RemoteHits    int64 `json:"remote_hits"`
+		RemoteMisses  int64 `json:"remote_misses"`
+		ResumedShards int64 `json:"resumed_shards"`
+		// ShardsServed counts POST /v1/shard requests this process answered
+		// as a worker.
+		ShardsServed int64 `json:"shards_served"`
+	} `json:"fabric"`
 	Jobs struct {
 		InFlight      int64 `json:"in_flight"`
 		MaxConcurrent int   `json:"max_concurrent"`
@@ -825,10 +905,14 @@ type Stats struct {
 // Snapshot returns the current counters (also served at /v1/stats).
 func (s *Server) Snapshot() Stats {
 	var st Stats
+	st.SchemaVersion = statsSchemaVersion
 	st.Memo.Hits, st.Memo.Misses = nvsim.MemoStats()
 	if s.opts.Store != nil {
 		st.Store.Enabled = true
-		st.Store.Dir = s.opts.Store.Dir()
+		b := s.opts.Store.Backend()
+		st.Store.Backend = b.Kind()
+		st.Store.Target = b.Target()
+		st.Store.Dir = s.opts.Store.Dir() // deprecated alias of Target
 		st.Store.Hits, st.Store.Misses = s.opts.Store.Stats()
 		h := s.opts.Store.Health()
 		st.Store.Quarantined = h.Quarantined
@@ -836,6 +920,17 @@ func (s *Server) Snapshot() Stats {
 		st.Store.Retries = h.Retries
 		st.Store.Degraded = h.Degraded
 	}
+	if s.fabric != nil {
+		f := s.fabric.Snapshot()
+		st.Fabric.Enabled = true
+		st.Fabric.Workers = f.Workers
+		st.Fabric.Live = f.Live
+		st.Fabric.Shards = f.Shards
+		st.Fabric.RemoteHits = f.RemoteHits
+		st.Fabric.RemoteMisses = f.RemoteMisses
+		st.Fabric.ResumedShards = f.ResumedShards
+	}
+	st.Fabric.ShardsServed = s.shardsServed.Load()
 	st.Jobs.InFlight = s.inFlight.Load()
 	st.Jobs.MaxConcurrent = s.opts.MaxConcurrentStudies
 	st.Jobs.StudyWorkers = s.opts.StudyWorkers
@@ -887,9 +982,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
   GET  /v1/cells                            canonical tentpole cell database
   GET  /v1/experiments                      paper-experiment registry
   GET  /v1/experiments/{id}/dashboard.html  live HTML dashboard for one experiment
-  GET  /v1/stats                            memo-cache, study-store, job, and query counters
+  GET  /v1/stats                            memo-cache, study-store, fabric, job, and query counters
   GET  /v1/healthz                          liveness/readiness (503 while draining)
   GET  /v1/openapi.json                     machine-readable API description
+  GET  /v1/version                          protocol + schema versions (peer handshake)
+  GET  /v1/store/points/{addr}              one point record by content address (PUT to store)
+  GET  /v1/store/memo                       live engine memo snapshot (PUT merges one in)
+  GET  /v1/store/studies[/{fp}]             stored study records (PUT /{fp} to store)
+  POST /v1/shard                            compute a slice of a study's design space (fabric worker)
 `)
 }
 

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/nvsim"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// The store/worker wire protocol: the HTTP face of internal/store plus the
+// shard-execution endpoint the fabric coordinator fans studies out
+// through. Record bodies are the store's own CRC-enveloped gob bytes,
+// shipped verbatim (application/octet-stream) — the consumer's envelope
+// check covers the network path for free, so a torn response reads as
+// detected corruption, never as silently truncated physics.
+//
+//	GET  /v1/version                    protocol + schema versions (worker handshake)
+//	GET  /v1/store/points/{addr}        one point record by content address (404 = miss)
+//	PUT  /v1/store/points/{addr}        store one point record (the record names its own key)
+//	GET  /v1/store/memo                 the live engine memo cache, snapshotted
+//	PUT  /v1/store/memo                 merge a memo snapshot into the live cache
+//	GET  /v1/store/studies              stored study fingerprints
+//	GET  /v1/store/studies/{fp}         one study manifest record
+//	PUT  /v1/store/studies/{fp}         store one study manifest record
+//	POST /v1/shard                      compute a slice of a study's design space
+//
+// Failure semantics mirror the local backend's, mapped onto status codes:
+// a missing record is 404 (a clean miss), an unusable upload is 400 with
+// store_corrupt or version_mismatch (deterministic — clients don't retry),
+// and a missing or degraded store is 503 store_unavailable (transient —
+// remote peers retry, then count it toward their degradation threshold).
+
+// maxRecordBytes bounds one uploaded store record (a point record is a few
+// KB; a memo snapshot grows with distinct configurations).
+const maxRecordBytes = 16 << 20
+
+// buildRevision is the VCS revision stamped into the binary, when the
+// toolchain recorded one.
+var buildRevision = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}()
+
+// handleVersion answers the worker/peer handshake: every schema version
+// that crosses the wire. Peers refuse to exchange records with a server
+// whose versions disagree with their own (store.OpenRemote,
+// fabric.Pool.handshake).
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, store.VersionInfo{
+		Protocol:      store.ProtocolVersion,
+		PointKey:      core.PointKeyVersion,
+		StoreRecord:   store.RecordVersion,
+		ShardWire:     store.ShardWireVersion,
+		MemoSnapshot:  nvsim.SnapshotVersion,
+		GoVersion:     runtime.Version(),
+		BuildRevision: buildRevision,
+	})
+}
+
+// storeFor503 returns the attached store, answering 503 store_unavailable
+// when there is none or it has degraded to memory-only mode. Degraded is
+// deliberate: a degraded store can still answer from memory, but peers
+// treating it as healthy would build on state this process can no longer
+// persist — better they fail over like the local backend does on a dying
+// disk.
+func (s *Server) storeFor503(w http.ResponseWriter) (*store.Store, bool) {
+	st := s.opts.Store
+	switch {
+	case st == nil:
+		apiError(w, http.StatusServiceUnavailable, codeStoreUnavailable,
+			fmt.Errorf("no study store attached (start the server with -store)"))
+		return nil, false
+	case st.Degraded():
+		apiError(w, http.StatusServiceUnavailable, codeStoreUnavailable,
+			fmt.Errorf("study store degraded to memory-only mode"))
+		return nil, false
+	}
+	return st, true
+}
+
+// handleStorePointGet serves one point record's envelope bytes by content
+// address. Registered as GET, which also answers HEAD ("has") for free.
+func (s *Server) handleStorePointGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.storeFor503(w)
+	if !ok {
+		return
+	}
+	addr := r.PathValue("addr")
+	data, ok := st.ExportPoint(addr)
+	if !ok {
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no point record at %s", addr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// handleStorePointPut verifies and stores one uploaded point record. The
+// record names its own key (and the key hashes to the address), so the
+// path's address is advisory: a mislabeled upload can only collide with
+// itself.
+func (s *Server) handleStorePointPut(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.storeFor503(w)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+		return
+	}
+	if _, err := st.ImportPoint(data); err != nil {
+		s.importError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// importError maps the store's typed import failures onto the envelope.
+func (s *Server) importError(w http.ResponseWriter, err error) {
+	if errors.Is(err, store.ErrUnknownVersion) {
+		apiError(w, http.StatusBadRequest, codeVersionMismatch, err)
+		return
+	}
+	apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+}
+
+// handleMemoGet snapshots the live engine memo cache — the warm state a
+// joining worker pulls so overlapping studies start with the fleet's
+// accumulated characterizations.
+func (s *Server) handleMemoGet(w http.ResponseWriter, _ *http.Request) {
+	if _, ok := s.storeFor503(w); !ok {
+		return
+	}
+	if nvsim.MemoLen() == 0 {
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("memo cache is empty"))
+		return
+	}
+	var buf bytes.Buffer
+	if err := nvsim.SnapshotMemo(&buf); err != nil {
+		apiError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleMemoPut merges an uploaded memo snapshot into the live cache.
+// Merge, not replace: entries this process already computed keep their
+// live values, so concurrent peers can exchange snapshots in both
+// directions without losing work.
+func (s *Server) handleMemoPut(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.storeFor503(w); !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+		return
+	}
+	if _, err := nvsim.CheckMemoSnapshot(bytes.NewReader(data)); err != nil {
+		apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+		return
+	}
+	if _, err := nvsim.RestoreMemo(bytes.NewReader(data)); err != nil {
+		apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStoreStudies lists stored study fingerprints — the remote
+// backend's manifest index.
+func (s *Server) handleStoreStudies(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.storeFor503(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, map[string]any{"fingerprints": st.StudyFingerprints()})
+}
+
+// handleStoreStudyGet serves one study manifest's envelope bytes.
+func (s *Server) handleStoreStudyGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.storeFor503(w)
+	if !ok {
+		return
+	}
+	fp := r.PathValue("fingerprint")
+	data, ok := st.ExportStudy(fp)
+	if !ok {
+		apiError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no study record %s", fp))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+// handleStoreStudyPut verifies and stores one uploaded study manifest.
+func (s *Server) handleStoreStudyPut(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.storeFor503(w)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeStoreCorrupt, err)
+		return
+	}
+	if _, err := st.ImportStudy(data); err != nil {
+		s.importError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShard computes one slice of a study's design space — the worker
+// half of the fabric protocol. The request carries the effective sweep
+// configuration; this worker rebuilds the study from it and must arrive at
+// the coordinator's fingerprint, or the two processes disagree about what
+// the work is (409 shard_conflict). Computed points flow through this
+// worker's own store/memo (so a warm worker serves its shard without
+// touching the engine) and return as one CRC-enveloped payload.
+//
+// Failed grid points are simply absent from the response: a config the
+// engine rejects never reaches the cache, and the coordinator computes the
+// point locally to produce the identical failure row.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 2*maxConfigBytes))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return
+	}
+	var req fabric.ShardRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return
+	}
+	if req.Protocol != store.ProtocolVersion {
+		apiError(w, http.StatusBadRequest, codeVersionMismatch,
+			fmt.Errorf("shard speaks protocol %q, this worker speaks %q", req.Protocol, store.ProtocolVersion))
+		return
+	}
+	cfg, err := sweep.Parse(bytes.NewReader(req.Config))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return
+	}
+	// The worker's own store backs the shard, so repeated shards replay
+	// stored points; a storeless worker still needs a cache to collect the
+	// results, so it gets a throwaway in-memory one.
+	cache := s.opts.Store
+	if cache == nil {
+		if cache, err = store.Open(""); err != nil {
+			apiError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+	}
+	cfg.Cache = cache
+	study, err := cfg.Study()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, codeInvalidConfig, err)
+		return
+	}
+	if study.Workers == 0 {
+		study.Workers = s.opts.StudyWorkers
+	}
+	fp, err := study.Fingerprint()
+	if err != nil {
+		apiError(w, http.StatusUnprocessableEntity, codeInvalidConfig, err)
+		return
+	}
+	if fp != req.Fingerprint {
+		apiError(w, http.StatusConflict, codeShardConflict,
+			fmt.Errorf("config rebuilds to study %s, coordinator expects %s", fp, req.Fingerprint))
+		return
+	}
+	specs, err := study.Space()
+	if err != nil {
+		apiError(w, http.StatusUnprocessableEntity, codeInvalidConfig, err)
+		return
+	}
+	for _, i := range req.Indices {
+		if i < 0 || i >= len(specs) {
+			apiError(w, http.StatusConflict, codeShardConflict,
+				fmt.Errorf("shard index %d outside the %d-point design space", i, len(specs)))
+			return
+		}
+	}
+
+	// Shards are studies: they share the sync path's concurrency budget,
+	// load shedding, and execution timeout.
+	ok, shed := s.acquire(r)
+	if shed {
+		shedRequest(w, time.Second)
+		return
+	}
+	if !ok {
+		return // coordinator gone while queued
+	}
+	defer func() { <-s.sem }()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	ctx := r.Context()
+	if s.opts.StudyTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, s.opts.StudyTimeout)
+		defer cancel()
+	}
+	if _, err := study.RunPoints(ctx, req.Indices, func(core.PointResult) error {
+		if pointDelay > 0 {
+			select {
+			case <-time.After(pointDelay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}); err != nil {
+		s.failed.Add(1)
+		switch {
+		case r.Context().Err() != nil: // coordinator gone
+		case ctx.Err() != nil:
+			apiError(w, http.StatusServiceUnavailable, codeStudyTimeout,
+				fmt.Errorf("shard exceeded the %s execution budget", s.opts.StudyTimeout))
+		default:
+			apiError(w, http.StatusUnprocessableEntity, codeStudyFailed, err)
+		}
+		return
+	}
+	// Collect through the cache rather than the emit stream: the cache holds
+	// exactly the points that completed (failed configs never get a put), in
+	// their canonical stored form.
+	pts := make([]store.ShardPoint, 0, len(req.Indices))
+	for _, i := range req.Indices {
+		key := study.PointKey(specs[i])
+		if cp, ok := cache.Get(key); ok {
+			pts = append(pts, store.ShardPoint{Index: i, Key: key, Point: cp})
+		}
+	}
+	data, err := store.EncodeShardPoints(pts)
+	if err != nil {
+		s.failed.Add(1)
+		apiError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	s.completed.Add(1)
+	s.shardsServed.Add(1)
+	s.points.Add(int64(len(pts)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"errors"
+)
+
+// Byte-level record access: the half of the store the /v1/store/* HTTP API
+// is made of. Records cross the wire in exactly their envelope form, so
+// the consumer's CRC check covers the network path for free — a torn or
+// proxied-and-mangled response is detected corruption, same as a torn
+// file.
+
+// Errors ImportPoint and ImportStudy distinguish so the HTTP layer can map
+// them onto stable error codes.
+var (
+	// ErrCorruptRecord: the bytes fail the envelope checks (torn, bit
+	// flipped, or the payload disagrees with its address).
+	ErrCorruptRecord = errors.New("store: corrupt record")
+	// ErrUnknownVersion: a schema this binary doesn't speak.
+	ErrUnknownVersion = errors.New("store: unknown record version")
+)
+
+// ExportPoint returns the raw envelope bytes of one point record by
+// content address: resident entries are re-encoded, anything else comes
+// from the backend verbatim.
+func (s *Store) ExportPoint(addrHex string) ([]byte, bool) {
+	s.mu.Lock()
+	key, ok := s.idx[addrHex]
+	var cp = s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		if data, err := encodePoint(key, cp); err == nil {
+			return data, true
+		}
+	}
+	return s.backend.ExportPoint(addrHex)
+}
+
+// HasPoint reports whether the store holds a record at a content address.
+func (s *Store) HasPoint(addrHex string) bool {
+	s.mu.Lock()
+	_, ok := s.idx[addrHex]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	_, ok = s.backend.ExportPoint(addrHex)
+	return ok
+}
+
+// ImportPoint verifies one point record's envelope bytes and stores the
+// point under its own canonical key, returning that key. The caller does
+// not get to choose the address — the record names its key and the key
+// hashes to the address, so a mislabeled upload can only ever collide with
+// itself.
+func (s *Store) ImportPoint(data []byte) (string, error) {
+	p, status := decodePoint(data, "")
+	switch status {
+	case readOK, readLegacy:
+	case readMissing:
+		return "", ErrUnknownVersion
+	default:
+		return "", ErrCorruptRecord
+	}
+	s.Put(p.Key, p.Point)
+	return p.Key, nil
+}
+
+// ExportStudy returns the raw envelope bytes of one study manifest.
+func (s *Store) ExportStudy(fingerprint string) ([]byte, bool) {
+	rec, ok := s.LoadStudy(fingerprint)
+	if !ok {
+		return nil, false
+	}
+	data, err := encodeStudyRecord(rec)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// ImportStudy verifies one manifest's envelope bytes and saves it,
+// returning its fingerprint.
+func (s *Store) ImportStudy(data []byte) (string, error) {
+	rec, status := decodeStudyRecord(data, "")
+	switch status {
+	case readOK:
+	case readMissing:
+		return "", ErrUnknownVersion
+	default:
+		return "", ErrCorruptRecord
+	}
+	if err := s.SaveStudy(rec); err != nil {
+		return rec.Fingerprint, nil // durability is best-effort, same as SaveStudy callers
+	}
+	return rec.Fingerprint, nil
+}
+
+// StudyFingerprints lists every stored study's fingerprint (mirror ∪
+// backend), sorted — the /v1/store/studies index body.
+func (s *Store) StudyFingerprints() []string {
+	recs := s.ListStudies()
+	fps := make([]string, len(recs))
+	for i, rec := range recs {
+		fps[i] = rec.Fingerprint
+	}
+	return fps
+}

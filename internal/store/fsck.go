@@ -12,12 +12,14 @@ import (
 )
 
 // Offline store checking and repair, behind `nvmexplorer fsck`. Fsck walks
-// a store directory — point files, the memo snapshot, the job journal —
-// verifying each file the same way the live store does (version dispatch,
-// checksum, address match), and in repair mode quarantines what is broken
-// and rewrites what is merely stale (legacy pre-checksum point files are
-// upgraded to the current checksummed format). It never touches the live
-// nvsim memo: the memo snapshot is validated structurally, not loaded.
+// a store directory — point files, the memo snapshot, the job journal,
+// study manifests — verifying each file the same way the live store does
+// (version dispatch, checksum, address match), and in repair mode
+// quarantines what is broken and rewrites what is merely stale (legacy
+// pre-checksum point files are upgraded to the current checksummed
+// format). It never touches the live nvsim memo: the memo snapshot is
+// validated structurally, not loaded. Fsck is local-only by construction —
+// a remote store is somebody else's directory; run fsck there.
 
 // FsckReport is the result of one store scan.
 type FsckReport struct {
@@ -36,6 +38,10 @@ type FsckReport struct {
 	JobsIncomplete int `json:"jobs_incomplete"`
 	JobsCorrupt    int `json:"jobs_corrupt"`
 	OrphanProgress int `json:"orphan_progress"` // progress files with no job record
+	// OrphanShards counts shard-assignment records with no job record —
+	// what a dead fabric coordinator leaves behind once its job journal is
+	// gone but the fan-out record is not.
+	OrphanShards int `json:"orphan_shards"`
 
 	// Study manifests.
 	StudiesOK      int `json:"studies_ok"`
@@ -45,14 +51,14 @@ type FsckReport struct {
 	// Repair actions taken (repair mode only).
 	Repaired    int `json:"repaired"`    // legacy points rewritten to the current format
 	Quarantined int `json:"quarantined"` // corrupt files moved to .corrupt/
-	Removed     int `json:"removed"`     // orphan progress files deleted
+	Removed     int `json:"removed"`     // orphan progress/shard files deleted
 }
 
 // Clean reports whether the scan found nothing wrong (legacy-format files
 // are stale, not wrong).
 func (r *FsckReport) Clean() bool {
 	return r.PointsCorrupt == 0 && !r.MemoCorrupt && r.JobsCorrupt == 0 && r.OrphanProgress == 0 &&
-		r.StudiesCorrupt == 0
+		r.OrphanShards == 0 && r.StudiesCorrupt == 0
 }
 
 // Summary renders the report for terminal output.
@@ -71,8 +77,8 @@ func (r *FsckReport) Summary() string {
 	default:
 		fmt.Fprintf(&b, "memo: snapshot ok (%d entries)\n", r.MemoEntries)
 	}
-	fmt.Fprintf(&b, "journal: %d incomplete job(s), %d corrupt, %d orphan progress file(s)\n",
-		r.JobsIncomplete, r.JobsCorrupt, r.OrphanProgress)
+	fmt.Fprintf(&b, "journal: %d incomplete job(s), %d corrupt, %d orphan progress file(s), %d orphan shard record(s)\n",
+		r.JobsIncomplete, r.JobsCorrupt, r.OrphanProgress, r.OrphanShards)
 	fmt.Fprintf(&b, "studies: %d ok, %d corrupt", r.StudiesOK, r.StudiesCorrupt)
 	if r.StudiesUnknown > 0 {
 		fmt.Fprintf(&b, ", %d unknown-version (left in place)", r.StudiesUnknown)
@@ -96,28 +102,31 @@ func FsckFS(dir string, fsys FS, repair bool) (*FsckReport, error) {
 	if dir == "" {
 		return nil, errors.New("store: fsck needs a store directory")
 	}
+	if IsRemoteTarget(dir) {
+		return nil, fmt.Errorf("store: fsck is local-only; run it against %s's own directory", dir)
+	}
 	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("store: %s: no such store", dir)
 	}
-	s := &Store{dir: dir, fs: fsys}
+	lb := newLocalBackend(dir, fsys)
 	rep := &FsckReport{}
-	if err := s.fsckPoints(rep, repair); err != nil {
+	if err := lb.fsckPoints(rep, repair); err != nil {
 		return nil, err
 	}
-	if err := s.fsckMemo(rep, repair); err != nil {
+	if err := lb.fsckMemo(rep, repair); err != nil {
 		return nil, err
 	}
-	if err := s.fsckJobs(rep, repair); err != nil {
+	if err := lb.fsckJobs(rep, repair); err != nil {
 		return nil, err
 	}
-	if err := s.fsckStudies(rep, repair); err != nil {
+	if err := lb.fsckStudies(rep, repair); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
-func (s *Store) fsckStudies(rep *FsckReport, repair bool) error {
-	ents, err := s.fs.ReadDir(s.studiesDir())
+func (lb *localBackend) fsckStudies(rep *FsckReport, repair bool) error {
+	ents, err := lb.fs.ReadDir(lb.studiesDir())
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -126,8 +135,8 @@ func (s *Store) fsckStudies(rep *FsckReport, repair bool) error {
 		if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
 			continue
 		}
-		path := filepath.Join(s.studiesDir(), name)
-		data, err := s.fs.ReadFile(path)
+		path := filepath.Join(lb.studiesDir(), name)
+		data, err := lb.fs.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -143,19 +152,19 @@ func (s *Store) fsckStudies(rep *FsckReport, repair bool) error {
 		case readCorrupt:
 			rep.StudiesCorrupt++
 			if repair {
-				s.quarantine(path)
+				lb.quarantine(path)
 			}
 		case readMissing:
 			rep.StudiesUnknown++
 		}
 	}
-	rep.Quarantined = int(s.quarantined.Load())
+	rep.Quarantined = int(lb.h.quarantined.Load())
 	return nil
 }
 
-func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
-	root := filepath.Join(s.dir, "points")
-	shards, err := s.fs.ReadDir(root)
+func (lb *localBackend) fsckPoints(rep *FsckReport, repair bool) error {
+	root := filepath.Join(lb.dir, "points")
+	shards, err := lb.fs.ReadDir(root)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -164,7 +173,7 @@ func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
 			continue
 		}
 		shardDir := filepath.Join(root, sh.Name())
-		ents, err := s.fs.ReadDir(shardDir)
+		ents, err := lb.fs.ReadDir(shardDir)
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -174,7 +183,7 @@ func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
 				continue
 			}
 			path := filepath.Join(shardDir, name)
-			data, err := s.fs.ReadFile(path)
+			data, err := lb.fs.ReadFile(path)
 			if err != nil {
 				return fmt.Errorf("store: %w", err)
 			}
@@ -193,7 +202,7 @@ func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
 				rep.PointsLegacy++
 				if repair {
 					if out, err := encodePoint(p.Key, p.Point); err == nil {
-						if err := s.fs.WriteFileAtomic(path, out); err == nil {
+						if err := lb.fs.WriteFileAtomic(path, out); err == nil {
 							rep.Repaired++
 						}
 					}
@@ -201,19 +210,19 @@ func (s *Store) fsckPoints(rep *FsckReport, repair bool) error {
 			case readCorrupt:
 				rep.PointsCorrupt++
 				if repair {
-					s.quarantine(path)
+					lb.quarantine(path)
 				}
 			case readMissing:
 				rep.PointsUnknown++
 			}
 		}
 	}
-	rep.Quarantined = int(s.quarantined.Load())
+	rep.Quarantined = int(lb.h.quarantined.Load())
 	return nil
 }
 
-func (s *Store) fsckMemo(rep *FsckReport, repair bool) error {
-	data, err := s.fs.ReadFile(s.memoPath())
+func (lb *localBackend) fsckMemo(rep *FsckReport, repair bool) error {
+	data, err := lb.fs.ReadFile(lb.memoPath())
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -225,31 +234,31 @@ func (s *Store) fsckMemo(rep *FsckReport, repair bool) error {
 	if err != nil {
 		rep.MemoCorrupt = true
 		if repair {
-			s.quarantine(s.memoPath())
+			lb.quarantine(lb.memoPath())
 		}
 	} else {
 		rep.MemoEntries = n
 	}
-	rep.Quarantined = int(s.quarantined.Load())
+	rep.Quarantined = int(lb.h.quarantined.Load())
 	return nil
 }
 
-func (s *Store) fsckJobs(rep *FsckReport, repair bool) error {
-	ents, err := s.fs.ReadDir(s.jobsDir())
+func (lb *localBackend) fsckJobs(rep *FsckReport, repair bool) error {
+	ents, err := lb.fs.ReadDir(lb.jobsDir())
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	jobs := map[string]bool{}
-	var progress []string
+	var progress, shards []string
 	for _, ent := range ents {
 		name := ent.Name()
 		if ent.IsDir() {
 			continue
 		}
-		path := filepath.Join(s.jobsDir(), name)
+		path := filepath.Join(lb.jobsDir(), name)
 		switch {
 		case strings.HasSuffix(name, ".job"):
-			data, err := s.fs.ReadFile(path)
+			data, err := lb.fs.ReadFile(path)
 			if err != nil {
 				return fmt.Errorf("store: %w", err)
 			}
@@ -261,11 +270,13 @@ func (s *Store) fsckJobs(rep *FsckReport, repair bool) error {
 			case readCorrupt:
 				rep.JobsCorrupt++
 				if repair {
-					s.quarantine(path)
+					lb.quarantine(path)
 				}
 			}
 		case strings.HasSuffix(name, ".progress"):
 			progress = append(progress, strings.TrimSuffix(name, ".progress"))
+		case strings.HasSuffix(name, ".shards"):
+			shards = append(shards, strings.TrimSuffix(name, ".shards"))
 		}
 	}
 	for _, id := range progress {
@@ -274,11 +285,25 @@ func (s *Store) fsckJobs(rep *FsckReport, repair bool) error {
 		}
 		rep.OrphanProgress++
 		if repair {
-			if err := s.fs.Remove(s.progressPath(id)); err == nil {
+			if err := lb.fs.Remove(lb.progressPath(id)); err == nil {
 				rep.Removed++
 			}
 		}
 	}
-	rep.Quarantined = int(s.quarantined.Load())
+	// A shard record whose job journal is gone belongs to a coordinator
+	// that died after its job reached a terminal state mid-cleanup (or to
+	// a journal quarantined above): nothing will ever resume it.
+	for _, id := range shards {
+		if jobs[id] {
+			continue
+		}
+		rep.OrphanShards++
+		if repair {
+			if err := lb.fs.Remove(lb.shardsPath(id)); err == nil {
+				rep.Removed++
+			}
+		}
+	}
+	rep.Quarantined = int(lb.h.quarantined.Load())
 	return nil
 }

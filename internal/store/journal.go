@@ -63,16 +63,6 @@ type JobRecord struct {
 	Completed int
 }
 
-func (s *Store) jobsDir() string { return filepath.Join(s.dir, "jobs") }
-
-func (s *Store) jobPath(id string) string {
-	return filepath.Join(s.jobsDir(), id+".job")
-}
-
-func (s *Store) progressPath(id string) string {
-	return filepath.Join(s.jobsDir(), id+".progress")
-}
-
 // encodeJobRecord builds the on-disk bytes for one job record.
 func encodeJobRecord(rec JobRecord) ([]byte, error) {
 	rec.Version = journalVersion
@@ -113,50 +103,62 @@ func decodeJobRecord(data []byte) (JobRecord, readStatus) {
 	}
 }
 
+// journalEnabled reports whether this store journals at all. The journal
+// is a coordinator-local crash-recovery concern, so only a healthy local
+// (directory) backend has one; memory-only, remote, and degraded stores
+// no-op — jobs still run, they just don't survive a crash of this process.
+func (s *Store) journalEnabled() bool {
+	return s.local != nil && s.local.enabled()
+}
+
 // JournalJob durably records a job before it runs. Called write-ahead: the
 // record must be on disk before the job is queued, so a crash at any later
-// moment finds it on replay. Memory-only and degraded stores no-op (nil):
-// jobs still run, they just don't survive a crash.
+// moment finds it on replay.
 func (s *Store) JournalJob(rec JobRecord) error {
-	if !s.diskEnabled() {
+	if !s.journalEnabled() {
 		return nil
 	}
+	lb := s.local
 	data, err := encodeJobRecord(rec)
 	if err != nil {
 		return err
 	}
-	if err := s.fs.MkdirAll(s.jobsDir()); err != nil {
-		s.diskFail("mkdir "+s.jobsDir(), err)
+	if err := lb.fs.MkdirAll(lb.jobsDir()); err != nil {
+		lb.h.fail("disk", "mkdir "+lb.jobsDir(), err)
 		return err
 	}
-	return s.writeFileRetry(s.jobPath(rec.ID), data)
+	return lb.writeFileRetry(lb.jobPath(rec.ID), data)
 }
 
 // JournalPoint appends one per-point completion record. Best-effort: a
 // lost append only means the point replays from the store after a crash.
 func (s *Store) JournalPoint(id string, index int) {
-	if !s.diskEnabled() {
+	if !s.journalEnabled() {
 		return
 	}
+	lb := s.local
 	var buf [progressRecordSize]byte
 	binary.LittleEndian.PutUint32(buf[:], uint32(index))
-	if err := s.fs.Append(s.progressPath(id), buf[:]); err != nil {
-		s.diskFail("append "+s.progressPath(id), err)
+	if err := lb.fs.Append(lb.progressPath(id), buf[:]); err != nil {
+		lb.h.fail("disk", "append "+lb.progressPath(id), err)
 		return
 	}
-	s.diskOK()
+	lb.h.ok()
 }
 
 // JournalDone removes a job's journal once it reaches a terminal state
 // (done, failed, or deliberately canceled) — terminal jobs must not be
 // re-adopted on restart. Best-effort; a leftover journal only costs a
-// redundant (store-warm) replay.
+// redundant (store-warm) replay. The job's shard-assignment record
+// (shards.go), if any, goes with it.
 func (s *Store) JournalDone(id string) {
-	if !s.diskEnabled() {
+	if !s.journalEnabled() {
 		return
 	}
-	_ = s.fs.Remove(s.jobPath(id))
-	_ = s.fs.Remove(s.progressPath(id))
+	lb := s.local
+	_ = lb.fs.Remove(lb.jobPath(id))
+	_ = lb.fs.Remove(lb.progressPath(id))
+	_ = lb.fs.Remove(lb.shardsPath(id))
 }
 
 // IncompleteJobs replays the journal: every job record left on disk, in
@@ -164,12 +166,13 @@ func (s *Store) JournalDone(id string) {
 // file. Corrupt records are quarantined and skipped — a damaged journal
 // must never block startup.
 func (s *Store) IncompleteJobs() []JobRecord {
-	if !s.diskEnabled() {
+	if !s.journalEnabled() {
 		return nil
 	}
-	ents, err := s.fs.ReadDir(s.jobsDir())
+	lb := s.local
+	ents, err := lb.fs.ReadDir(lb.jobsDir())
 	if err != nil {
-		s.diskFail("readdir "+s.jobsDir(), err)
+		lb.h.fail("disk", "readdir "+lb.jobsDir(), err)
 		return nil
 	}
 	var recs []JobRecord
@@ -178,14 +181,14 @@ func (s *Store) IncompleteJobs() []JobRecord {
 		if ent.IsDir() || !strings.HasSuffix(name, ".job") {
 			continue
 		}
-		path := filepath.Join(s.jobsDir(), name)
-		data, status := s.readFileRetry(path)
+		path := filepath.Join(lb.jobsDir(), name)
+		data, status := lb.readFileRetry(path)
 		if status != readOK {
 			continue
 		}
 		rec, status := decodeJobRecord(data)
 		if status == readCorrupt {
-			s.quarantine(path)
+			lb.quarantine(path)
 			continue
 		}
 		if status != readOK {
@@ -203,7 +206,7 @@ func (s *Store) IncompleteJobs() []JobRecord {
 // progressCount reads a job's progress file and counts whole completion
 // records; a torn tail (crash mid-append) is ignored.
 func (s *Store) progressCount(id string) int {
-	data, status := s.readFileRetry(s.progressPath(id))
+	data, status := s.local.readFileRetry(s.local.progressPath(id))
 	if status != readOK {
 		return 0
 	}

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// localBackend is the CRC-enveloped directory backend: one gob file per
+// point under DIR/points/ (sharded by the first hash byte), the memo
+// snapshot at DIR/memo.gob, study manifests under DIR/studies/, and the
+// job journal under DIR/jobs/. All writes are atomic (temp file + rename,
+// owned by the FS seam), corrupt files are quarantined into DIR/.corrupt/,
+// transient I/O errors retry with backoff, and a disk that keeps failing
+// degrades the backend to a no-op.
+type localBackend struct {
+	dir string
+	fs  FS
+	h   health
+}
+
+func newLocalBackend(dir string, fsys FS) *localBackend {
+	return &localBackend{dir: dir, fs: fsys}
+}
+
+func (lb *localBackend) Kind() string   { return "local" }
+func (lb *localBackend) Target() string { return lb.dir }
+
+// enabled reports whether the backend should touch the disk at all.
+func (lb *localBackend) enabled() bool { return !lb.h.degraded.Load() }
+
+func (lb *localBackend) memoPath() string { return filepath.Join(lb.dir, "memo.gob") }
+
+// pointPath shards point files by the first hash byte to keep directory
+// listings manageable under large campaigns.
+func (lb *localBackend) pointPath(sum string) string {
+	return filepath.Join(lb.dir, "points", sum[:2], sum+".gob")
+}
+
+func (lb *localBackend) studiesDir() string { return filepath.Join(lb.dir, "studies") }
+
+func (lb *localBackend) studyPath(fingerprint string) string {
+	return filepath.Join(lb.studiesDir(), fingerprint+".gob")
+}
+
+func (lb *localBackend) jobsDir() string { return filepath.Join(lb.dir, "jobs") }
+
+func (lb *localBackend) jobPath(id string) string {
+	return filepath.Join(lb.jobsDir(), id+".job")
+}
+
+func (lb *localBackend) progressPath(id string) string {
+	return filepath.Join(lb.jobsDir(), id+".progress")
+}
+
+func (lb *localBackend) shardsPath(id string) string {
+	return filepath.Join(lb.jobsDir(), id+".shards")
+}
+
+// quarantine moves a corrupt or foreign file into DIR/.corrupt/ so it can
+// never crash (or slow) another run, while staying available for forensics.
+// Failures are swallowed: quarantine is best-effort cleanup on a path that
+// already reads as a miss.
+func (lb *localBackend) quarantine(path string) {
+	dir := filepath.Join(lb.dir, ".corrupt")
+	if err := lb.fs.MkdirAll(dir); err != nil {
+		return
+	}
+	dst := filepath.Join(dir, fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := lb.fs.Rename(path, dst); err != nil {
+		return
+	}
+	lb.h.quarantined.Add(1)
+}
+
+// readFileRetry reads a file, retrying transient I/O errors once. Absence
+// is a clean miss; any other persistent error counts toward degradation.
+func (lb *localBackend) readFileRetry(path string) ([]byte, readStatus) {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			lb.h.retries.Add(1)
+			time.Sleep(ioBackoff)
+		}
+		var data []byte
+		if data, err = lb.fs.ReadFile(path); err == nil {
+			return data, readOK
+		}
+		if os.IsNotExist(err) {
+			return nil, readMissing
+		}
+	}
+	lb.h.fail("disk", "read "+path, err)
+	return nil, readIOError
+}
+
+// writeFileRetry atomically writes a file, retrying transient failures
+// with exponential backoff before feeding the degradation tracker.
+func (lb *localBackend) writeFileRetry(path string, data []byte) error {
+	var err error
+	for attempt := 0; attempt < ioAttempts; attempt++ {
+		if attempt > 0 {
+			lb.h.retries.Add(1)
+			time.Sleep(ioBackoff << (attempt - 1))
+		}
+		if err = lb.fs.WriteFileAtomic(path, data); err == nil {
+			lb.h.ok()
+			return nil
+		}
+	}
+	lb.h.fail("disk", "write "+path, err)
+	return err
+}
+
+// ReadPoint loads and verifies one point file. Any failure is a miss:
+// absence silently, I/O errors after a retry (feeding the degradation
+// tracker), and corruption — torn write, checksum mismatch, schema drift,
+// hash collision — after quarantining the file so it never costs another
+// read.
+func (lb *localBackend) ReadPoint(key string) (core.CachedPoint, bool) {
+	path := lb.pointPath(addr(key))
+	data, status := lb.readFileRetry(path)
+	if status != readOK {
+		return core.CachedPoint{}, false
+	}
+	p, status := decodePoint(data, key)
+	switch status {
+	case readOK, readLegacy:
+		lb.h.ok()
+		return p.Point, true
+	case readCorrupt:
+		lb.quarantine(path)
+	}
+	return core.CachedPoint{}, false
+}
+
+func (lb *localBackend) WritePoint(key string, pt core.CachedPoint) error {
+	if !lb.enabled() {
+		return nil
+	}
+	path := lb.pointPath(addr(key))
+	data, err := encodePoint(key, pt)
+	if err != nil {
+		return err
+	}
+	if err := lb.fs.MkdirAll(filepath.Dir(path)); err != nil {
+		lb.h.fail("disk", "mkdir "+filepath.Dir(path), err)
+		return err
+	}
+	return lb.writeFileRetry(path, data)
+}
+
+// ExportPoint returns the raw envelope bytes of one record by content
+// address. No verification happens here — the wire protocol's consumer
+// decodes and checksums, exactly as a local read would.
+func (lb *localBackend) ExportPoint(addrHex string) ([]byte, bool) {
+	if !lb.enabled() || len(addrHex) < 2 {
+		return nil, false
+	}
+	data, status := lb.readFileRetry(lb.pointPath(addrHex))
+	if status != readOK {
+		return nil, false
+	}
+	return data, true
+}
+
+func (lb *localBackend) LoadMemo() ([]byte, bool) {
+	if !lb.enabled() {
+		return nil, false
+	}
+	data, err := lb.fs.ReadFile(lb.memoPath())
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (lb *localBackend) DiscardMemo() { lb.quarantine(lb.memoPath()) }
+
+func (lb *localBackend) SaveMemo(data []byte) error {
+	if !lb.enabled() {
+		return nil
+	}
+	return lb.writeFileRetry(lb.memoPath(), data)
+}
+
+func (lb *localBackend) WriteStudy(rec StudyRecord) error {
+	if !lb.enabled() {
+		return nil
+	}
+	data, err := encodeStudyRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := lb.fs.MkdirAll(lb.studiesDir()); err != nil {
+		lb.h.fail("disk", "mkdir "+lb.studiesDir(), err)
+		return err
+	}
+	return lb.writeFileRetry(lb.studyPath(rec.Fingerprint), data)
+}
+
+func (lb *localBackend) ReadStudy(fingerprint string) (StudyRecord, bool) {
+	if !lb.enabled() {
+		return StudyRecord{}, false
+	}
+	path := lb.studyPath(fingerprint)
+	data, status := lb.readFileRetry(path)
+	if status != readOK {
+		return StudyRecord{}, false
+	}
+	rec, status := decodeStudyRecord(data, fingerprint)
+	switch status {
+	case readOK:
+		lb.h.ok()
+		return rec, true
+	case readCorrupt:
+		lb.quarantine(path)
+	}
+	return StudyRecord{}, false
+}
+
+func (lb *localBackend) StudyFingerprints() []string {
+	if !lb.enabled() {
+		return nil
+	}
+	ents, err := lb.fs.ReadDir(lb.studiesDir())
+	if err != nil {
+		return nil
+	}
+	var fps []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		fps = append(fps, strings.TrimSuffix(name, ".gob"))
+	}
+	return fps
+}
+
+func (lb *localBackend) Health() HealthStats { return lb.h.stats() }
+func (lb *localBackend) Degraded() bool      { return lb.h.degraded.Load() }

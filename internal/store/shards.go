@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core"
+)
+
+// The fabric shard protocol's durable and wire forms.
+//
+// Wire: a coordinator POSTs /v1/shard to a worker naming the spec indices
+// it wants computed; the worker answers with an envelope-framed gob of
+// ShardPoints — each the canonical key and cached result of one grid
+// point, exactly what the coordinator's store would have held had it
+// computed the point itself. The same CRC-32 envelope as every store file
+// frames the payload, so a torn HTTP response reads as corruption, not as
+// silently truncated physics.
+//
+// Durable: before fanning a job's shards out, an async coordinator writes
+// the full assignment to DIR/jobs/<id>.shards next to the job's journal
+// record. The assignment is deterministic (consistent hash over the live
+// worker set), so the record's job is forensic and statistical — a resumed
+// coordinator recomputes the same assignment, and counts the shards it
+// re-fans-out as resumed; fsck reports .shards records whose job is gone.
+
+// shardWireVersion stamps shard response payloads.
+const shardWireVersion = "nvmx-shard/v1"
+
+// shardJournalVersion stamps shard-assignment journal records.
+const shardJournalVersion = "nvmx-shardrec/v1"
+
+// ShardWireVersion is exported for the /v1/version handshake.
+const ShardWireVersion = shardWireVersion
+
+// ShardPoint is one computed grid point on the shard wire: the point's
+// enumeration index in the study's design space, its canonical key, and
+// the result exactly as a store would cache it.
+type ShardPoint struct {
+	Index int
+	Key   string
+	Point core.CachedPoint
+}
+
+// EncodeShardPoints frames a shard response payload.
+func EncodeShardPoints(pts []ShardPoint) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(pts); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	env := envelope{Version: shardWireVersion, Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeShardPoints verifies and decodes a shard response payload. Any
+// corruption — torn body, checksum mismatch, wrong version — is an error;
+// the coordinator treats the whole shard as lost and computes it locally.
+func DecodeShardPoints(data []byte) ([]ShardPoint, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("store: torn shard payload: %w", err)
+	}
+	if env.Version != shardWireVersion {
+		return nil, fmt.Errorf("store: shard payload version %q (want %q)", env.Version, shardWireVersion)
+	}
+	if crc32.ChecksumIEEE(env.Payload) != env.Sum {
+		return nil, fmt.Errorf("store: shard payload checksum mismatch")
+	}
+	var pts []ShardPoint
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&pts); err != nil {
+		return nil, fmt.Errorf("store: corrupt shard payload: %w", err)
+	}
+	return pts, nil
+}
+
+// ShardAssign is one worker's slice of a sharded study.
+type ShardAssign struct {
+	Worker  string // worker base URL
+	Indices []int  // spec indices, ascending
+}
+
+// ShardRecord is the durable description of one job's shard fan-out.
+type ShardRecord struct {
+	Version     string
+	ID          string // async job ID
+	Fingerprint string
+	Assigns     []ShardAssign
+}
+
+// JournalShards durably records a job's shard assignment before fan-out.
+// Local-journaling stores only; elsewhere a no-op, like the job journal.
+func (s *Store) JournalShards(rec ShardRecord) error {
+	if !s.journalEnabled() {
+		return nil
+	}
+	lb := s.local
+	rec.Version = shardJournalVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return err
+	}
+	var out bytes.Buffer
+	env := envelope{Version: shardJournalVersion, Sum: crc32.ChecksumIEEE(payload.Bytes()), Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return err
+	}
+	if err := lb.fs.MkdirAll(lb.jobsDir()); err != nil {
+		lb.h.fail("disk", "mkdir "+lb.jobsDir(), err)
+		return err
+	}
+	return lb.writeFileRetry(lb.shardsPath(rec.ID), out.Bytes())
+}
+
+// LoadShards returns a job's journaled shard assignment, if one exists.
+// Corrupt records are quarantined and read as absent.
+func (s *Store) LoadShards(id string) (ShardRecord, bool) {
+	if !s.journalEnabled() {
+		return ShardRecord{}, false
+	}
+	lb := s.local
+	path := lb.shardsPath(id)
+	data, status := lb.readFileRetry(path)
+	if status != readOK {
+		return ShardRecord{}, false
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		lb.quarantine(path)
+		return ShardRecord{}, false
+	}
+	if env.Version != shardJournalVersion || crc32.ChecksumIEEE(env.Payload) != env.Sum {
+		lb.quarantine(path)
+		return ShardRecord{}, false
+	}
+	var rec ShardRecord
+	if err := gob.NewDecoder(bytes.NewReader(env.Payload)).Decode(&rec); err != nil {
+		lb.quarantine(path)
+		return ShardRecord{}, false
+	}
+	return rec, true
+}

@@ -2,7 +2,8 @@
 // store: the durable layer under the characterization pipeline that lets
 // repeated and partially overlapping studies reuse prior work across
 // process restarts (`nvmexplorer run -store DIR`, `nvmexplorer serve
-// -store DIR`).
+// -store DIR`) and, with a remote backend, across machines
+// (`-store http://coordinator:8080`).
 //
 // The store holds one entry per evaluated design point, addressed by the
 // SHA-256 of the point's canonical key (core.Study.PointKey): the cell
@@ -12,22 +13,25 @@
 // later — replays it verbatim, so a fully warm study performs zero engine
 // characterizations and returns bytes identical to a cold run.
 //
-// Entries live in memory (bounded) and, when a directory is configured, on
-// disk as one gob file per point under DIR/points/, written atomically
-// (temp file + rename) and wrapped in a CRC-32-checksummed envelope so a
-// crash never leaves a torn entry and a bit flip never replays a wrong
-// one. The store also snapshots the nvsim memo cache to DIR/memo.gob
+// Entries live in memory (bounded) and in a pluggable Backend (backend.go):
+// the local backend writes one gob file per point under DIR/points/,
+// atomically (temp file + rename) and wrapped in a CRC-32-checksummed
+// envelope so a crash never leaves a torn entry and a bit flip never
+// replays a wrong one; the remote backend ships the same envelope bytes
+// over the versioned /v1/store/* HTTP API of another `nvmexplorer serve`
+// process (remote.go). The store also snapshots the nvsim memo cache
 // (SaveMemo, reloaded by Open) so partially overlapping studies skip
-// re-characterization too, and journals async jobs under DIR/jobs/
-// (journal.go) so a killed server resumes them on restart.
+// re-characterization too, and — local backend only — journals async jobs
+// under DIR/jobs/ (journal.go) so a killed server resumes them on restart.
 //
 // Storage corruption is an expected operating condition, not an error: a
-// torn, foreign, or bit-flipped point file is quarantined into DIR/.corrupt/
-// and read as a miss (the point recomputes and the next Put repairs it),
-// transient I/O errors are retried with backoff, and a disk that keeps
-// failing degrades the store to memory-only mode instead of failing
-// studies. `nvmexplorer fsck` (fsck.go) scans, reports, and repairs a
-// store directory offline.
+// torn, foreign, or bit-flipped record is quarantined (a file moves to
+// DIR/.corrupt/; a torn HTTP body is dropped and counted) and read as a
+// miss — the point recomputes and the next Put repairs it — transient
+// failures are retried with backoff, and a backend that keeps failing
+// degrades the store to memory-only mode instead of failing studies.
+// `nvmexplorer fsck` (fsck.go) scans, reports, and repairs a store
+// directory offline.
 package store
 
 import (
@@ -38,8 +42,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"log"
-	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,7 +52,7 @@ import (
 	"repro/internal/nvsim"
 )
 
-// recordVersion stamps every point file (the checksummed envelope form).
+// recordVersion stamps every point record (the checksummed envelope form).
 // Entries from other schema versions read as misses and are overwritten on
 // the next Put; recordVersionV1 files (pre-checksum) remain readable.
 const (
@@ -56,16 +60,20 @@ const (
 	recordVersionV1 = "nvmx-store/v1"
 )
 
+// RecordVersion is the current point-record schema, exported for the
+// /v1/version handshake.
+const RecordVersion = recordVersion
+
 // memCacheMax bounds the in-memory mirror of the store. Past the cap, Get
-// still reads disk and Put still writes it; the entries just aren't kept
-// resident.
+// still reads the backend and Put still writes it; the entries just aren't
+// kept resident.
 const memCacheMax = 16384
 
-// Disk-failure policy: transient I/O errors retry up to ioAttempts with
+// Backend-failure policy: transient failures retry up to ioAttempts with
 // exponential backoff starting at ioBackoff; after degradeAfter consecutive
 // failed operations (each already past its retries) the store degrades to
-// memory-only mode for the rest of the process — the disk is treated as
-// gone, and studies keep completing from memory.
+// memory-only mode for the rest of the process — the disk (or remote peer)
+// is treated as gone, and studies keep completing from memory.
 const (
 	ioAttempts   = 3
 	degradeAfter = 8
@@ -74,10 +82,11 @@ const (
 // ioBackoff is a variable so fault-injection tests can shrink the waits.
 var ioBackoff = time.Millisecond
 
-// envelope is the on-disk frame of every v2 file: a version, a CRC-32
-// (IEEE) of Payload, and the gob-encoded payload itself. The checksum turns
-// silent bit flips into detected corruption instead of gob decoding noise —
-// or worse, silently wrong physics.
+// envelope is the frame of every v2 record, on disk and on the wire: a
+// version, a CRC-32 (IEEE) of Payload, and the gob-encoded payload itself.
+// The checksum turns silent bit flips (and torn HTTP bodies) into detected
+// corruption instead of gob decoding noise — or worse, silently wrong
+// physics.
 type envelope struct {
 	Version string
 	Sum     uint32
@@ -99,7 +108,7 @@ type recordV1 struct {
 	Point   core.CachedPoint
 }
 
-// readStatus classifies one point-file read (shared with fsck).
+// readStatus classifies one record read (shared with fsck).
 type readStatus int
 
 const (
@@ -113,30 +122,41 @@ const (
 // Store is a persistent point cache. It implements core.PointCache and is
 // safe for concurrent use. The zero value is not usable; call Open.
 type Store struct {
-	dir string // "" = memory-only
-	fs  FS
+	backend Backend
+	// local is the backend downcast when it is the directory backend —
+	// the journal (journal.go, shards.go) and the legacy path helpers are
+	// local-only concerns; nil for memory-only and remote stores.
+	local *localBackend
 
 	mu  sync.Mutex
 	mem map[string]core.CachedPoint
+	// idx maps content address → canonical key for every resident entry,
+	// so the /v1/store wire protocol can export memory-only points.
+	idx map[string]string
 
-	// Study manifests (study.go): fingerprint → record mirror of DIR/studies.
+	// Study manifests (study.go): fingerprint → record mirror.
 	studiesMu  sync.Mutex
 	studiesMem map[string]StudyRecord
 
 	hits, misses atomic.Int64
-
-	// Self-healing counters (see HealthStats).
-	quarantined atomic.Int64
-	ioErrors    atomic.Int64
-	retries     atomic.Int64
-	diskStreak  atomic.Int64 // consecutive failed disk ops
-	degraded    atomic.Bool
 }
 
-// Open creates or reopens a store on the real filesystem. dir == "" builds
-// a memory-only store (no persistence, no memo snapshot, no journal).
-func Open(dir string) (*Store, error) {
-	return OpenFS(dir, DiskFS)
+// Open creates or reopens a store. The target selects the backend:
+// "" builds a memory-only store (no persistence, no memo snapshot, no
+// journal), an http:// or https:// URL builds a remote store speaking the
+// /v1/store/* API of another `nvmexplorer serve` process, and anything
+// else is a local directory on the real filesystem.
+func Open(target string) (*Store, error) {
+	if IsRemoteTarget(target) {
+		return OpenRemote(target, nil)
+	}
+	return OpenFS(target, DiskFS)
+}
+
+// IsRemoteTarget reports whether a store target names a remote server
+// rather than a local directory.
+func IsRemoteTarget(target string) bool {
+	return strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://")
 }
 
 // OpenFS is Open with an explicit filesystem — the hook fault-injection
@@ -147,34 +167,65 @@ func Open(dir string) (*Store, error) {
 // quarantined and logged, never fatal (a bad snapshot must not block
 // startup).
 func OpenFS(dir string, fsys FS) (*Store, error) {
-	s := &Store{dir: dir, fs: fsys, mem: make(map[string]core.CachedPoint), studiesMem: make(map[string]StudyRecord)}
 	if dir == "" {
-		return s, nil
+		return newStore(memBackend{}), nil
 	}
+	lb := newLocalBackend(dir, fsys)
 	if err := fsys.MkdirAll(filepath.Join(dir, "points")); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if data, err := fsys.ReadFile(s.memoPath()); err == nil {
-		if _, err := nvsim.RestoreMemo(bytes.NewReader(data)); err != nil {
-			// Log-and-continue with a fresh memo: the snapshot is an
-			// accelerator, and a corrupt one must never block startup.
-			s.quarantine(s.memoPath())
-			log.Printf("store: corrupt memo snapshot quarantined, starting cold: %v", err)
-		}
-	}
+	s := newStore(lb)
+	s.restoreMemo()
 	return s, nil
 }
 
-// Dir returns the backing directory ("" for a memory-only store).
-func (s *Store) Dir() string { return s.dir }
-
-func (s *Store) memoPath() string { return filepath.Join(s.dir, "memo.gob") }
-
-// pointPath shards point files by the first hash byte to keep directory
-// listings manageable under large campaigns.
-func (s *Store) pointPath(sum string) string {
-	return filepath.Join(s.dir, "points", sum[:2], sum+".gob")
+// newStore assembles the process-local half of a store around a backend.
+func newStore(b Backend) *Store {
+	s := &Store{
+		backend:    b,
+		mem:        make(map[string]core.CachedPoint),
+		idx:        make(map[string]string),
+		studiesMem: make(map[string]StudyRecord),
+	}
+	s.local, _ = b.(*localBackend)
+	return s
 }
+
+// restoreMemo loads the backend's memo snapshot into the characterization
+// engine. Corruption is logged and the snapshot discarded, never fatal.
+func (s *Store) restoreMemo() {
+	data, ok := s.backend.LoadMemo()
+	if !ok {
+		return
+	}
+	if _, err := nvsim.RestoreMemo(bytes.NewReader(data)); err != nil {
+		// Log-and-continue with a fresh memo: the snapshot is an
+		// accelerator, and a corrupt one must never block startup.
+		s.backend.DiscardMemo()
+		log.Printf("store: corrupt memo snapshot discarded, starting cold: %v", err)
+	}
+}
+
+// Backend returns the store's persistence backend (stats, handshakes).
+func (s *Store) Backend() Backend { return s.backend }
+
+// Dir returns the backing directory ("" for memory-only and remote
+// stores).
+func (s *Store) Dir() string {
+	if s.local == nil {
+		return ""
+	}
+	return s.local.dir
+}
+
+// Legacy path helpers, kept for the tests and tools that inspect a local
+// store's layout directly. They are meaningless (and panic) on non-local
+// stores.
+func (s *Store) pointPath(sum string) string         { return s.local.pointPath(sum) }
+func (s *Store) memoPath() string                    { return s.local.memoPath() }
+func (s *Store) studyPath(fingerprint string) string { return s.local.studyPath(fingerprint) }
+func (s *Store) jobsDir() string                     { return s.local.jobsDir() }
+func (s *Store) progressPath(id string) string       { return s.local.progressPath(id) }
 
 // addr content-addresses a canonical point key.
 func addr(key string) string {
@@ -182,41 +233,22 @@ func addr(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// diskEnabled reports whether the store should touch the disk at all.
-func (s *Store) diskEnabled() bool { return s.dir != "" && !s.degraded.Load() }
+// Addr exposes the content addressing to the fabric and the HTTP store
+// API: the SHA-256 hex address of a canonical point key.
+func Addr(key string) string { return addr(key) }
 
-// diskOK records a successful disk operation, resetting the failure streak.
-func (s *Store) diskOK() { s.diskStreak.Store(0) }
-
-// diskFail records a disk operation that failed past its retries. Once the
-// streak reaches degradeAfter, the store flips to memory-only mode: every
-// later Get/Put/journal call skips the disk, so a dead volume costs one
-// log line instead of a failed study.
-func (s *Store) diskFail(op string, err error) {
-	s.ioErrors.Add(1)
-	if s.diskStreak.Add(1) == degradeAfter && !s.degraded.Swap(true) {
-		log.Printf("store: %d consecutive disk failures (last: %s: %v); degrading to memory-only mode", degradeAfter, op, err)
+// cacheMem makes an entry resident (within the bound), indexed for export.
+func (s *Store) cacheMem(key string, cp core.CachedPoint) {
+	s.mu.Lock()
+	if _, ok := s.mem[key]; !ok && len(s.mem) < memCacheMax {
+		s.mem[key] = cp
+		s.idx[addr(key)] = key
 	}
+	s.mu.Unlock()
 }
 
-// quarantine moves a corrupt or foreign file into DIR/.corrupt/ so it can
-// never crash (or slow) another run, while staying available for forensics.
-// Failures are swallowed: quarantine is best-effort cleanup on a path that
-// already reads as a miss.
-func (s *Store) quarantine(path string) {
-	dir := filepath.Join(s.dir, ".corrupt")
-	if err := s.fs.MkdirAll(dir); err != nil {
-		return
-	}
-	dst := filepath.Join(dir, fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
-	if err := s.fs.Rename(path, dst); err != nil {
-		return
-	}
-	s.quarantined.Add(1)
-}
-
-// Get implements core.PointCache: memory first, then disk. A disk hit is
-// re-cached in memory (within the bound).
+// Get implements core.PointCache: memory first, then the backend. A
+// backend hit is re-cached in memory (within the bound).
 func (s *Store) Get(key string) (core.CachedPoint, bool) {
 	s.mu.Lock()
 	cp, ok := s.mem[key]
@@ -225,67 +257,36 @@ func (s *Store) Get(key string) (core.CachedPoint, bool) {
 		s.hits.Add(1)
 		return cp, true
 	}
-	if s.diskEnabled() {
-		if cp, ok = s.readPoint(key); ok {
-			s.mu.Lock()
-			if len(s.mem) < memCacheMax {
-				s.mem[key] = cp
-			}
-			s.mu.Unlock()
-			s.hits.Add(1)
-			return cp, true
-		}
+	if cp, ok = s.backend.ReadPoint(key); ok {
+		s.cacheMem(key, cp)
+		s.hits.Add(1)
+		return cp, true
 	}
 	s.misses.Add(1)
 	return core.CachedPoint{}, false
 }
 
-// readPoint loads and verifies one point file. Any failure is a miss:
-// absence silently, I/O errors after a retry (feeding the degradation
-// tracker), and corruption — torn write, checksum mismatch, schema drift,
-// hash collision — after quarantining the file so it never costs another
-// read.
-func (s *Store) readPoint(key string) (core.CachedPoint, bool) {
-	path := s.pointPath(addr(key))
-	data, status := s.readFileRetry(path)
-	if status != readOK {
-		return core.CachedPoint{}, false
+// Probe reports whether the store can serve key without engine work,
+// caching a backend hit in memory like Get — but without touching the
+// hit/miss counters. The fabric coordinator probes the whole grid to plan
+// remote shards, and planning must not skew serving stats.
+func (s *Store) Probe(key string) bool {
+	s.mu.Lock()
+	_, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		return true
 	}
-	p, status := decodePoint(data, key)
-	switch status {
-	case readOK, readLegacy:
-		s.diskOK()
-		return p.Point, true
-	case readCorrupt:
-		s.quarantine(path)
+	cp, ok := s.backend.ReadPoint(key)
+	if ok {
+		s.cacheMem(key, cp)
 	}
-	return core.CachedPoint{}, false
+	return ok
 }
 
-// readFileRetry reads a file, retrying transient I/O errors once. Absence
-// is a clean miss; any other persistent error counts toward degradation.
-func (s *Store) readFileRetry(path string) ([]byte, readStatus) {
-	var err error
-	for attempt := 0; attempt < 2; attempt++ {
-		if attempt > 0 {
-			s.retries.Add(1)
-			time.Sleep(ioBackoff)
-		}
-		var data []byte
-		if data, err = s.fs.ReadFile(path); err == nil {
-			return data, readOK
-		}
-		if os.IsNotExist(err) {
-			return nil, readMissing
-		}
-	}
-	s.diskFail("read "+path, err)
-	return nil, readIOError
-}
-
-// decodePoint verifies and decodes one point file's bytes against the key
-// that addressed it. wantKey == "" skips key verification (fsck scans files
-// without knowing their keys and checks the address itself instead).
+// decodePoint verifies and decodes one point record's bytes against the
+// key that addressed it. wantKey == "" skips key verification (fsck scans
+// files without knowing their keys and checks the address itself instead).
 func decodePoint(data []byte, wantKey string) (pointPayload, readStatus) {
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
@@ -321,7 +322,7 @@ func decodePoint(data []byte, wantKey string) (pointPayload, readStatus) {
 	}
 }
 
-// encodePoint builds the on-disk v2 bytes for one point.
+// encodePoint builds the envelope bytes for one point.
 func encodePoint(key string, pt core.CachedPoint) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&pointPayload{Key: key, Point: pt}); err != nil {
@@ -335,64 +336,33 @@ func encodePoint(key string, pt core.CachedPoint) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// Put implements core.PointCache: write-through to memory and, when
-// configured, disk. Disk errors are retried, then swallowed — the store is
-// an accelerator, and a read-only or full volume must not fail the study.
+// Put implements core.PointCache: write-through to memory and the backend.
+// Backend errors are retried, then swallowed — the store is an
+// accelerator, and a read-only volume or an unreachable peer must not fail
+// the study.
 func (s *Store) Put(key string, pt core.CachedPoint) {
 	s.mu.Lock()
 	if len(s.mem) < memCacheMax {
 		s.mem[key] = pt
+		s.idx[addr(key)] = key
 	}
 	s.mu.Unlock()
-	if !s.diskEnabled() {
-		return
-	}
-	_ = s.writePoint(key, pt)
+	_ = s.backend.WritePoint(key, pt)
 }
 
-func (s *Store) writePoint(key string, pt core.CachedPoint) error {
-	path := s.pointPath(addr(key))
-	data, err := encodePoint(key, pt)
-	if err != nil {
-		return err
-	}
-	if err := s.fs.MkdirAll(filepath.Dir(path)); err != nil {
-		s.diskFail("mkdir "+filepath.Dir(path), err)
-		return err
-	}
-	return s.writeFileRetry(path, data)
-}
-
-// writeFileRetry atomically writes a file, retrying transient failures
-// with exponential backoff before feeding the degradation tracker.
-func (s *Store) writeFileRetry(path string, data []byte) error {
-	var err error
-	for attempt := 0; attempt < ioAttempts; attempt++ {
-		if attempt > 0 {
-			s.retries.Add(1)
-			time.Sleep(ioBackoff << (attempt - 1))
-		}
-		if err = s.fs.WriteFileAtomic(path, data); err == nil {
-			s.diskOK()
-			return nil
-		}
-	}
-	s.diskFail("write "+path, err)
-	return err
-}
-
-// SaveMemo snapshots the engine's memo cache into the store directory
-// (atomic replace of DIR/memo.gob), so the next Open warms the engine for
-// partially overlapping studies. Memory-only and degraded stores no-op.
+// SaveMemo snapshots the engine's memo cache into the backend (an atomic
+// replace of DIR/memo.gob locally; a PUT /v1/store/memo remotely), so the
+// next Open warms the engine for partially overlapping studies.
+// Memory-only and degraded stores no-op.
 func (s *Store) SaveMemo() error {
-	if !s.diskEnabled() {
+	if s.backend.Kind() == "memory" || s.backend.Degraded() {
 		return nil
 	}
 	var buf bytes.Buffer
 	if err := nvsim.SnapshotMemo(&buf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := s.writeFileRetry(s.memoPath(), buf.Bytes()); err != nil {
+	if err := s.backend.SaveMemo(buf.Bytes()); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -410,16 +380,17 @@ func (s *Store) ResetStats() {
 	s.misses.Store(0)
 }
 
-// Degraded reports whether persistent I/O failures demoted the store to
-// memory-only mode (see diskFail). It never flips back within a process:
-// an operator repairs the volume and restarts, or runs fsck.
-func (s *Store) Degraded() bool { return s.degraded.Load() }
+// Degraded reports whether persistent backend failures demoted the store
+// to memory-only mode. It never flips back within a process: an operator
+// repairs the volume (or the peer) and restarts, or runs fsck.
+func (s *Store) Degraded() bool { return s.backend.Degraded() }
 
 // HealthStats is the store's self-healing telemetry, served on /v1/stats.
 type HealthStats struct {
-	// Quarantined counts corrupt or foreign files moved to DIR/.corrupt/.
+	// Quarantined counts corrupt or foreign records discarded (moved to
+	// DIR/.corrupt/ locally; dropped and counted remotely).
 	Quarantined int64
-	// IOErrors counts disk operations that failed past their retries.
+	// IOErrors counts backend operations that failed past their retries.
 	IOErrors int64
 	// Retries counts individual retry attempts after transient failures.
 	Retries int64
@@ -428,16 +399,10 @@ type HealthStats struct {
 }
 
 // Health returns the current self-healing counters.
-func (s *Store) Health() HealthStats {
-	return HealthStats{
-		Quarantined: s.quarantined.Load(),
-		IOErrors:    s.ioErrors.Load(),
-		Retries:     s.retries.Load(),
-		Degraded:    s.degraded.Load(),
-	}
-}
+func (s *Store) Health() HealthStats { return s.backend.Health() }
 
-// Len reports how many points are resident in memory. Disk may hold more.
+// Len reports how many points are resident in memory. The backend may
+// hold more.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

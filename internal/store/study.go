@@ -5,9 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
-	"path/filepath"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 )
@@ -51,12 +49,6 @@ type StudyRecord struct {
 	// Its Indices list is what lets the query layer replay exactly the
 	// evaluated subset instead of demanding the full grid.
 	Exploration *core.Exploration
-}
-
-func (s *Store) studiesDir() string { return filepath.Join(s.dir, "studies") }
-
-func (s *Store) studyPath(fingerprint string) string {
-	return filepath.Join(s.studiesDir(), fingerprint+".gob")
 }
 
 // encodeStudyRecord builds the on-disk bytes for one manifest.
@@ -104,10 +96,10 @@ func decodeStudyRecord(data []byte, wantFingerprint string) (StudyRecord, readSt
 }
 
 // SaveStudy records a completed study's manifest, write-through to memory
-// and (when configured) disk. Saving the same fingerprint again overwrites
-// an identical record, so repeated runs are idempotent. Disk errors degrade
-// durability, never the caller: the in-memory record still answers queries
-// for the rest of the process.
+// and the backend. Saving the same fingerprint again overwrites an
+// identical record, so repeated runs are idempotent. Backend errors
+// degrade durability, never the caller: the in-memory record still answers
+// queries for the rest of the process.
 func (s *Store) SaveStudy(rec StudyRecord) error {
 	if rec.Fingerprint == "" {
 		return fmt.Errorf("store: study record needs a fingerprint")
@@ -116,23 +108,12 @@ func (s *Store) SaveStudy(rec StudyRecord) error {
 	s.studiesMu.Lock()
 	s.studiesMem[rec.Fingerprint] = rec
 	s.studiesMu.Unlock()
-	if !s.diskEnabled() {
-		return nil
-	}
-	data, err := encodeStudyRecord(rec)
-	if err != nil {
-		return err
-	}
-	if err := s.fs.MkdirAll(s.studiesDir()); err != nil {
-		s.diskFail("mkdir "+s.studiesDir(), err)
-		return err
-	}
-	return s.writeFileRetry(s.studyPath(rec.Fingerprint), data)
+	return s.backend.WriteStudy(rec)
 }
 
 // LoadStudy returns the manifest of one stored study by fingerprint:
-// memory first, then disk. Corrupt files are quarantined and read as
-// misses, like point files.
+// memory first, then the backend. Corrupt records are discarded and read
+// as misses, like point records.
 func (s *Store) LoadStudy(fingerprint string) (StudyRecord, bool) {
 	s.studiesMu.Lock()
 	rec, ok := s.studiesMem[fingerprint]
@@ -140,48 +121,27 @@ func (s *Store) LoadStudy(fingerprint string) (StudyRecord, bool) {
 	if ok {
 		return rec, true
 	}
-	if !s.diskEnabled() {
+	rec, ok = s.backend.ReadStudy(fingerprint)
+	if !ok {
 		return StudyRecord{}, false
 	}
-	path := s.studyPath(fingerprint)
-	data, status := s.readFileRetry(path)
-	if status != readOK {
-		return StudyRecord{}, false
-	}
-	rec, status = decodeStudyRecord(data, fingerprint)
-	switch status {
-	case readOK:
-		s.diskOK()
-		s.studiesMu.Lock()
-		s.studiesMem[fingerprint] = rec
-		s.studiesMu.Unlock()
-		return rec, true
-	case readCorrupt:
-		s.quarantine(path)
-	}
-	return StudyRecord{}, false
+	s.studiesMu.Lock()
+	s.studiesMem[fingerprint] = rec
+	s.studiesMu.Unlock()
+	return rec, true
 }
 
 // ListStudies returns every stored study manifest, sorted by name then
 // fingerprint (deterministic across processes). The union of the in-memory
-// mirror and the directory is returned, so studies saved by this process
+// mirror and the backend is returned, so studies saved by this process
 // stay listed even after the store degrades to memory-only mode.
 func (s *Store) ListStudies() []StudyRecord {
-	if s.diskEnabled() {
-		if ents, err := s.fs.ReadDir(s.studiesDir()); err == nil {
-			for _, ent := range ents {
-				name := ent.Name()
-				if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
-					continue
-				}
-				fp := strings.TrimSuffix(name, ".gob")
-				s.studiesMu.Lock()
-				_, have := s.studiesMem[fp]
-				s.studiesMu.Unlock()
-				if !have {
-					s.LoadStudy(fp) // caches into the mirror on success
-				}
-			}
+	for _, fp := range s.backend.StudyFingerprints() {
+		s.studiesMu.Lock()
+		_, have := s.studiesMem[fp]
+		s.studiesMu.Unlock()
+		if !have {
+			s.LoadStudy(fp) // caches into the mirror on success
 		}
 	}
 	s.studiesMu.Lock()
