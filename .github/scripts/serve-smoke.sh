@@ -344,8 +344,12 @@ echo "$STATS" | jq -e '.schema_version == "v1"
   echo "coordinator stats carry no fabric activity: $STATS" >&2
   exit 1
 }
-echo "$STATS" | jq -e '.fabric.remote_misses > 0' >/dev/null || {
-  echo "killed worker produced no local fallback: $STATS" >&2
+# The killed worker's shard either re-hashed onto the survivor (resharded)
+# or fell back to coordinator-local compute (remote_misses) — and its
+# breaker tripped either way.
+echo "$STATS" | jq -e '.fabric.breaker_trips > 0
+       and ((.fabric.resharded > 0) or (.fabric.remote_misses > 0))' >/dev/null || {
+  echo "killed worker neither resharded nor fell back locally: $STATS" >&2
   exit 1
 }
 echo "$STATS" | jq -e '.store.backend == "local" and .store.target != ""' >/dev/null || {
@@ -374,6 +378,100 @@ curl -fsS "$BASE/v1/stats" | jq -e '.memo_cache.misses == 0
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
+kill -TERM "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+
+echo "== resilience fabric: reshard on worker loss, revival via -rehandshake, anti-entropy convergence"
+RES_STORE="$WORK/resil-store"
+W1_STORE="$WORK/w1-store"
+W2_STORE="$WORK/w2-store"
+# Workers run with their own persistent stores this time, so the fleet's
+# stores can drift apart (a killed worker misses points) and anti-entropy
+# has something to repair. Worker 1 stretches each point to 100ms so the
+# kill provably lands while its shard is in flight.
+env NVMX_POINT_DELAY=100ms \
+  "$WORK/nvmexplorer" serve -addr "127.0.0.1:$W1_PORT" -store "$W1_STORE" &
+W1_PID=$!
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$W2_PORT" -store "$W2_STORE" &
+W2_PID=$!
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$PORT" -store "$RES_STORE" \
+  -fabric "$W1_BASE,$W2_BASE" \
+  -rehandshake 200ms -anti-entropy 300ms \
+  -breaker-backoff 50ms -breaker-max-backoff 500ms &
+SERVER_PID=$!
+wait_healthy "$W1_BASE"
+wait_healthy "$W2_BASE"
+wait_healthy
+
+sed 's/ci_fabric/ci_resil/' "$WORK/fabric.json" > "$WORK/resil.json"
+curl -fsS -X POST --data-binary @"$WORK/resil.json" \
+  -o "$WORK/resil_cold.json" "$BASE/v1/studies?format=json" &
+CURL_PID=$!
+sleep 0.5 # let the fan-out reach worker 1, then kill it mid-shard
+kill -9 "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+wait "$CURL_PID"
+
+echo "== lost shard resharded onto the survivor, bytes still match the CLI"
+"$WORK/nvmexplorer" run "$WORK/resil.json" -format json > "$WORK/resil_cli.json"
+cmp "$WORK/resil_cold.json" "$WORK/resil_cli.json"
+STATS=$(curl -fsS "$BASE/v1/stats")
+echo "$STATS" | jq -e '.fabric.breaker_trips > 0 and .fabric.shard_retries > 0
+       and .fabric.resharded > 0' >/dev/null || {
+  echo "killed worker's shard was not resharded: $STATS" >&2
+  exit 1
+}
+
+echo "== revived worker rejoins the ring via the -rehandshake ticker"
+"$WORK/nvmexplorer" serve -addr "127.0.0.1:$W1_PORT" -store "$W1_STORE" &
+W1_PID=$!
+wait_healthy "$W1_BASE"
+LIVE=0
+for _ in $(seq 1 100); do
+  LIVE=$(curl -fsS "$BASE/v1/stats" | jq -r .fabric.live)
+  [ "$LIVE" = "2" ] && break
+  sleep 0.2
+done
+if [ "$LIVE" != "2" ]; then
+  echo "revived worker never rejoined the ring (live=$LIVE)" >&2
+  exit 1
+fi
+
+echo "== anti-entropy converges every store in the fleet to one digest"
+CONVERGED=0
+for _ in $(seq 1 150); do
+  D0=$(curl -fsS "$BASE/v1/store/digest" | jq -r .digest)
+  D1=$(curl -fsS "$W1_BASE/v1/store/digest" | jq -r .digest)
+  D2=$(curl -fsS "$W2_BASE/v1/store/digest" | jq -r .digest)
+  if [ "$D0" = "$D1" ] && [ "$D0" = "$D2" ]; then CONVERGED=1; break; fi
+  sleep 0.2
+done
+if [ "$CONVERGED" != "1" ]; then
+  echo "fleet stores never converged: coord=$D0 w1=$D1 w2=$D2" >&2
+  exit 1
+fi
+curl -fsS "$BASE/v1/stats" | jq -e '.fabric.anti_entropy_runs > 0
+       and .fabric.anti_entropy_pushed > 0' >/dev/null || {
+  echo "convergence without anti-entropy counters" >&2
+  exit 1
+}
+
+echo "== the reconciliation left an fsck-visible sync record, store still clean"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+FSCK_OUT=$("$WORK/nvmexplorer" fsck "$RES_STORE")
+echo "$FSCK_OUT"
+echo "$FSCK_OUT" | grep -q "sync:" || {
+  echo "fsck reports no sync records after an anti-entropy pass" >&2
+  exit 1
+}
+
+kill -TERM "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
 kill -TERM "$W2_PID"
 wait "$W2_PID" 2>/dev/null || true
 W2_PID=""

@@ -14,19 +14,34 @@
 // lets a resumed coordinator recompute the same assignment instead of
 // journaling point lists.
 //
-// Failure model: a worker that cannot be reached, answers non-200, or
-// returns a torn shard payload (CRC mismatch — see store.DecodeShardPoints)
-// loses the whole shard. The coordinator marks the worker dead and simply
-// leaves the shard's points unfilled; the study's own run then computes
-// them locally ("degrade to local"), so worker loss can slow a study down
-// but never change its bytes. Dead workers are re-handshaken on the next
-// prefill, so a restarted worker rejoins without coordinator restarts.
+// Failure model: every worker sits behind a circuit breaker (breaker.go).
+// A worker that cannot be reached, answers non-200, or returns a torn
+// shard payload (CRC mismatch — see store.DecodeShardPoints) loses the
+// whole shard and trips its breaker; the shard's points are re-assigned
+// across the surviving ring for a bounded number of attempts
+// (Options.ShardAttempts) before falling back to coordinator-local
+// compute ("degrade to local") — so worker loss can slow a study down but
+// never change its bytes. A straggling shard is hedged (Options.
+// HedgeAfter): a second copy goes to the next ring owner, the first
+// result wins, and the loser is cancelled. Open breakers are re-probed by
+// the /v1/version re-handshake — at the next prefill, and between
+// prefills by the background ticker Start launches — with seeded-jitter
+// exponential backoff, so a revived worker rejoins the ring without
+// coordinator restarts and a flapping one is probed ever more lazily.
+//
+// Workers run with their own persistent stores drift from the
+// coordinator whenever a partition or crash eats a shard; the
+// anti-entropy pass (AntiEntropy, also on a Start ticker) exchanges
+// point-key digests over POST /v1/store/diff and ships the differing
+// records both ways until coordinator and workers converge to identical
+// point-key sets.
 package fabric
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -58,27 +73,106 @@ type ShardRequest struct {
 // computes the shard locally.
 var shardTimeout = 10 * time.Minute
 
+// Option defaults. Threshold 1 preserves the old pool's semantics — one
+// lost shard takes the worker out of the ring; the backoff pair governs
+// how lazily an open breaker is re-probed; two shard attempts mean one
+// reshard across the survivors before local fallback.
+const (
+	DefaultBreakerThreshold  = 1
+	DefaultBreakerBackoff    = 500 * time.Millisecond
+	DefaultBreakerMaxBackoff = 30 * time.Second
+	DefaultShardAttempts     = 2
+)
+
+// Options tunes a Pool's resilience machinery. The zero value of every
+// field selects a sensible default; zero HedgeAfter disables hedging and
+// zero Rehandshake/AntiEntropy disable the respective background tickers
+// (Prefill still re-handshakes inline, as it always has).
+type Options struct {
+	// Client issues every worker request. nil uses a default with the
+	// shard timeout; tests inject fault-wrapped clients.
+	Client *http.Client
+	// HedgeAfter launches a second copy of a still-running shard on the
+	// next ring owner after this long. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// worker's breaker (default 1).
+	BreakerThreshold int
+	// BreakerBackoff and BreakerMaxBackoff bound the open interval's
+	// exponential growth.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// BreakerSeed seeds the per-worker jitter deterministically; the same
+	// seed and failure sequence replays the same retry schedule.
+	BreakerSeed int64
+	// ShardAttempts bounds how many rounds of assignment a prefill tries
+	// (first fan-out plus reshards across survivors) before leaving the
+	// remaining points to local compute (default 2).
+	ShardAttempts int
+	// Rehandshake, when positive, re-probes open breakers on a background
+	// ticker so revived workers rejoin between prefills.
+	Rehandshake time.Duration
+	// AntiEntropy, when positive, runs a reconciliation pass against every
+	// usable worker on a background ticker.
+	AntiEntropy time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: shardTimeout}
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = DefaultBreakerBackoff
+	}
+	if o.BreakerMaxBackoff <= 0 {
+		o.BreakerMaxBackoff = DefaultBreakerMaxBackoff
+	}
+	if o.ShardAttempts <= 0 {
+		o.ShardAttempts = DefaultShardAttempts
+	}
+	return o
+}
+
 // Stats is the coordinator's counter snapshot, surfaced in the /v1/stats
 // fabric block.
 type Stats struct {
-	Workers       int   // configured worker processes
-	Live          int   // workers that passed their last handshake
+	Workers     int // configured worker processes
+	Live        int // workers with a closed breaker
+	BreakerOpen int // workers with an open or half-open breaker (gauge)
+
 	Shards        int64 // shard requests fanned out
 	RemoteHits    int64 // points computed by workers and merged
 	RemoteMisses  int64 // points that fell back to local execution
 	ResumedShards int64 // shard assignments re-fanned out after a resume
+
+	BreakerTrips  int64 // breaker transitions to open
+	BreakerResets int64 // breaker transitions back to closed
+	ShardRetries  int64 // shard requests fanned out in reshard rounds
+	Resharded     int64 // points re-assigned to a surviving worker
+
+	Hedges     int64 // hedge requests launched
+	HedgesWon  int64 // shards resolved by the hedge copy
+	HedgesLost int64 // shards resolved by the primary after hedging
+
+	AntiEntropyRuns   int64 // reconciliation passes completed
+	AntiEntropyPulled int64 // points pulled from workers
+	AntiEntropyPushed int64 // points pushed to workers
 }
 
-// worker is one configured peer and its liveness.
+// worker is one configured peer behind its circuit breaker.
 type worker struct {
-	url   string
-	alive atomic.Bool
+	url string
+	bk  *breaker
 }
 
 // Pool coordinates a fixed set of worker processes. Safe for concurrent
-// use; every study's prefill shares the one pool so liveness and counters
-// are process-wide.
+// use; every study's prefill shares the one pool so breaker state and
+// counters are process-wide.
 type Pool struct {
+	opts    Options
 	client  *http.Client
 	workers []*worker
 
@@ -86,31 +180,98 @@ type Pool struct {
 	remoteHits    atomic.Int64
 	remoteMisses  atomic.Int64
 	resumedShards atomic.Int64
+	breakerTrips  atomic.Int64
+	breakerResets atomic.Int64
+	shardRetries  atomic.Int64
+	resharded     atomic.Int64
+	hedges        atomic.Int64
+	hedgesWon     atomic.Int64
+	hedgesLost    atomic.Int64
+	aeRuns        atomic.Int64
+	aePulled      atomic.Int64
+	aePushed      atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	bg       sync.WaitGroup
 }
 
-// NewPool builds a coordinator over worker base URLs (e.g.
-// "http://w1:8080"). client == nil uses a default with the shard timeout;
-// tests inject fault-wrapped clients. Workers start unproven and are
-// handshaken on first use.
+// NewPool builds a coordinator over worker base URLs with default
+// resilience options — the compatibility construction. client == nil uses
+// a default with the shard timeout.
 func NewPool(urls []string, client *http.Client) *Pool {
-	if client == nil {
-		client = &http.Client{Timeout: shardTimeout}
+	return NewPoolOptions(urls, Options{Client: client})
+}
+
+// NewPoolOptions builds a coordinator over worker base URLs (e.g.
+// "http://w1:8080"). Workers start unproven — breaker open with an
+// immediate retry window — and are handshaken on first use.
+func NewPoolOptions(urls []string, opts Options) *Pool {
+	opts = opts.withDefaults()
+	p := &Pool{opts: opts, client: opts.Client, stop: make(chan struct{})}
+	cfg := breakerConfig{
+		threshold:  opts.BreakerThreshold,
+		backoff:    opts.BreakerBackoff,
+		maxBackoff: opts.BreakerMaxBackoff,
 	}
-	p := &Pool{client: client}
 	for _, u := range urls {
-		p.workers = append(p.workers, &worker{url: u})
+		// Each worker's jitter stream is seeded from the pool seed and its
+		// own URL, so schedules are deterministic yet decorrelated.
+		p.workers = append(p.workers, &worker{url: u, bk: newBreaker(cfg, opts.BreakerSeed^int64(fnv64a(u)))})
 	}
 	return p
+}
+
+// Start launches the pool's background loops: the re-handshake ticker
+// (revived workers rejoin the ring between prefills) and the anti-entropy
+// ticker (worker and coordinator stores converge between partitions).
+// Either is disabled by a zero interval; st may be nil when only
+// re-handshaking is wanted. Stop (or Close) ends both.
+func (p *Pool) Start(st *store.Store) {
+	if len(p.workers) == 0 {
+		return
+	}
+	if d := p.opts.Rehandshake; d > 0 {
+		p.bg.Add(1)
+		go p.tick(d, func(ctx context.Context) { p.refresh(ctx) })
+	}
+	if d := p.opts.AntiEntropy; d > 0 && st != nil {
+		p.bg.Add(1)
+		go p.tick(d, func(ctx context.Context) { p.AntiEntropy(ctx, st) })
+	}
+}
+
+// Stop ends the background loops and waits for them to drain.
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.bg.Wait()
+}
+
+// tick runs fn every d until Stop.
+func (p *Pool) tick(d time.Duration, fn func(ctx context.Context)) {
+	defer p.bg.Done()
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), shardTimeout)
+			fn(ctx)
+			cancel()
+		}
+	}
 }
 
 // Workers reports the configured worker count.
 func (p *Pool) Workers() int { return len(p.workers) }
 
-// Live reports how many workers passed their most recent handshake.
+// Live reports how many workers currently have a closed breaker.
 func (p *Pool) Live() int {
 	n := 0
 	for _, w := range p.workers {
-		if w.alive.Load() {
+		if w.bk.usable() {
 			n++
 		}
 	}
@@ -119,29 +280,47 @@ func (p *Pool) Live() int {
 
 // Snapshot returns the pool's counters.
 func (p *Pool) Snapshot() Stats {
+	live := p.Live()
 	return Stats{
-		Workers:       len(p.workers),
-		Live:          p.Live(),
-		Shards:        p.shards.Load(),
-		RemoteHits:    p.remoteHits.Load(),
-		RemoteMisses:  p.remoteMisses.Load(),
-		ResumedShards: p.resumedShards.Load(),
+		Workers:           len(p.workers),
+		Live:              live,
+		BreakerOpen:       len(p.workers) - live,
+		Shards:            p.shards.Load(),
+		RemoteHits:        p.remoteHits.Load(),
+		RemoteMisses:      p.remoteMisses.Load(),
+		ResumedShards:     p.resumedShards.Load(),
+		BreakerTrips:      p.breakerTrips.Load(),
+		BreakerResets:     p.breakerResets.Load(),
+		ShardRetries:      p.shardRetries.Load(),
+		Resharded:         p.resharded.Load(),
+		Hedges:            p.hedges.Load(),
+		HedgesWon:         p.hedgesWon.Load(),
+		HedgesLost:        p.hedgesLost.Load(),
+		AntiEntropyRuns:   p.aeRuns.Load(),
+		AntiEntropyPulled: p.aePulled.Load(),
+		AntiEntropyPushed: p.aePushed.Load(),
 	}
 }
 
-// refresh re-handshakes every currently-dead worker, so restarted workers
-// rejoin the ring at the next prefill.
+// refresh probes every worker whose breaker admits a probe right now, so
+// restarted workers rejoin the ring. Runs at every prefill and, between
+// prefills, on the Start ticker.
 func (p *Pool) refresh(ctx context.Context) {
+	now := time.Now()
 	var wg sync.WaitGroup
 	for _, w := range p.workers {
-		if w.alive.Load() {
+		if !w.bk.allowProbe(now) {
 			continue
 		}
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			if p.handshake(ctx, w.url) {
-				w.alive.Store(true)
+				if w.bk.onSuccess() {
+					p.breakerResets.Add(1)
+				}
+			} else if w.bk.onFailure(time.Now()) {
+				p.breakerTrips.Add(1)
 			}
 		}(w)
 	}
@@ -179,14 +358,35 @@ func (p *Pool) handshake(ctx context.Context, url string) bool {
 	return true
 }
 
-// markDead drops a worker from the ring until a future handshake revives
-// it.
+// markDead force-opens a worker's breaker with an immediate retry window:
+// out of the ring now, revivable by the very next handshake.
 func (p *Pool) markDead(url string) {
 	for _, w := range p.workers {
 		if w.url == url {
-			w.alive.Store(false)
+			w.bk.forceOpen()
 		}
 	}
+}
+
+// usable lists the workers whose breakers are closed right now.
+func (p *Pool) usable() []string {
+	var urls []string
+	for _, w := range p.workers {
+		if w.bk.usable() {
+			urls = append(urls, w.url)
+		}
+	}
+	return urls
+}
+
+// find returns the worker for a URL (nil if unknown).
+func (p *Pool) find(url string) *worker {
+	for _, w := range p.workers {
+		if w.url == url {
+			return w
+		}
+	}
+	return nil
 }
 
 // Prefill computes a study's cold grid points on the worker fleet and
@@ -197,8 +397,10 @@ func (p *Pool) markDead(url string) {
 // under that async job's ID; a coordinator that died mid-fan-out finds the
 // record on resume and counts the re-fanned shards.
 //
-// Prefill never fails a study: every error path leaves the affected points
-// unfilled, and the run computes them locally.
+// A failed shard trips its worker's breaker and its points are re-hashed
+// across the surviving ring, up to Options.ShardAttempts rounds. Prefill
+// never fails a study: whatever is still unfilled when the rounds (or the
+// workers) run out is computed locally by the run itself.
 func (p *Pool) Prefill(ctx context.Context, study *core.Study, cfg []byte, st *store.Store, jobID string) {
 	if st == nil || len(cfg) == 0 || len(p.workers) == 0 {
 		return
@@ -216,88 +418,204 @@ func (p *Pool) Prefill(ctx context.Context, study *core.Study, cfg []byte, st *s
 	if err != nil {
 		return
 	}
-	var missing []int
+	var pending []int
 	for i := range specs {
 		if !st.Probe(study.PointKey(specs[i])) {
-			missing = append(missing, i)
+			pending = append(pending, i)
 		}
 	}
-	if len(missing) == 0 {
+	if len(pending) == 0 {
 		return // fully warm: nothing to distribute
 	}
 	p.refresh(ctx)
-	var live []string
-	for _, w := range p.workers {
-		if w.alive.Load() {
-			live = append(live, w.url)
+	candidates := p.usable()
+	for round := 0; round < p.opts.ShardAttempts && len(pending) > 0 && len(candidates) > 0; round++ {
+		ring := newRing(candidates)
+		assign := make(map[string][]int)
+		for _, i := range pending {
+			owner := ring.owner(study.CharacterizationKey(specs[i]))
+			assign[owner] = append(assign[owner], i)
+		}
+		if round == 0 && jobID != "" {
+			// A surviving .shards record means a previous incarnation of this
+			// coordinator already fanned this job out: these shards are resumed,
+			// not new. The fresh record then replaces the old one — the
+			// assignment is deterministic, so it differs only if the live worker
+			// set changed.
+			if _, ok := st.LoadShards(jobID); ok {
+				p.resumedShards.Add(int64(len(assign)))
+			}
+			rec := store.ShardRecord{ID: jobID, Fingerprint: fp}
+			for _, url := range sortedKeys(assign) {
+				rec.Assigns = append(rec.Assigns, store.ShardAssign{Worker: url, Indices: assign[url]})
+			}
+			if err := st.JournalShards(rec); err != nil {
+				log.Printf("fabric: journaling shards of %s: %v", jobID, err)
+			}
+		}
+		var (
+			mu     sync.Mutex
+			failed []int // indices whose whole shard was lost this round
+			down   = map[string]bool{}
+			wg     sync.WaitGroup
+		)
+		for url, indices := range assign {
+			wg.Add(1)
+			go func(url string, indices []int) {
+				defer wg.Done()
+				p.shards.Add(1)
+				if round > 0 {
+					p.shardRetries.Add(1)
+					p.resharded.Add(int64(len(indices)))
+				}
+				pts, err := p.runShardHedged(ctx, ring, study.CharacterizationKey(specs[indices[0]]), url, fp, cfg, indices)
+				if err != nil {
+					log.Printf("fabric: shard of %d point(s) lost on %s (%v)", len(indices), url, err)
+					mu.Lock()
+					failed = append(failed, indices...)
+					down[url] = true
+					mu.Unlock()
+					return
+				}
+				byIndex := make(map[int]store.ShardPoint, len(pts))
+				for _, sp := range pts {
+					byIndex[sp.Index] = sp
+				}
+				var got int64
+				for _, i := range indices {
+					sp, ok := byIndex[i]
+					// The key check pins each returned point to the exact spec
+					// this coordinator asked for: a worker disagreeing about a
+					// point's identity (schema drift the handshake missed, a
+					// mislabeled response) contributes nothing rather than
+					// something wrong. Absent points (the worker's engine failed
+					// that config) fall back to local execution the same way —
+					// deterministically failing configs would fail on every
+					// worker, so they are not worth a reshard round.
+					if !ok || sp.Key != study.PointKey(specs[i]) {
+						p.remoteMisses.Add(1)
+						continue
+					}
+					st.Put(sp.Key, sp.Point)
+					got++
+				}
+				p.remoteHits.Add(got)
+			}(url, indices)
+		}
+		wg.Wait()
+		sort.Ints(failed)
+		pending = failed
+		if len(pending) > 0 {
+			var next []string
+			for _, u := range candidates {
+				if !down[u] {
+					next = append(next, u)
+				}
+			}
+			candidates = next
 		}
 	}
-	if len(live) == 0 {
-		log.Printf("fabric: no live workers; computing %d point(s) locally", len(missing))
-		p.remoteMisses.Add(int64(len(missing)))
+	if len(pending) > 0 {
+		log.Printf("fabric: %d point(s) unfilled after %d attempt round(s); computing locally",
+			len(pending), p.opts.ShardAttempts)
+		p.remoteMisses.Add(int64(len(pending)))
+	}
+}
+
+// shardResult is one runner's outcome in a hedged race.
+type shardResult struct {
+	url string
+	pts []store.ShardPoint
+	err error
+}
+
+// runShardHedged executes one shard, hedging against stragglers: if the
+// primary hasn't answered within Options.HedgeAfter and the ring has a
+// distinct next owner for the shard's characterization key, a second copy
+// races it; the first success wins and the loser is cancelled. Breakers
+// are fed per runner — a genuine failure trips even when the other copy
+// won, but a cancelled loser never does.
+func (p *Pool) runShardHedged(ctx context.Context, r *ring, charKey, url, fp string, cfg []byte, indices []int) ([]store.ShardPoint, error) {
+	hedgeURL := ""
+	if p.opts.HedgeAfter > 0 {
+		hedgeURL = r.nextOwner(charKey, url)
+	}
+	if hedgeURL == "" {
+		pts, err := p.runShard(ctx, url, fp, cfg, indices)
+		p.feedBreaker(url, err)
+		return pts, err
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered to the runner count: a loser can deposit its result after
+	// this function returned, so no goroutine ever blocks on the send.
+	results := make(chan shardResult, 2)
+	run := func(u string) {
+		pts, err := p.runShard(cctx, u, fp, cfg, indices)
+		results <- shardResult{url: u, pts: pts, err: err}
+	}
+	go run(url)
+	outstanding := 1
+
+	timer := time.NewTimer(p.opts.HedgeAfter)
+	defer timer.Stop()
+	var firstErr error
+	select {
+	case res := <-results:
+		outstanding--
+		p.feedBreaker(res.url, res.err)
+		if res.err == nil {
+			return res.pts, nil
+		}
+		// Primary failed before the hedge window closed: race the backup
+		// immediately rather than waiting out the timer.
+		firstErr = res.err
+	case <-timer.C:
+	}
+	p.hedges.Add(1)
+	p.shards.Add(1)
+	go run(hedgeURL)
+	outstanding++
+
+	for outstanding > 0 {
+		res := <-results
+		outstanding--
+		p.feedBreaker(res.url, res.err)
+		if res.err == nil {
+			if res.url == hedgeURL {
+				p.hedgesWon.Add(1)
+			} else {
+				p.hedgesLost.Add(1)
+			}
+			return res.pts, nil
+		}
+		if firstErr == nil {
+			firstErr = res.err
+		}
+	}
+	return nil, firstErr
+}
+
+// feedBreaker routes one runner's outcome into its worker's breaker. A
+// cancelled request (the hedged race's loser) is neither success nor
+// failure: the coordinator killed it, the worker did nothing wrong.
+func (p *Pool) feedBreaker(url string, err error) {
+	w := p.find(url)
+	if w == nil {
 		return
 	}
-	ring := newRing(live)
-	assign := make(map[string][]int)
-	for _, i := range missing {
-		owner := ring.owner(study.CharacterizationKey(specs[i]))
-		assign[owner] = append(assign[owner], i)
-	}
-	if jobID != "" {
-		// A surviving .shards record means a previous incarnation of this
-		// coordinator already fanned this job out: these shards are resumed,
-		// not new. The fresh record then replaces the old one — the
-		// assignment is deterministic, so it differs only if the live worker
-		// set changed.
-		if _, ok := st.LoadShards(jobID); ok {
-			p.resumedShards.Add(int64(len(assign)))
+	switch {
+	case err == nil:
+		if w.bk.onSuccess() {
+			p.breakerResets.Add(1)
 		}
-		rec := store.ShardRecord{ID: jobID, Fingerprint: fp}
-		for _, url := range sortedKeys(assign) {
-			rec.Assigns = append(rec.Assigns, store.ShardAssign{Worker: url, Indices: assign[url]})
-		}
-		if err := st.JournalShards(rec); err != nil {
-			log.Printf("fabric: journaling shards of %s: %v", jobID, err)
+	case errors.Is(err, context.Canceled):
+	default:
+		if w.bk.onFailure(time.Now()) {
+			p.breakerTrips.Add(1)
 		}
 	}
-	var wg sync.WaitGroup
-	for url, indices := range assign {
-		wg.Add(1)
-		go func(url string, indices []int) {
-			defer wg.Done()
-			p.shards.Add(1)
-			pts, err := p.runShard(ctx, url, fp, cfg, indices)
-			if err != nil {
-				log.Printf("fabric: shard of %d point(s) lost on %s (%v); computing locally",
-					len(indices), url, err)
-				p.markDead(url)
-				p.remoteMisses.Add(int64(len(indices)))
-				return
-			}
-			byIndex := make(map[int]store.ShardPoint, len(pts))
-			for _, sp := range pts {
-				byIndex[sp.Index] = sp
-			}
-			var got int64
-			for _, i := range indices {
-				sp, ok := byIndex[i]
-				// The key check pins each returned point to the exact spec
-				// this coordinator asked for: a worker disagreeing about a
-				// point's identity (schema drift the handshake missed, a
-				// mislabeled response) contributes nothing rather than
-				// something wrong. Absent points (the worker's engine failed
-				// that config) fall back to local execution the same way.
-				if !ok || sp.Key != study.PointKey(specs[i]) {
-					p.remoteMisses.Add(1)
-					continue
-				}
-				st.Put(sp.Key, sp.Point)
-				got++
-			}
-			p.remoteHits.Add(got)
-		}(url, indices)
-	}
-	wg.Wait()
 }
 
 // runShard executes one worker's slice: POST /v1/shard, decode and
@@ -386,6 +704,25 @@ func (r *ring) owner(key string) string {
 		i = 0
 	}
 	return r.points[i].url
+}
+
+// nextOwner walks the ring forward from a key's position and returns the
+// first worker other than skip — the hedge target, and the worker the key
+// would re-hash to if skip left the ring. "" when the ring has no other
+// worker.
+func (r *ring) nextOwner(key, skip string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv64a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for n := 0; n < len(r.points); n++ {
+		pt := r.points[(start+n)%len(r.points)]
+		if pt.url != skip {
+			return pt.url
+		}
+	}
+	return ""
 }
 
 // fnv64a is the 64-bit FNV-1a hash, inlined to keep ring lookups

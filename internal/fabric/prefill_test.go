@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cell"
@@ -36,7 +37,7 @@ func prefillStudy() *core.Study {
 type shardWorker struct {
 	study  *core.Study
 	points *store.Store
-	served int
+	served atomic.Int64 // hedged shards hit one worker concurrently
 }
 
 func newShardWorker(t *testing.T) *shardWorker {
@@ -86,7 +87,7 @@ func (sw *shardWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		sw.served++
+		sw.served.Add(1)
 		w.Write(data)
 	default:
 		http.NotFound(w, r)

@@ -28,6 +28,9 @@
 //	GET/PUT /v1/store/points/{addr}         the store wire protocol: point records by content
 //	GET/PUT /v1/store/memo                  address, the live memo snapshot, and study records,
 //	GET/PUT /v1/store/studies[/{fp}]        all in the store's own CRC-enveloped byte format
+//	POST /v1/store/diff                     anti-entropy reconciliation: diff a peer's
+//	                                        point-address set against this store's
+//	GET  /v1/store/digest                   point count + digest of this store's point-key set
 //	POST /v1/shard                          compute a slice of a study's design space (the
 //	                                        fabric worker protocol — see internal/fabric)
 //
@@ -119,6 +122,32 @@ type Options struct {
 	// without a Store gets an in-memory one (the prefill needs somewhere to
 	// land).
 	Workers []string
+	// FabricClient overrides the HTTP client the fabric pool uses for every
+	// worker request (handshakes, shards, anti-entropy). nil uses the pool's
+	// default; chaos tests inject fault-wrapped transports here.
+	FabricClient *http.Client
+	// HedgeAfter launches a second copy of a still-running shard on the
+	// next ring owner after this long; the first result wins and the loser
+	// is cancelled. 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold, BreakerBackoff, BreakerMaxBackoff, and BreakerSeed
+	// tune the per-worker circuit breakers (see internal/fabric). Zero
+	// values select the fabric defaults.
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	BreakerSeed       int64
+	// ShardAttempts bounds how many assignment rounds a prefill tries
+	// (first fan-out plus reshards across surviving workers) before leaving
+	// unfilled points to local compute. 0 selects the fabric default.
+	ShardAttempts int
+	// Rehandshake, when positive, re-probes open worker breakers on a
+	// background ticker so revived workers rejoin between prefills.
+	Rehandshake time.Duration
+	// AntiEntropy, when positive, runs a store reconciliation pass against
+	// every live worker on a background ticker (POST /v1/store/diff), so
+	// coordinator and worker stores converge after partitions and crashes.
+	AntiEntropy time.Duration
 }
 
 // Server is the study service. Create with New; it is safe for concurrent
@@ -168,7 +197,18 @@ func New(opts Options) *Server {
 	}
 	s := &Server{opts: opts, sem: make(chan struct{}, opts.MaxConcurrentStudies)}
 	if len(opts.Workers) > 0 {
-		s.fabric = fabric.NewPool(opts.Workers, nil)
+		s.fabric = fabric.NewPoolOptions(opts.Workers, fabric.Options{
+			Client:            opts.FabricClient,
+			HedgeAfter:        opts.HedgeAfter,
+			BreakerThreshold:  opts.BreakerThreshold,
+			BreakerBackoff:    opts.BreakerBackoff,
+			BreakerMaxBackoff: opts.BreakerMaxBackoff,
+			BreakerSeed:       opts.BreakerSeed,
+			ShardAttempts:     opts.ShardAttempts,
+			Rehandshake:       opts.Rehandshake,
+			AntiEntropy:       opts.AntiEntropy,
+		})
+		s.fabric.Start(opts.Store)
 	}
 	if opts.Store != nil {
 		s.idx = query.New(opts.Store)
@@ -188,9 +228,15 @@ func New(opts Options) *Server {
 // startup.
 func (s *Server) ResumedJobs() int64 { return s.jobs.resumed.Load() }
 
-// Close cancels every outstanding async job and stops the worker pool.
-// In-flight synchronous requests are the HTTP server's to drain.
-func (s *Server) Close() { s.jobs.close() }
+// Close cancels every outstanding async job, stops the worker pool, and
+// ends the fabric's background loops. In-flight synchronous requests are
+// the HTTP server's to drain.
+func (s *Server) Close() {
+	s.jobs.close()
+	if s.fabric != nil {
+		s.fabric.Stop()
+	}
+}
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -219,6 +265,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/store/studies", s.handleStoreStudies)
 	mux.HandleFunc("GET /v1/store/studies/{fingerprint}", s.handleStoreStudyGet)
 	mux.HandleFunc("PUT /v1/store/studies/{fingerprint}", s.handleStoreStudyPut)
+	mux.HandleFunc("POST /v1/store/diff", s.handleStoreDiff)
+	mux.HandleFunc("GET /v1/store/digest", s.handleStoreDigest)
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	// Everything else gets the API's 404 envelope instead of the mux's
@@ -838,13 +886,15 @@ type Stats struct {
 		Dir    string `json:"dir,omitempty"`
 		Hits   int64  `json:"hits"`
 		Misses int64  `json:"misses"`
-		// Self-healing telemetry: quarantined corrupt files, disk
-		// operations failed past retries, individual retry attempts, and
-		// whether persistent failures demoted the store to memory-only.
-		Quarantined int64 `json:"quarantined"`
-		IOErrors    int64 `json:"io_errors"`
-		Retries     int64 `json:"retries"`
-		Degraded    bool  `json:"degraded"`
+		// Self-healing telemetry: quarantined corrupt files, memo snapshots
+		// discarded at restore, disk operations failed past retries,
+		// individual retry attempts, and whether persistent failures demoted
+		// the store to memory-only.
+		Quarantined  int64 `json:"quarantined"`
+		MemoDiscards int64 `json:"memo_discards"`
+		IOErrors     int64 `json:"io_errors"`
+		Retries      int64 `json:"retries"`
+		Degraded     bool  `json:"degraded"`
 	} `json:"store"`
 	// Fabric reports the distributed-study fabric: the coordinator's view
 	// of its worker fleet (workers/live/shards/remote hits & misses/resumed
@@ -861,6 +911,25 @@ type Stats struct {
 		RemoteHits    int64 `json:"remote_hits"`
 		RemoteMisses  int64 `json:"remote_misses"`
 		ResumedShards int64 `json:"resumed_shards"`
+		// Resilience telemetry (schema v1 additions): BreakerOpen is the
+		// current count of workers with an open or half-open breaker;
+		// BreakerTrips/BreakerResets count state transitions; ShardRetries
+		// and Resharded count shard requests and points re-assigned to
+		// survivors after a failure; Hedges/HedgesWon/HedgesLost count
+		// straggler hedging (launched / resolved by the hedge copy /
+		// resolved by the primary after hedging); the AntiEntropy trio
+		// counts reconciliation passes and the points they moved.
+		BreakerOpen       int   `json:"breaker_open"`
+		BreakerTrips      int64 `json:"breaker_trips"`
+		BreakerResets     int64 `json:"breaker_resets"`
+		ShardRetries      int64 `json:"shard_retries"`
+		Resharded         int64 `json:"resharded"`
+		Hedges            int64 `json:"hedges"`
+		HedgesWon         int64 `json:"hedges_won"`
+		HedgesLost        int64 `json:"hedges_lost"`
+		AntiEntropyRuns   int64 `json:"anti_entropy_runs"`
+		AntiEntropyPulled int64 `json:"anti_entropy_pulled"`
+		AntiEntropyPushed int64 `json:"anti_entropy_pushed"`
 		// ShardsServed counts POST /v1/shard requests this process answered
 		// as a worker.
 		ShardsServed int64 `json:"shards_served"`
@@ -916,6 +985,7 @@ func (s *Server) Snapshot() Stats {
 		st.Store.Hits, st.Store.Misses = s.opts.Store.Stats()
 		h := s.opts.Store.Health()
 		st.Store.Quarantined = h.Quarantined
+		st.Store.MemoDiscards = h.MemoDiscards
 		st.Store.IOErrors = h.IOErrors
 		st.Store.Retries = h.Retries
 		st.Store.Degraded = h.Degraded
@@ -929,6 +999,17 @@ func (s *Server) Snapshot() Stats {
 		st.Fabric.RemoteHits = f.RemoteHits
 		st.Fabric.RemoteMisses = f.RemoteMisses
 		st.Fabric.ResumedShards = f.ResumedShards
+		st.Fabric.BreakerOpen = f.BreakerOpen
+		st.Fabric.BreakerTrips = f.BreakerTrips
+		st.Fabric.BreakerResets = f.BreakerResets
+		st.Fabric.ShardRetries = f.ShardRetries
+		st.Fabric.Resharded = f.Resharded
+		st.Fabric.Hedges = f.Hedges
+		st.Fabric.HedgesWon = f.HedgesWon
+		st.Fabric.HedgesLost = f.HedgesLost
+		st.Fabric.AntiEntropyRuns = f.AntiEntropyRuns
+		st.Fabric.AntiEntropyPulled = f.AntiEntropyPulled
+		st.Fabric.AntiEntropyPushed = f.AntiEntropyPushed
 	}
 	st.Fabric.ShardsServed = s.shardsServed.Load()
 	st.Jobs.InFlight = s.inFlight.Load()
@@ -989,6 +1070,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
   GET  /v1/store/points/{addr}              one point record by content address (PUT to store)
   GET  /v1/store/memo                       live engine memo snapshot (PUT merges one in)
   GET  /v1/store/studies[/{fp}]             stored study records (PUT /{fp} to store)
+  POST /v1/store/diff                       anti-entropy: diff a peer's point-address set against ours
+  GET  /v1/store/digest                     point count + SHA-256 digest of the store's point-key set
   POST /v1/shard                            compute a slice of a study's design space (fabric worker)
 `)
 }

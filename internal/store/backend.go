@@ -51,6 +51,10 @@ type Backend interface {
 	// ExportPoint returns the raw envelope bytes of one record by content
 	// address — the form the /v1/store wire protocol ships.
 	ExportPoint(addrHex string) ([]byte, bool)
+	// PointAddrs lists the content addresses of every durable point record
+	// (anti-entropy diffs; nil for memory and remote backends — the Store
+	// unions in its in-memory index).
+	PointAddrs() []string
 
 	// LoadMemo returns the engine memo snapshot, if one is persisted.
 	LoadMemo() ([]byte, bool)
@@ -80,11 +84,12 @@ type Backend interface {
 // retries, and whether the failure streak crossed the degradation
 // threshold. It is embedded by value and used via pointer.
 type health struct {
-	quarantined atomic.Int64
-	ioErrors    atomic.Int64
-	retries     atomic.Int64
-	streak      atomic.Int64 // consecutive failed backend ops
-	degraded    atomic.Bool
+	quarantined  atomic.Int64
+	memoDiscards atomic.Int64
+	ioErrors     atomic.Int64
+	retries      atomic.Int64
+	streak       atomic.Int64 // consecutive failed backend ops
+	degraded     atomic.Bool
 }
 
 // ok records a successful backend operation, resetting the failure streak.
@@ -104,10 +109,11 @@ func (h *health) fail(kind, op string, err error) {
 
 func (h *health) stats() HealthStats {
 	return HealthStats{
-		Quarantined: h.quarantined.Load(),
-		IOErrors:    h.ioErrors.Load(),
-		Retries:     h.retries.Load(),
-		Degraded:    h.degraded.Load(),
+		Quarantined:  h.quarantined.Load(),
+		MemoDiscards: h.memoDiscards.Load(),
+		IOErrors:     h.ioErrors.Load(),
+		Retries:      h.retries.Load(),
+		Degraded:     h.degraded.Load(),
 	}
 }
 
@@ -119,6 +125,7 @@ func (memBackend) Target() string                            { return "" }
 func (memBackend) ReadPoint(string) (core.CachedPoint, bool) { return core.CachedPoint{}, false }
 func (memBackend) WritePoint(string, core.CachedPoint) error { return nil }
 func (memBackend) ExportPoint(string) ([]byte, bool)         { return nil, false }
+func (memBackend) PointAddrs() []string                      { return nil }
 func (memBackend) LoadMemo() ([]byte, bool)                  { return nil, false }
 func (memBackend) DiscardMemo()                              {}
 func (memBackend) SaveMemo([]byte) error                     { return nil }

@@ -297,7 +297,7 @@ func TestStoreQuarantinesCorruptMemoAndStartsCold(t *testing.T) {
 	if _, err := os.Stat(memoPath); !os.IsNotExist(err) {
 		t.Fatal("corrupt memo snapshot not quarantined")
 	}
-	if h := st.Health(); h.Quarantined != 1 {
-		t.Fatalf("quarantined = %d, want 1", h.Quarantined)
+	if h := st.Health(); h.Quarantined != 1 || h.MemoDiscards != 1 {
+		t.Fatalf("health = %+v, want 1 quarantine and 1 memo discard", h)
 	}
 }

@@ -48,6 +48,10 @@ type FsckReport struct {
 	StudiesCorrupt int `json:"studies_corrupt"` // torn, bit-flipped, or misnamed
 	StudiesUnknown int `json:"studies_unknown"` // newer schema than this binary
 
+	// Anti-entropy sync records (DIR/sync/).
+	SyncOK      int `json:"sync_ok"`
+	SyncCorrupt int `json:"sync_corrupt"`
+
 	// Repair actions taken (repair mode only).
 	Repaired    int `json:"repaired"`    // legacy points rewritten to the current format
 	Quarantined int `json:"quarantined"` // corrupt files moved to .corrupt/
@@ -58,7 +62,7 @@ type FsckReport struct {
 // are stale, not wrong).
 func (r *FsckReport) Clean() bool {
 	return r.PointsCorrupt == 0 && !r.MemoCorrupt && r.JobsCorrupt == 0 && r.OrphanProgress == 0 &&
-		r.OrphanShards == 0 && r.StudiesCorrupt == 0
+		r.OrphanShards == 0 && r.StudiesCorrupt == 0 && r.SyncCorrupt == 0
 }
 
 // Summary renders the report for terminal output.
@@ -84,6 +88,9 @@ func (r *FsckReport) Summary() string {
 		fmt.Fprintf(&b, ", %d unknown-version (left in place)", r.StudiesUnknown)
 	}
 	b.WriteString("\n")
+	if r.SyncOK+r.SyncCorrupt > 0 {
+		fmt.Fprintf(&b, "sync: %d record(s), %d corrupt\n", r.SyncOK, r.SyncCorrupt)
+	}
 	if r.Repaired+r.Quarantined+r.Removed > 0 {
 		fmt.Fprintf(&b, "repair: %d rewritten, %d quarantined, %d removed\n",
 			r.Repaired, r.Quarantined, r.Removed)
@@ -122,7 +129,38 @@ func FsckFS(dir string, fsys FS, repair bool) (*FsckReport, error) {
 	if err := lb.fsckStudies(rep, repair); err != nil {
 		return nil, err
 	}
+	if err := lb.fsckSync(rep, repair); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+func (lb *localBackend) fsckSync(rep *FsckReport, repair bool) error {
+	ents, err := lb.fs.ReadDir(lb.syncDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		path := filepath.Join(lb.syncDir(), name)
+		data, err := lb.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, status := decodeSyncRecord(data); status == readOK {
+			rep.SyncOK++
+		} else {
+			rep.SyncCorrupt++
+			if repair {
+				lb.quarantine(path)
+			}
+		}
+	}
+	rep.Quarantined = int(lb.h.quarantined.Load())
+	return nil
 }
 
 func (lb *localBackend) fsckStudies(rep *FsckReport, repair bool) error {

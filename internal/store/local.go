@@ -179,7 +179,42 @@ func (lb *localBackend) LoadMemo() ([]byte, bool) {
 	return data, true
 }
 
-func (lb *localBackend) DiscardMemo() { lb.quarantine(lb.memoPath()) }
+func (lb *localBackend) DiscardMemo() {
+	lb.h.memoDiscards.Add(1)
+	lb.quarantine(lb.memoPath())
+}
+
+// PointAddrs walks DIR/points/<2hex>/ and lists every record's content
+// address (the filename without extension). Unreadable directories read as
+// empty: anti-entropy treats an ailing disk like a store with no points,
+// and the degradation tracker catches persistent failures elsewhere.
+func (lb *localBackend) PointAddrs() []string {
+	if !lb.enabled() {
+		return nil
+	}
+	shards, err := lb.fs.ReadDir(filepath.Join(lb.dir, "points"))
+	if err != nil {
+		return nil
+	}
+	var addrs []string
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		ents, err := lb.fs.ReadDir(filepath.Join(lb.dir, "points", shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".gob") {
+				continue
+			}
+			addrs = append(addrs, strings.TrimSuffix(name, ".gob"))
+		}
+	}
+	return addrs
+}
 
 func (lb *localBackend) SaveMemo(data []byte) error {
 	if !lb.enabled() {

@@ -221,8 +221,13 @@ func (rb *remoteBackend) LoadMemo() ([]byte, bool) {
 	return data, true
 }
 
-// DiscardMemo only counts: the bad snapshot is the peer's to quarantine.
-func (rb *remoteBackend) DiscardMemo() { rb.h.quarantined.Add(1) }
+// DiscardMemo only counts the discard: the bad snapshot is the peer's to
+// quarantine, so nothing here may claim a quarantine that never happened.
+func (rb *remoteBackend) DiscardMemo() { rb.h.memoDiscards.Add(1) }
+
+// PointAddrs returns nil: anti-entropy runs between a local store and its
+// peers, never through a remote-backed store (which would just relay).
+func (rb *remoteBackend) PointAddrs() []string { return nil }
 
 func (rb *remoteBackend) SaveMemo(data []byte) error {
 	if !rb.enabled() {

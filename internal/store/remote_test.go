@@ -365,7 +365,9 @@ func TestRemoteMemoSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("restore itself moved memo stats: hits=%d misses=%d", hits, misses)
 	}
 
-	// A mangled snapshot is discarded and counted, never fatal.
+	// A mangled snapshot is discarded and counted as a memo discard, never
+	// fatal — and never as a quarantine: the snapshot stays on the peer,
+	// which is the only side that can actually quarantine it.
 	peer.mu.Lock()
 	peer.memo = []byte("mangled snapshot bytes")
 	peer.mu.Unlock()
@@ -374,8 +376,12 @@ func TestRemoteMemoSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("corrupt peer snapshot blocked open: %v", err)
 	}
-	if h := st3.Health(); h.Quarantined == 0 {
+	h := st3.Health()
+	if h.MemoDiscards == 0 {
 		t.Fatalf("corrupt snapshot not counted: %+v", h)
+	}
+	if h.Quarantined != 0 {
+		t.Fatalf("remote DiscardMemo claimed a quarantine it never performed: %+v", h)
 	}
 }
 

@@ -390,6 +390,11 @@ type HealthStats struct {
 	// Quarantined counts corrupt or foreign records discarded (moved to
 	// DIR/.corrupt/ locally; dropped and counted remotely).
 	Quarantined int64
+	// MemoDiscards counts memo snapshots that failed to restore and were
+	// disposed of. The local backend also quarantines the file (counted
+	// above); the remote backend only counts — the snapshot is the peer's
+	// to quarantine, so claiming one here would be dishonest.
+	MemoDiscards int64
 	// IOErrors counts backend operations that failed past their retries.
 	IOErrors int64
 	// Retries counts individual retry attempts after transient failures.

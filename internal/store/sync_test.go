@@ -1,0 +1,230 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPointAddrsAndDigestAreOrderIndependent(t *testing.T) {
+	a, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("k1", core.CachedPoint{Skipped: []string{"1"}})
+	a.Put("k2", core.CachedPoint{Skipped: []string{"2"}})
+	b.Put("k2", core.CachedPoint{Skipped: []string{"2"}})
+	b.Put("k1", core.CachedPoint{Skipped: []string{"1"}})
+
+	addrs := a.PointAddrs()
+	if !sort.StringsAreSorted(addrs) {
+		t.Fatalf("PointAddrs not sorted: %v", addrs)
+	}
+	if !reflect.DeepEqual(addrs, []string{addr("k1"), addr("k2")}) && !reflect.DeepEqual(addrs, []string{addr("k2"), addr("k1")}) {
+		t.Fatalf("PointAddrs = %v, want the addresses of k1 and k2", addrs)
+	}
+
+	na, da := a.Digest()
+	nb, db := b.Digest()
+	if na != 2 || nb != 2 || da != db {
+		t.Fatalf("equal point sets digest differently: (%d, %s) vs (%d, %s)", na, da, nb, db)
+	}
+	b.Put("k3", core.CachedPoint{Skipped: []string{"3"}})
+	if _, db2 := b.Digest(); db2 == da {
+		t.Fatal("digest unchanged by a new point")
+	}
+}
+
+func TestPointAddrsCoverDurableRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put("durable", core.CachedPoint{Skipped: []string{"d"}})
+
+	// A fresh store over the same directory has an empty memory mirror:
+	// the address must come from the backend walk.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.PointAddrs(); !reflect.DeepEqual(got, []string{addr("durable")}) {
+		t.Fatalf("PointAddrs after reopen = %v, want [%s]", got, addr("durable"))
+	}
+}
+
+func TestDiffDrivesTwoStoresToConvergence(t *testing.T) {
+	a, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("only-a", core.CachedPoint{Skipped: []string{"a"}})
+	a.Put("shared", core.CachedPoint{Skipped: []string{"s"}})
+	b.Put("shared", core.CachedPoint{Skipped: []string{"s"}})
+	b.Put("only-b", core.CachedPoint{Skipped: []string{"b"}})
+
+	// B answers A's diff: A's unique address is missing from B, B's unique
+	// address is extra from A's perspective.
+	diff := b.Diff(a.PointAddrs())
+	if !reflect.DeepEqual(diff.Missing, []string{addr("only-a")}) {
+		t.Fatalf("Missing = %v, want [%s]", diff.Missing, addr("only-a"))
+	}
+	if !reflect.DeepEqual(diff.Extra, []string{addr("only-b")}) {
+		t.Fatalf("Extra = %v, want [%s]", diff.Extra, addr("only-b"))
+	}
+	if _, want := b.Digest(); diff.Points != 2 || diff.Digest != want {
+		t.Fatalf("diff self-report (%d, %s) disagrees with Digest", diff.Points, diff.Digest)
+	}
+
+	// The reconciliation the fabric runs: push Missing to B, pull Extra
+	// into A — over the same export/import wire the HTTP endpoints use.
+	for _, ad := range diff.Missing {
+		data, ok := a.ExportPoint(ad)
+		if !ok {
+			t.Fatalf("A cannot export its own point %s", ad)
+		}
+		if _, err := b.ImportPoint(data); err != nil {
+			t.Fatalf("push %s: %v", ad, err)
+		}
+	}
+	for _, ad := range diff.Extra {
+		data, ok := b.ExportPoint(ad)
+		if !ok {
+			t.Fatalf("B cannot export its own point %s", ad)
+		}
+		if _, err := a.ImportPoint(data); err != nil {
+			t.Fatalf("pull %s: %v", ad, err)
+		}
+	}
+	na, da := a.Digest()
+	nb, db := b.Digest()
+	if na != 3 || nb != 3 || da != db {
+		t.Fatalf("stores did not converge: (%d, %s) vs (%d, %s)", na, da, nb, db)
+	}
+	next := b.Diff(a.PointAddrs())
+	if len(next.Missing) != 0 || len(next.Extra) != 0 {
+		t.Fatalf("converged stores still diff: %+v", next)
+	}
+}
+
+func TestDiffAnswersWithEmptySlicesNotNull(t *testing.T) {
+	st, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := st.Diff(nil)
+	if diff.Missing == nil || diff.Extra == nil {
+		t.Fatalf("empty diff must marshal as [] not null: %+v", diff)
+	}
+}
+
+func TestRecordSyncRoundTripAndFsck(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []SyncRecord{
+		{Peer: "http://w1:8080", Pulled: 2, Pushed: 1, Unix: 100},
+		{Peer: "http://w2:8080", Pulled: 0, Pushed: 3, Unix: 50},
+	}
+	for _, rec := range recs {
+		if err := st.RecordSync(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := st.SyncRecords()
+	if len(got) != 2 {
+		t.Fatalf("SyncRecords returned %d record(s), want 2", len(got))
+	}
+	if got[0].Unix != 50 || got[1].Unix != 100 {
+		t.Fatalf("records not ordered oldest-first: %+v", got)
+	}
+	if got[1].Peer != "http://w1:8080" || got[1].Pulled != 2 || got[1].Pushed != 1 {
+		t.Fatalf("record did not round-trip: %+v", got[1])
+	}
+	if got[0].Version != syncRecordVersion {
+		t.Fatalf("record version %q, want %q", got[0].Version, syncRecordVersion)
+	}
+
+	rep, err := Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SyncOK != 2 || rep.SyncCorrupt != 0 || !rep.Clean() {
+		t.Fatalf("fsck of a healthy sync dir: %+v", rep)
+	}
+}
+
+func TestFsckQuarantinesCorruptSyncRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RecordSync(SyncRecord{Peer: "http://w1:8080", Pulled: 1, Unix: 100}); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "sync", "00000000000000000200-deadbeef.gob")
+	if err := os.WriteFile(torn, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers skip the torn record; scan mode reports it without touching it.
+	if got := st.SyncRecords(); len(got) != 1 {
+		t.Fatalf("SyncRecords served a corrupt record: %+v", got)
+	}
+	rep, err := Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SyncOK != 1 || rep.SyncCorrupt != 1 || rep.Clean() {
+		t.Fatalf("fsck scan of a torn sync record: %+v", rep)
+	}
+
+	// Repair mode quarantines it and the store comes back clean.
+	rep, err = Fsck(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SyncCorrupt != 1 || rep.Quarantined == 0 {
+		t.Fatalf("fsck repair did not quarantine: %+v", rep)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn sync record still in place after repair")
+	}
+	rep, err = Fsck(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.SyncOK != 1 {
+		t.Fatalf("store not clean after sync repair: %+v", rep)
+	}
+}
+
+func TestRecordSyncIsANoOpWithoutADirectory(t *testing.T) {
+	st, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RecordSync(SyncRecord{Peer: "http://w1:8080", Unix: 1}); err != nil {
+		t.Fatalf("memory-only RecordSync: %v", err)
+	}
+	if recs := st.SyncRecords(); recs != nil {
+		t.Fatalf("memory-only SyncRecords = %+v, want nil", recs)
+	}
+}
